@@ -1,0 +1,56 @@
+"""Fig 3: Bangalore - London RTT over 24 hours.
+
+The paper: "UDP's RTT between Bangalore and London is distributed over a
+30 ms range, almost randomly", while the other protocols are consistent
+for stretches but shift several times a day.
+"""
+
+from benchmarks.conftest import FULL_SCALE
+from repro.analysis import detect_clusters, spread_ms
+from repro.netsim.packet import Protocol
+from repro.netsim.traffic import MultiProtocolProber
+from repro.workloads.wan import WanScenario
+
+WINDOW = 24 * 3600.0
+INTERVAL = 1.0 if FULL_SCALE else 21.6
+
+
+def _run_fig3():
+    scenario = WanScenario.build(seed=7, cities=["bangalore"])
+    prober = MultiProtocolProber(
+        scenario.city_hosts["bangalore"],
+        scenario.london.address,
+        count=int(WINDOW / INTERVAL),
+        interval=INTERVAL,
+    )
+    scenario.simulator.run_until_idle()
+    return prober.finalize()
+
+
+def test_bench_fig3(once):
+    traces = once(_run_fig3)
+    from repro.analysis import maybe_export_timeseries
+
+    maybe_export_timeseries("fig3_bangalore", traces)
+
+    print("\n=== Fig 3: Bangalore - London RTT, 24 hours ===")
+    for protocol, trace in traces.items():
+        print(
+            f"  {protocol.name:<7} mean={trace.mean_rtt_ms():7.2f} ms "
+            f"std={trace.std_rtt_ms():5.2f} "
+            f"spread(p1-p99)={spread_ms(trace.rtts_ms()):5.1f} ms"
+        )
+
+    udp_spread = spread_ms(traces[Protocol.UDP].rtts_ms())
+    # UDP spread over roughly a 30 ms range...
+    assert 20.0 < udp_spread < 40.0, udp_spread
+    # ... wider than every other protocol's, and far wider than the
+    # priority-queued ICMP / raw IP series.
+    assert udp_spread > spread_ms(traces[Protocol.TCP].rtts_ms())
+    for protocol in (Protocol.ICMP, Protocol.RAW_IP):
+        assert udp_spread > 1.4 * spread_ms(traces[protocol].rtts_ms()), protocol
+    # "Almost randomly": many routes, so no small set of crisp modes.
+    clusters = detect_clusters(
+        traces[Protocol.UDP].rtts_ms(), bandwidth_ms=0.3, min_weight=0.04
+    )
+    assert len(clusters) >= 5

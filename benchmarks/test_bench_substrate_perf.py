@@ -1,0 +1,97 @@
+"""Substrate micro-benchmarks: how fast the building blocks run.
+
+Not a paper figure — these measure the reproduction's own machinery
+(pytest-benchmark's bread and butter): VM instruction throughput,
+signature operations, simulator event throughput, and channel transit
+rate. Useful for spotting performance regressions when extending the
+library.
+"""
+
+from repro.chain.crypto import KeyPair, verify_signature
+from repro.netsim.conduit import DirectedChannel
+from repro.netsim.congestion import calm_congestion
+from repro.netsim.engine import Simulator
+from repro.netsim.packet import Address, Packet, Protocol
+from repro.sandbox.assembler import assemble
+from repro.sandbox.vm import VM
+
+_LOOP_SOURCE = """
+.memory 4096
+.func run_debuglet 1 1
+loop:
+    local_get 0
+    eqz
+    jnz done
+    local_get 0
+    push 1
+    sub
+    local_set 0
+    local_get 1
+    push 3
+    add
+    local_set 1
+    jmp loop
+done:
+    local_get 1
+    ret
+.end
+"""
+
+_ITERATIONS = 2_000
+
+
+def test_bench_vm_throughput(benchmark):
+    """~11 instructions per loop iteration; reports loop time."""
+    module = assemble(_LOOP_SOURCE)
+
+    def run():
+        vm = VM(module, fuel_limit=10**9)
+        return vm.start([_ITERATIONS])
+
+    result = benchmark(run)
+    assert result.value == 3 * _ITERATIONS
+
+
+def test_bench_ed25519_sign(benchmark):
+    keypair = KeyPair.deterministic("bench")
+    signature = benchmark(lambda: keypair.sign(b"benchmark message"))
+    assert verify_signature(keypair.public, b"benchmark message", signature)
+
+
+def test_bench_ed25519_verify(benchmark):
+    keypair = KeyPair.deterministic("bench")
+    signature = keypair.sign(b"benchmark message")
+    ok = benchmark(
+        lambda: verify_signature(keypair.public, b"benchmark message", signature)
+    )
+    assert ok
+
+
+def test_bench_simulator_events(benchmark):
+    def run():
+        sim = Simulator()
+        for i in range(5_000):
+            sim.schedule_at(float(i % 97), lambda: None)
+        sim.run_until_idle()
+        return sim.events_processed
+
+    assert benchmark(run) == 5_000
+
+
+def test_bench_channel_transit(benchmark):
+    channel = DirectedChannel(
+        "bench", base_delay=1e-3, jitter_std=0.1e-3,
+        congestion=calm_congestion(1, "bench"), seed=2,
+    )
+    packet = Packet(
+        src=Address(1, "a"), dst=Address(2, "b"), protocol=Protocol.UDP,
+        src_port=1, dst_port=2,
+    )
+
+    def run():
+        outcome = None
+        for i in range(1_000):
+            outcome = channel.transit(packet, float(i))
+        return outcome
+
+    assert benchmark(run).delivered

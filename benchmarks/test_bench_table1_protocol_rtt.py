@@ -1,0 +1,84 @@
+"""Table I: RTT and drop rate per protocol, London <-> six cities.
+
+Paper setup: 86 400 probes per (city, protocol), one per second for a day,
+identical layer-3 lengths. Here: scaled probe counts by default
+(``DEBUGLET_FULL=1`` for the original scale). The harness prints the same
+rows the paper tabulates — mean/std RTT in ms per protocol, loss in ‰ —
+and asserts the qualitative structure the paper reports.
+"""
+
+from benchmarks.conftest import FULL_SCALE
+from repro.analysis import format_table1_row, table_row
+from repro.netsim.packet import Protocol
+from repro.workloads.wan import CITY_SPECS, WanScenario
+
+PROBES = 86_400 if FULL_SCALE else 3_000
+INTERVAL = 1.0 if FULL_SCALE else 1.0
+
+
+def _run_table1():
+    scenario = WanScenario.build(seed=7)
+    traces = scenario.run_protocol_study(
+        probes_per_protocol=PROBES, interval=INTERVAL
+    )
+    return {
+        city: {proto: trace for proto, trace in by_proto.items()}
+        for city, by_proto in traces.items()
+    }
+
+
+def test_bench_table1(once):
+    traces = once(_run_table1)
+    from repro.analysis import maybe_export_summary
+
+    maybe_export_summary("table1", traces)
+
+    print("\n=== Table I: RTT (ms) and loss (per-mille), vs London ===")
+    print(f"    probes per cell: {PROBES} (paper: 86400)")
+    for city, by_proto in traces.items():
+        print(format_table1_row(city, table_row(by_proto)))
+
+    for city, by_proto in traces.items():
+        spec = CITY_SPECS[city]
+        for protocol, trace in by_proto.items():
+            target = spec.protocols[protocol].mean_ms
+            measured = trace.mean_rtt_ms()
+            # Means should land near the paper's numbers (the simulator is
+            # calibrated; 5% covers churn-episode luck).
+            assert abs(measured - target) / target < 0.05, (
+                city, protocol.name, measured, target,
+            )
+
+    # Paper's qualitative claims:
+    # 1. TCP experiences the highest loss at (almost) every location.
+    tcp_wins = sum(
+        1
+        for by_proto in traces.values()
+        if by_proto[Protocol.TCP].loss_per_mille()
+        >= max(
+            by_proto[p].loss_per_mille()
+            for p in (Protocol.UDP, Protocol.ICMP)
+        )
+    )
+    assert tcp_wins >= 4, "TCP should be the lossiest protocol at most sites"
+
+    # 2. UDP shows the highest RTT variation (route spraying).
+    udp_most_variable = sum(
+        1
+        for by_proto in traces.values()
+        if by_proto[Protocol.UDP].std_rtt_ms()
+        >= max(
+            by_proto[p].std_rtt_ms()
+            for p in (Protocol.ICMP, Protocol.RAW_IP)
+        )
+    )
+    assert udp_most_variable >= 4
+
+    # 3. New York: UDP/TCP ride faster routes than ICMP/raw.
+    newyork = traces["newyork"]
+    assert newyork[Protocol.UDP].mean_rtt_ms() < newyork[Protocol.ICMP].mean_rtt_ms()
+    assert newyork[Protocol.TCP].mean_rtt_ms() < newyork[Protocol.RAW_IP].mean_rtt_ms()
+    # ... and suffers by far the worst TCP loss in the table.
+    assert newyork[Protocol.TCP].loss_per_mille() == max(
+        by_proto[Protocol.TCP].loss_per_mille() for by_proto in traces.values()
+    )

@@ -1,0 +1,196 @@
+"""Writing a custom Debuglet: a jitter burst-prober in Debuglet assembly.
+
+Debuglets are programmable (§IV-B): this one is not in the stock library.
+It sends a back-to-back burst of UDP probes every second (instead of a
+steady train), records each probe's RTT, and additionally reports the
+max-min RTT spread *within each burst* — a jitter microscope that a
+fixed-function measurement service could not provide.
+
+Run:  python examples/custom_debuglet.py
+"""
+
+from repro.common.errors import ManifestError
+from repro.core import DebugletApplication, EchoMeasurement
+from repro.core.executor import Executor
+from repro.netsim import Link, Network, Protocol, Simulator, Topology
+from repro.sandbox import Manifest, assemble, decode_result_pairs, echo_server
+
+BURSTS = 5
+PER_BURST = 4
+PORT = 7901
+
+# Results: (seq, rtt_us) pairs for every probe, then one (1000+burst,
+# spread_us) pair per burst. Locals: 0=burst, 1=i, 2=t0, 3=min, 4=max, 5=ret
+CUSTOM_SOURCE = f"""
+.memory 65536
+.buffer udp_send_buffer 0 64
+.buffer udp_recv_buffer 64 128
+
+.func run_debuglet 0 7        ; 6=start time
+    host now_us
+    local_set 6
+burst_loop:
+    local_get 0
+    push {BURSTS}
+    ges
+    jnz done
+    push 0x7fffffffffffffff
+    local_set 3               ; min = +inf
+    push 0
+    local_set 4               ; max = 0
+    push 0
+    local_set 1
+probe_loop:
+    local_get 1
+    push {PER_BURST}
+    ges
+    jnz burst_done
+    host now_us
+    local_set 2
+    push 17
+    push 0
+    push {PORT}
+    local_get 0
+    push {PER_BURST}
+    mul
+    local_get 1
+    add                       ; seq = burst*PER_BURST + i
+    push 64
+    host net_send
+    drop
+    push 17
+    push 500000
+    host net_recv
+    local_set 5
+    local_get 5
+    push 0
+    lts
+    jnz next_probe            ; timeout: skip stats
+    ; rtt = now - t0
+    host now_us
+    local_get 2
+    sub
+    local_set 5
+    ; record (seq from header, rtt)
+    push 80                   ; recv header seq at 64+16
+    load64
+    host result_i64
+    drop
+    local_get 5
+    host result_i64
+    drop
+    ; min/max update
+    local_get 5
+    local_get 3
+    lts
+    jz check_max
+    local_get 5
+    local_set 3
+check_max:
+    local_get 5
+    local_get 4
+    gts
+    jz next_probe
+    local_get 5
+    local_set 4
+next_probe:
+    local_get 1
+    push 1
+    add
+    local_set 1
+    jmp probe_loop
+burst_done:
+    ; report (1000 + burst, spread = max - min) if any probe returned
+    local_get 4
+    push 0
+    gts
+    jz no_spread
+    push 1000
+    local_get 0
+    add
+    host result_i64
+    drop
+    local_get 4
+    local_get 3
+    sub
+    host result_i64
+    drop
+no_spread:
+    ; sleep until start + (burst+1) seconds
+    local_get 0
+    push 1
+    add
+    push 1000000
+    mul
+    local_get 6
+    add
+    host sleep_until_us
+    drop
+    local_get 0
+    push 1
+    add
+    local_set 0
+    jmp burst_loop
+done:
+    push 0
+    ret
+.end
+"""
+
+
+def main() -> None:
+    sim = Simulator()
+    topo = Topology()
+    topo.make_as(1, seed=1)
+    topo.make_as(2, seed=2)
+    topo.connect(
+        1, 1, 2, 1,
+        Link.symmetric("1-2", base_delay=8e-3, seed=7, jitter_std=0.8e-3),
+    )
+    net = Network(topo, sim, seed=3)
+    ex_a = Executor(net, 1, 1, seed=10)
+    ex_b = Executor(net, 2, 1, seed=11)
+
+    module = assemble(CUSTOM_SOURCE)
+    total_probes = BURSTS * PER_BURST
+    manifest = Manifest(
+        max_instructions=5000 * total_probes + 100_000,
+        max_duration=BURSTS + 5.0,
+        max_memory_bytes=module.memory_size,
+        max_packets_sent=total_probes,
+        max_packets_received=total_probes,
+        contacts=(ex_b.data_address,),
+        capabilities=("udp",),
+        max_result_bytes=16 * (total_probes + BURSTS) + 64,
+    )
+    manifest.validate_module(module)
+    client_app = DebugletApplication("jitter-burst", manifest, module=module)
+    server_app = DebugletApplication.from_stock(
+        "echo",
+        echo_server(Protocol.UDP, max_echoes=total_probes, idle_timeout_us=3_000_000),
+        listen_port=PORT,
+    )
+
+    records = {}
+    ex_b.submit(server_app, start_at=0.5,
+                on_complete=lambda r: records.__setitem__("server", r))
+    ex_a.submit(client_app, start_at=0.6,
+                on_complete=lambda r: records.__setitem__("client", r))
+    sim.run_until_idle()
+
+    record = records["client"]
+    print(f"execution: {record.status}, fuel used: {record.fuel_used}")
+    pairs = decode_result_pairs(record.result)
+    rtts = {seq: rtt for seq, rtt in pairs if seq < 1000}
+    spreads = {seq - 1000: rtt for seq, rtt in pairs if seq >= 1000}
+    echo = EchoMeasurement(probes_sent=total_probes, rtts_us=rtts)
+    print(
+        f"per-probe: mean RTT {echo.mean_rtt_ms():.3f} ms over "
+        f"{echo.received}/{total_probes} probes"
+    )
+    for burst, spread_us in sorted(spreads.items()):
+        print(f"  burst {burst}: intra-burst RTT spread {spread_us / 1e3:.3f} ms")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,50 @@
+"""The §II motivation study: protocols experience the network differently.
+
+Rebuilds the paper's 7-city experiment on the simulated WAN: concurrent
+UDP/TCP/ICMP/raw-IP probe trains from six cities toward London, identical
+packet sizes, then prints the Table I rows and the route-cluster analysis
+behind Figs 2 and 3.
+
+Run:  python examples/protocol_treatment_study.py [probes_per_protocol]
+"""
+
+import sys
+
+from repro.analysis import detect_clusters, format_table1_row, spread_ms, table_row
+from repro.netsim import Protocol
+from repro.workloads import WanScenario
+
+
+def main(probes: int = 1500) -> None:
+    print(f"building the 7-city WAN; {probes} probes per (city, protocol)...")
+    scenario = WanScenario.build(seed=7)
+    traces = scenario.run_protocol_study(probes_per_protocol=probes, interval=1.0)
+
+    print("\nTable I (reproduced): RTT mean±std (ms) and loss (per-mille)")
+    for city, by_protocol in traces.items():
+        print(format_table1_row(city, table_row(by_protocol)))
+
+    print("\nWhy probes must look like data packets:")
+    frankfurt_udp = traces["frankfurt"][Protocol.UDP]
+    clusters = detect_clusters(frankfurt_udp.rtts_ms(), bandwidth_ms=0.3)
+    print(
+        "  Frankfurt UDP forms "
+        f"{len(clusters)} RTT clusters (parallel routes, Fig 2): "
+        + ", ".join(f"{c.center_ms:.1f} ms" for c in clusters)
+    )
+    bangalore_udp = traces["bangalore"][Protocol.UDP]
+    print(
+        f"  Bangalore UDP is spread over {spread_ms(bangalore_udp.rtts_ms()):.0f} ms "
+        "(Fig 3) while ICMP sits at "
+        f"±{traces['bangalore'][Protocol.ICMP].std_rtt_ms():.1f} ms"
+    )
+    newyork = traces["newyork"]
+    print(
+        f"  New York TCP loses {newyork[Protocol.TCP].loss_per_mille():.1f}‰ of "
+        f"packets vs {newyork[Protocol.ICMP].loss_per_mille():.1f}‰ for ICMP — "
+        "a ping would miss the problem entirely"
+    )
+
+
+if __name__ == "__main__":
+    main(int(sys.argv[1]) if len(sys.argv) > 1 else 1500)

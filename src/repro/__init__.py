@@ -1,0 +1,22 @@
+"""Debuglet: programmable and verifiable inter-domain network telemetry.
+
+A full Python reproduction of the ICDCS 2024 paper, including every
+substrate it runs on:
+
+- :mod:`repro.netsim` — packet-level inter-domain simulator with
+  protocol-differential forwarding (the §II motivation study's testbed);
+- :mod:`repro.pathaware` — SCION-like path discovery and selection;
+- :mod:`repro.sandbox` — a WebAssembly-analogue metered VM, assembler,
+  manifests, and stock measurement programs;
+- :mod:`repro.chain` — a Sui-like ledger with contracts, events, and
+  Table II-calibrated gas pricing;
+- :mod:`repro.contracts` — the Debuglet marketplace smart contract;
+- :mod:`repro.core` — executors, the measurement workflow, fault
+  localization, verification, and the §VI extensions;
+- :mod:`repro.baselines` — ping and traceroute comparators;
+- :mod:`repro.analysis` — statistics and cluster detection for traces;
+- :mod:`repro.workloads` — the 7-city WAN and fault scenarios behind
+  every table and figure.
+"""
+
+__version__ = "1.0.0"

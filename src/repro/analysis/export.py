@@ -1,0 +1,86 @@
+"""Exporting measurement data for external plotting.
+
+The benches print the paper's tables; these helpers additionally dump the
+underlying series as CSV so figures can be re-plotted with any tool. Set
+``DEBUGLET_EXPORT=<dir>`` when running the benches to get one CSV per
+figure.
+"""
+
+from __future__ import annotations
+
+import csv
+import os
+from pathlib import Path
+
+from repro.netsim.packet import Protocol
+from repro.netsim.trace import MeasurementTrace
+
+
+def export_directory() -> Path | None:
+    """The export target from ``DEBUGLET_EXPORT``, or ``None`` if unset."""
+    value = os.environ.get("DEBUGLET_EXPORT", "")
+    if not value:
+        return None
+    path = Path(value)
+    path.mkdir(parents=True, exist_ok=True)
+    return path
+
+
+def write_timeseries_csv(
+    path: Path, traces: dict[Protocol, MeasurementTrace]
+) -> Path:
+    """One row per received probe: protocol, send time (s), RTT (ms)."""
+    with open(path, "w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(["protocol", "send_time_s", "rtt_ms"])
+        for protocol, trace in traces.items():
+            times, rtts = trace.time_series()
+            for t, rtt in zip(times, rtts):
+                writer.writerow([protocol.name, f"{t:.3f}", f"{rtt:.4f}"])
+    return path
+
+
+def write_summary_csv(
+    path: Path, rows: dict[str, dict[Protocol, MeasurementTrace]]
+) -> Path:
+    """One row per (location, protocol): the Table I summary values."""
+    with open(path, "w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(
+            ["location", "protocol", "sent", "received", "mean_ms", "std_ms",
+             "loss_per_mille"]
+        )
+        for location, traces in rows.items():
+            for protocol, trace in traces.items():
+                writer.writerow(
+                    [
+                        location,
+                        protocol.name,
+                        trace.sent,
+                        trace.received,
+                        f"{trace.mean_rtt_ms():.4f}",
+                        f"{trace.std_rtt_ms():.4f}",
+                        f"{trace.loss_per_mille():.3f}",
+                    ]
+                )
+    return path
+
+
+def maybe_export_timeseries(
+    name: str, traces: dict[Protocol, MeasurementTrace]
+) -> Path | None:
+    """Write a time-series CSV if ``DEBUGLET_EXPORT`` is set."""
+    directory = export_directory()
+    if directory is None:
+        return None
+    return write_timeseries_csv(directory / f"{name}.csv", traces)
+
+
+def maybe_export_summary(
+    name: str, rows: dict[str, dict[Protocol, MeasurementTrace]]
+) -> Path | None:
+    """Write a summary CSV if ``DEBUGLET_EXPORT`` is set."""
+    directory = export_directory()
+    if directory is None:
+        return None
+    return write_summary_csv(directory / f"{name}.csv", rows)

@@ -1,0 +1,82 @@
+"""Statistics over measurement traces: the numbers the paper tabulates."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.netsim.packet import Protocol
+from repro.netsim.trace import MeasurementTrace
+
+
+@dataclass(frozen=True)
+class CellStats:
+    """One Table I cell: RTT mean/std (ms) and loss (per-mille)."""
+
+    protocol: Protocol
+    mean_ms: float
+    std_ms: float
+    loss_per_mille: float
+    samples: int
+
+    @classmethod
+    def from_trace(cls, trace: MeasurementTrace) -> "CellStats":
+        return cls(
+            protocol=trace.protocol,
+            mean_ms=trace.mean_rtt_ms(),
+            std_ms=trace.std_rtt_ms(),
+            loss_per_mille=trace.loss_per_mille(),
+            samples=trace.received,
+        )
+
+
+def table_row(traces: dict[Protocol, MeasurementTrace]) -> dict[str, CellStats]:
+    """Stats per protocol for one city (one Table I row)."""
+    return {
+        protocol.name: CellStats.from_trace(trace)
+        for protocol, trace in traces.items()
+    }
+
+
+def format_table1_row(location: str, row: dict[str, CellStats]) -> str:
+    """Render one row in the paper's layout: mean/std per protocol, then
+    loss per-mille underneath."""
+    order = ["UDP", "TCP", "ICMP", "RAW_IP"]
+    means = "  ".join(
+        f"{name}: {row[name].mean_ms:7.2f}±{row[name].std_ms:5.2f}ms"
+        for name in order
+        if name in row
+    )
+    losses = "  ".join(
+        f"{name}: {row[name].loss_per_mille:5.2f}‰" for name in order if name in row
+    )
+    return f"{location:<14} {means}\n{'':<14} loss  {losses}"
+
+
+def coefficient_of_variation(values: np.ndarray) -> float:
+    """std / mean; the stability metric used to compare protocols."""
+    if len(values) == 0:
+        return float("nan")
+    mean = float(np.mean(values))
+    if mean == 0:
+        return float("nan")
+    return float(np.std(values, ddof=1)) / mean if len(values) > 1 else 0.0
+
+
+def step_changes(
+    times: np.ndarray, values: np.ndarray, *, window: int = 60, threshold: float = 3.0
+) -> list[float]:
+    """Detect sudden level shifts in an RTT time series (Fig 1's ~5 ms
+    route-change steps): times where the rolling-window mean jumps by more
+    than ``threshold`` (ms) between adjacent windows."""
+    if len(values) < 2 * window:
+        return []
+    changes = []
+    previous_mean = float(np.mean(values[:window]))
+    for start in range(window, len(values) - window, window):
+        current_mean = float(np.mean(values[start : start + window]))
+        if abs(current_mean - previous_mean) > threshold:
+            changes.append(float(times[start]))
+        previous_mean = current_mean
+    return changes

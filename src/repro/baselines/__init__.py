@@ -1,0 +1,18 @@
+"""Today's debugging tools, as comparators (§I, §II, §VII)."""
+
+from repro.baselines.ping import Ping, ping_sync
+from repro.baselines.traceroute import (
+    Traceroute,
+    TracerouteHop,
+    TracerouteResult,
+    traceroute_sync,
+)
+
+__all__ = [
+    "Ping",
+    "Traceroute",
+    "TracerouteHop",
+    "TracerouteResult",
+    "ping_sync",
+    "traceroute_sync",
+]

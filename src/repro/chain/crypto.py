@@ -1,0 +1,226 @@
+"""Cryptographic primitives for the ledger.
+
+Implements Ed25519 (RFC 8032) in pure Python with extended homogeneous
+coordinates — no inversions on the hot path — plus a windowed base-point
+table, making sign/verify fast enough for simulation workloads while being
+real public-key cryptography: executors certify results with keys whose
+public halves live on-chain, and any third party can check them.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import hmac
+import secrets
+from dataclasses import dataclass
+
+from repro.common.errors import VerificationError
+
+# ---------------------------------------------------------------- ed25519
+
+_Q = 2**255 - 19
+_L = 2**252 + 27742317777372353535851937790883648493
+_D = (-121665 * pow(121666, _Q - 2, _Q)) % _Q
+_I = pow(2, (_Q - 1) // 4, _Q)
+
+Point = tuple[int, int, int, int]  # extended homogeneous (X, Y, Z, T)
+
+_IDENTITY: Point = (0, 1, 1, 0)
+
+
+def _point_add(p: Point, q: Point) -> Point:
+    # add-2008-hwcd-3 for twisted Edwards curves with a = -1.
+    x1, y1, z1, t1 = p
+    x2, y2, z2, t2 = q
+    a = ((y1 - x1) * (y2 - x2)) % _Q
+    b = ((y1 + x1) * (y2 + x2)) % _Q
+    c = (2 * t1 * t2 * _D) % _Q
+    d = (2 * z1 * z2) % _Q
+    e = b - a
+    f = d - c
+    g = d + c
+    h = b + a
+    return ((e * f) % _Q, (g * h) % _Q, (f * g) % _Q, (e * h) % _Q)
+
+
+def _point_double(p: Point) -> Point:
+    x1, y1, z1, _ = p
+    a = (x1 * x1) % _Q
+    b = (y1 * y1) % _Q
+    c = (2 * z1 * z1) % _Q
+    h = (a + b) % _Q
+    e = (h - (x1 + y1) * (x1 + y1)) % _Q
+    g = (a - b) % _Q
+    f = (c + g) % _Q
+    return ((e * f) % _Q, (g * h) % _Q, (f * g) % _Q, (e * h) % _Q)
+
+
+def _scalar_mult(p: Point, e: int) -> Point:
+    result = _IDENTITY
+    addend = p
+    while e:
+        if e & 1:
+            result = _point_add(result, addend)
+        addend = _point_double(addend)
+        e >>= 1
+    return result
+
+
+def _recover_x(y: int, sign: int) -> int:
+    xx = (y * y - 1) * pow(_D * y * y + 1, _Q - 2, _Q) % _Q
+    x = pow(xx, (_Q + 3) // 8, _Q)
+    if (x * x - xx) % _Q != 0:
+        x = (x * _I) % _Q
+    if (x * x - xx) % _Q != 0:
+        raise VerificationError("invalid point encoding")
+    if x & 1 != sign:
+        x = _Q - x
+    return x
+
+
+_BY = (4 * pow(5, _Q - 2, _Q)) % _Q
+_BX = _recover_x(_BY, 0)
+_BASE: Point = (_BX, _BY, 1, (_BX * _BY) % _Q)
+
+# Windowed table: _BASE_TABLE[i] = 2^i * B, for fast base-point multiplies.
+_BASE_TABLE: list[Point] = []
+_pt = _BASE
+for _ in range(256):
+    _BASE_TABLE.append(_pt)
+    _pt = _point_double(_pt)
+
+
+def _base_mult(e: int) -> Point:
+    result = _IDENTITY
+    index = 0
+    while e:
+        if e & 1:
+            result = _point_add(result, _BASE_TABLE[index])
+        e >>= 1
+        index += 1
+    return result
+
+
+def _encode_point(p: Point) -> bytes:
+    x, y, z, _ = p
+    zinv = pow(z, _Q - 2, _Q)
+    x = (x * zinv) % _Q
+    y = (y * zinv) % _Q
+    return ((y | ((x & 1) << 255))).to_bytes(32, "little")
+
+
+def _decode_point(data: bytes) -> Point:
+    if len(data) != 32:
+        raise VerificationError("point encoding must be 32 bytes")
+    value = int.from_bytes(data, "little")
+    y = value & ((1 << 255) - 1)
+    sign = value >> 255
+    if y >= _Q:
+        raise VerificationError("point y out of range")
+    x = _recover_x(y, sign)
+    return (x, y, 1, (x * y) % _Q)
+
+
+def _sha512_int(*parts: bytes) -> int:
+    hasher = hashlib.sha512()
+    for part in parts:
+        hasher.update(part)
+    return int.from_bytes(hasher.digest(), "little")
+
+
+def _clamp(scalar_bytes: bytes) -> int:
+    a = int.from_bytes(scalar_bytes, "little")
+    a &= (1 << 254) - 8
+    a |= 1 << 254
+    return a
+
+
+def ed25519_public_key(seed: bytes) -> bytes:
+    """Derive the 32-byte public key from a 32-byte seed."""
+    if len(seed) != 32:
+        raise VerificationError("seed must be 32 bytes")
+    digest = hashlib.sha512(seed).digest()
+    a = _clamp(digest[:32])
+    return _encode_point(_base_mult(a))
+
+
+def ed25519_sign(seed: bytes, message: bytes) -> bytes:
+    """Produce a 64-byte RFC 8032 signature."""
+    digest = hashlib.sha512(seed).digest()
+    a = _clamp(digest[:32])
+    prefix = digest[32:]
+    public = _encode_point(_base_mult(a))
+    r = _sha512_int(prefix, message) % _L
+    r_point = _encode_point(_base_mult(r))
+    k = _sha512_int(r_point, public, message) % _L
+    s = (r + k * a) % _L
+    return r_point + s.to_bytes(32, "little")
+
+
+def ed25519_verify(public: bytes, message: bytes, signature: bytes) -> bool:
+    """Check a signature; returns False rather than raising on mismatch."""
+    if len(signature) != 64 or len(public) != 32:
+        return False
+    try:
+        a_point = _decode_point(public)
+        r_point = _decode_point(signature[:32])
+    except VerificationError:
+        return False
+    s = int.from_bytes(signature[32:], "little")
+    if s >= _L:
+        return False
+    k = _sha512_int(signature[:32], public, message) % _L
+    left = _base_mult(s)
+    right = _point_add(r_point, _scalar_mult(a_point, k))
+    # Compare projective points: X1*Z2 == X2*Z1 and Y1*Z2 == Y2*Z1.
+    x1, y1, z1, _ = left
+    x2, y2, z2, _ = right
+    return (x1 * z2 - x2 * z1) % _Q == 0 and (y1 * z2 - y2 * z1) % _Q == 0
+
+
+# ------------------------------------------------------------- key pairs
+
+
+@dataclass(frozen=True)
+class KeyPair:
+    """An Ed25519 key pair. ``address`` is sha256(public)[:16] hex."""
+
+    seed: bytes
+    public: bytes
+
+    @classmethod
+    def generate(cls) -> "KeyPair":
+        seed = secrets.token_bytes(32)
+        return cls(seed, ed25519_public_key(seed))
+
+    @classmethod
+    def from_seed(cls, seed: bytes) -> "KeyPair":
+        return cls(seed, ed25519_public_key(seed))
+
+    @classmethod
+    def deterministic(cls, label: str) -> "KeyPair":
+        """A reproducible key pair for simulations (NOT for secrets)."""
+        return cls.from_seed(hashlib.sha256(label.encode("utf-8")).digest())
+
+    @property
+    def address(self) -> str:
+        return hashlib.sha256(self.public).hexdigest()[:32]
+
+    def sign(self, message: bytes) -> bytes:
+        return ed25519_sign(self.seed, message)
+
+    def verify_own(self, message: bytes, signature: bytes) -> bool:
+        return ed25519_verify(self.public, message, signature)
+
+
+def verify_signature(public: bytes, message: bytes, signature: bytes) -> bool:
+    """Module-level verify, for callers that only hold the public key."""
+    return ed25519_verify(public, message, signature)
+
+
+def sha256(data: bytes) -> bytes:
+    return hashlib.sha256(data).digest()
+
+
+def hmac_sha256(key: bytes, data: bytes) -> bytes:
+    return hmac.new(key, data, hashlib.sha256).digest()

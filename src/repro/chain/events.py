@@ -1,0 +1,80 @@
+"""Contract events and subscriptions.
+
+The marketplace notifies executors of purchased slots and initiators of
+ready results through events (§IV-C). Subscribers filter on the event name
+and on attribute equality — e.g. an executor subscribes to
+``ApplicationSubmitted`` events whose ``(asn, interface)`` match its own.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+
+@dataclass(frozen=True)
+class Event:
+    """One emitted event."""
+
+    name: str
+    attributes: tuple[tuple[str, Any], ...]
+    tx_digest: bytes
+    sequence: int
+    emitted_at: float
+
+    def get(self, key: str, default: Any = None) -> Any:
+        for attr_key, value in self.attributes:
+            if attr_key == key:
+                return value
+        return default
+
+    def as_dict(self) -> dict[str, Any]:
+        return dict(self.attributes)
+
+
+EventCallback = Callable[[Event], None]
+
+
+@dataclass
+class _Subscription:
+    name: str
+    filters: dict[str, Any]
+    callback: EventCallback
+    active: bool = True
+
+    def matches(self, event: Event) -> bool:
+        if not self.active or event.name != self.name:
+            return False
+        attributes = event.as_dict()
+        return all(attributes.get(k) == v for k, v in self.filters.items())
+
+
+class EventBus:
+    """Dispatches events to matching subscribers; keeps full history."""
+
+    def __init__(self) -> None:
+        self._subscriptions: list[_Subscription] = []
+        self.history: list[Event] = []
+
+    def subscribe(
+        self, name: str, callback: EventCallback, **filters: Any
+    ) -> _Subscription:
+        subscription = _Subscription(name, filters, callback)
+        self._subscriptions.append(subscription)
+        return subscription
+
+    def unsubscribe(self, subscription: _Subscription) -> None:
+        subscription.active = False
+
+    def publish(self, event: Event) -> int:
+        """Record and dispatch; returns the number of subscribers hit."""
+        self.history.append(event)
+        hits = 0
+        for subscription in list(self._subscriptions):
+            if subscription.matches(event):
+                subscription.callback(event)
+                hits += 1
+        return hits
+
+    def events_named(self, name: str) -> list[Event]:
+        return [event for event in self.history if event.name == name]

@@ -1,0 +1,445 @@
+"""The ledger: accounts, checkpoints, contract execution, verifiability.
+
+A deliberately compact stand-in for the Sui blockchain with the properties
+Debuglet's control plane relies on (§IV-C, §V-B):
+
+- **signed, replayable history** — every transaction is Ed25519-signed;
+  :meth:`Ledger.verify_chain` re-checks signatures and the checkpoint hash
+  chain, and :meth:`Ledger.replay` re-executes the whole history into a
+  fresh ledger and compares state digests;
+- **escrowed payment** — tokens attached to a call move into the
+  contract's escrow and are paid out by contract code, so payment and
+  result logging are enforced by code rather than trust;
+- **fast finality** — a configurable sub-second finality latency models
+  Sui's; receipts carry submitted/finalized times for the
+  delay-to-measurement evaluation;
+- **storage pricing** — gas follows :class:`~repro.chain.gas.GasSchedule`
+  (Table II calibration), with rebates on object free.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from repro.chain.contract import Contract, ExecutionContext
+from repro.chain.crypto import KeyPair
+from repro.chain.events import Event, EventBus
+from repro.chain.gas import GasCost, GasSchedule
+from repro.chain.merkle import MerkleTree
+from repro.chain.objects import ObjectStore
+from repro.chain.transaction import Transaction, TransactionReceipt
+from repro.common.errors import (
+    ChainError,
+    ContractRevert,
+    InsufficientTokens,
+    VerificationError,
+)
+from repro.common.serialize import stable_hash
+
+
+@dataclass
+class Account:
+    address: str
+    balance: int = 0
+    nonce: int = 0
+    label: str = ""
+
+
+@dataclass(frozen=True)
+class Checkpoint:
+    """One sealed block: a Merkle commitment chained to its predecessor."""
+
+    index: int
+    previous_hash: bytes
+    merkle_root: bytes
+    timestamp: float
+    tx_digests: tuple[bytes, ...]
+
+    def hash(self) -> bytes:
+        return hashlib.sha256(
+            self.index.to_bytes(8, "big") + self.previous_hash + self.merkle_root
+        ).digest()
+
+
+_GENESIS_HASH = hashlib.sha256(b"debuglet-genesis").digest()
+
+
+class Ledger:
+    """A single-authority, deterministic ledger with real verification."""
+
+    def __init__(
+        self,
+        *,
+        gas_schedule: GasSchedule | None = None,
+        clock: Callable[[], float] | None = None,
+        finality_latency: float = 0.4,
+        scheduler: Callable[[float, Callable[[], None]], None] | None = None,
+        require_signatures: bool = True,
+    ) -> None:
+        self.gas_schedule = gas_schedule or GasSchedule()
+        self._clock = clock or (lambda: float(len(self._receipts)))
+        self.finality_latency = finality_latency
+        self._scheduler = scheduler
+        self.require_signatures = require_signatures
+
+        self.accounts: dict[str, Account] = {}
+        self.contracts: dict[str, Contract] = {}
+        self.contract_balances: dict[str, int] = {}
+        self.objects = ObjectStore()
+        self.events = EventBus()
+
+        self._transactions: list[Transaction] = []
+        self._receipts: list[TransactionReceipt] = []
+        self.checkpoints: list[Checkpoint] = []
+        self._genesis_grants: list[tuple[str, int]] = []
+        # Token sinks: computation fees are burned; storage fees fund the
+        # rebates paid when objects are freed (Sui's storage-fund model).
+        self.gas_burned = 0
+        self.storage_fund = 0
+
+    # ------------------------------------------------------------ wiring
+
+    @property
+    def now(self) -> float:
+        return self._clock()
+
+    def register_contract(self, contract: Contract) -> Contract:
+        if contract.name in self.contracts:
+            raise ChainError(f"contract {contract.name!r} already registered")
+        self.contracts[contract.name] = contract
+        self.contract_balances.setdefault(contract.name, 0)
+        return contract
+
+    def create_account(
+        self, keypair: KeyPair, *, balance: int = 0, label: str = ""
+    ) -> Account:
+        address = keypair.address
+        if address in self.accounts:
+            raise ChainError(f"account {address} already exists")
+        account = Account(address=address, balance=balance, label=label)
+        self.accounts[address] = account
+        if balance:
+            self._genesis_grants.append((address, balance))
+        return account
+
+    def faucet(self, address: str, amount: int) -> None:
+        """Out-of-band token grant (recorded for replay)."""
+        if amount < 0:
+            raise ChainError("faucet amount must be non-negative")
+        self._account(address).balance += amount
+        self._genesis_grants.append((address, amount))
+
+    def _account(self, address: str) -> Account:
+        account = self.accounts.get(address)
+        if account is None:
+            account = Account(address=address)
+            self.accounts[address] = account
+        return account
+
+    def balance_of(self, address: str) -> int:
+        return self._account(address).balance
+
+    def next_nonce(self, address: str) -> int:
+        return self._account(address).nonce
+
+    def credit(self, address: str, amount: int) -> None:
+        """Credit tokens out of thin air (genesis-style; avoid in contracts)."""
+        if amount < 0:
+            raise ChainError("credit must be non-negative")
+        self._account(address).balance += amount
+
+    def pay_rebate(self, address: str, amount: int) -> int:
+        """Pay a storage rebate from the storage fund.
+
+        Clamped to the fund balance so token conservation always holds;
+        returns the amount actually paid.
+        """
+        if amount < 0:
+            raise ChainError("rebate must be non-negative")
+        paid = min(amount, self.storage_fund)
+        self.storage_fund -= paid
+        self._account(address).balance += paid
+        return paid
+
+    def contract_pay_out(self, contract_name: str, to_address: str, amount: int) -> None:
+        """Move tokens from a contract's escrow to an account."""
+        if amount < 0:
+            raise ContractRevert("negative payout")
+        balance = self.contract_balances.get(contract_name, 0)
+        if balance < amount:
+            raise ContractRevert(
+                f"contract escrow {balance} cannot cover payout {amount}"
+            )
+        self.contract_balances[contract_name] = balance - amount
+        self._account(to_address).balance += amount
+
+    # --------------------------------------------------------- execution
+
+    def submit(self, tx: Transaction) -> TransactionReceipt:
+        """Execute ``tx`` and seal it into a checkpoint.
+
+        Authentication errors and malformed calls raise; contract-level
+        aborts produce a *reverted* receipt with all state rolled back
+        (the computation fee is still charged, as on real chains).
+        """
+        if self.require_signatures:
+            tx.verify()
+        sender = self._account(tx.sender)
+        if tx.nonce != sender.nonce:
+            raise ChainError(f"bad nonce {tx.nonce}, expected {sender.nonce}")
+        contract = self.contracts.get(tx.contract)
+        if contract is None:
+            raise ChainError(f"unknown contract {tx.contract!r}")
+        if tx.value < 0 or tx.gas_budget < 0:
+            raise ChainError("value and gas budget must be non-negative")
+        if sender.balance < tx.value + tx.gas_budget:
+            raise InsufficientTokens(
+                f"balance {sender.balance} cannot cover value {tx.value} "
+                f"+ gas budget {tx.gas_budget}"
+            )
+
+        sender.nonce += 1
+        digest = tx.digest()
+        now = self.now
+
+        # Escrow the attached value for the duration of the call.
+        sender.balance -= tx.value
+        self.contract_balances[tx.contract] += tx.value
+
+        contract_snapshot = contract.snapshot()
+        objects_snapshot = self.objects.snapshot()
+        balances_snapshot = {a: acc.balance for a, acc in self.accounts.items()}
+        escrow_snapshot = dict(self.contract_balances)
+        fund_snapshot = self.storage_fund
+
+        ctx = ExecutionContext(
+            ledger=self,
+            contract=contract,
+            sender=tx.sender,
+            value=tx.value,
+            time=now,
+            tx_digest=digest,
+        )
+        try:
+            return_value = contract.call(ctx, tx.function, tx.args)
+            gas = self.gas_schedule.price(
+                stored_bytes=ctx.stored_bytes, stored_objects=ctx.stored_objects
+            )
+            if gas.total > tx.gas_budget:
+                raise ContractRevert(
+                    f"gas {gas.total} exceeds budget {tx.gas_budget}"
+                )
+            status = "success"
+        except ContractRevert as revert:
+            contract.restore(contract_snapshot)
+            self.objects.restore(objects_snapshot)
+            for address, account in self.accounts.items():
+                # Accounts first seen during the failed call reset to zero.
+                account.balance = balances_snapshot.get(address, 0)
+            self.contract_balances.clear()
+            self.contract_balances.update(escrow_snapshot)
+            self.storage_fund = fund_snapshot
+            # The attached value returns with the rollback; nonce stays.
+            sender.balance += tx.value
+            self.contract_balances[tx.contract] -= tx.value
+            gas = GasCost(
+                computation=self.gas_schedule.computation_fee, storage=0, rebate=0
+            )
+            status = f"reverted: {revert.reason}"
+            return_value = None
+            ctx.created_objects = []
+            ctx.pending_events = []
+
+        fee = min(gas.total, tx.gas_budget, sender.balance)
+        sender.balance -= fee
+        computation_part = min(fee, gas.computation)
+        self.gas_burned += computation_part
+        self.storage_fund += fee - computation_part
+
+        receipt = TransactionReceipt(
+            digest=digest,
+            status=status,
+            gas=gas,
+            return_value=return_value,
+            created_objects=list(ctx.created_objects),
+            events_emitted=len(ctx.pending_events),
+            submitted_at=now,
+            finalized_at=now + self.finality_latency,
+            checkpoint=len(self.checkpoints),
+        )
+        self._transactions.append(tx)
+        self._receipts.append(receipt)
+        self._seal_checkpoint([digest], receipt.finalized_at)
+        self._publish_events(ctx.pending_events, digest, receipt.finalized_at)
+        return receipt
+
+    def _seal_checkpoint(self, digests: list[bytes], timestamp: float) -> None:
+        previous = self.checkpoints[-1].hash() if self.checkpoints else _GENESIS_HASH
+        checkpoint = Checkpoint(
+            index=len(self.checkpoints),
+            previous_hash=previous,
+            merkle_root=MerkleTree(digests).root,
+            timestamp=timestamp,
+            tx_digests=tuple(digests),
+        )
+        self.checkpoints.append(checkpoint)
+
+    def _publish_events(
+        self, pending: list[tuple[str, dict]], tx_digest: bytes, finalized_at: float
+    ) -> None:
+        events = [
+            Event(
+                name=name,
+                attributes=tuple(sorted(attributes.items())),
+                tx_digest=tx_digest,
+                sequence=index,
+                emitted_at=finalized_at,
+            )
+            for index, (name, attributes) in enumerate(pending)
+        ]
+
+        def deliver() -> None:
+            for event in events:
+                self.events.publish(event)
+
+        if self._scheduler is not None and events:
+            self._scheduler(self.finality_latency, deliver)
+        else:
+            deliver()
+
+    # ------------------------------------------------------ verification
+
+    @property
+    def transactions(self) -> list[Transaction]:
+        return list(self._transactions)
+
+    @property
+    def receipts(self) -> list[TransactionReceipt]:
+        return list(self._receipts)
+
+    def receipt_for(self, digest: bytes) -> TransactionReceipt:
+        for receipt in self._receipts:
+            if receipt.digest == digest:
+                return receipt
+        raise ChainError("no receipt with that digest")
+
+    def verify_chain(self) -> None:
+        """Check every signature and the checkpoint hash chain.
+
+        Raises :class:`VerificationError` on the first inconsistency.
+        """
+        previous = _GENESIS_HASH
+        if len(self.checkpoints) != len(self._transactions):
+            raise VerificationError("checkpoint/transaction count mismatch")
+        for tx, receipt, checkpoint in zip(
+            self._transactions, self._receipts, self.checkpoints
+        ):
+            if self.require_signatures:
+                tx.verify()
+            if checkpoint.previous_hash != previous:
+                raise VerificationError(
+                    f"checkpoint {checkpoint.index} breaks the hash chain"
+                )
+            if checkpoint.merkle_root != MerkleTree([tx.digest()]).root:
+                raise VerificationError(
+                    f"checkpoint {checkpoint.index} root does not match its tx"
+                )
+            if receipt.digest != tx.digest():
+                raise VerificationError("receipt digest mismatch")
+            previous = checkpoint.hash()
+
+    def state_digest(self) -> bytes:
+        """A deterministic hash of balances, objects, and contract states."""
+        payload = {
+            "balances": {
+                address: account.balance
+                for address, account in sorted(self.accounts.items())
+            },
+            "nonces": {
+                address: account.nonce
+                for address, account in sorted(self.accounts.items())
+            },
+            "escrow": dict(sorted(self.contract_balances.items())),
+            "gas_burned": self.gas_burned,
+            "storage_fund": self.storage_fund,
+            "objects": self.objects.state_payload(),
+            "contracts": {
+                name: contract.state_payload()
+                for name, contract in sorted(self.contracts.items())
+            },
+        }
+        return stable_hash(payload)
+
+    def replay(self, contract_factories: dict[str, Callable[[], Contract]]) -> "Ledger":
+        """Re-execute history into a fresh ledger; verify state equality.
+
+        Third-party verification (§IV-C): anyone holding the transaction
+        log can rebuild the state and confirm the published results were
+        produced by the recorded, signed transactions.
+        """
+        times = iter([receipt.submitted_at for receipt in self._receipts])
+        replica = Ledger(
+            gas_schedule=self.gas_schedule,
+            clock=lambda: next(times),
+            finality_latency=self.finality_latency,
+            require_signatures=self.require_signatures,
+        )
+        for name in self.contracts:
+            factory = contract_factories.get(name)
+            if factory is None:
+                raise VerificationError(f"no factory to replay contract {name!r}")
+            replica.register_contract(factory())
+        for address, amount in self._genesis_grants:
+            replica._account(address).balance += amount
+            replica._genesis_grants.append((address, amount))
+        for tx in self._transactions:
+            replica.submit(tx)
+        if replica.state_digest() != self.state_digest():
+            raise VerificationError("replayed state digest differs")
+        return replica
+
+
+class Wallet:
+    """Convenience: build, sign, and submit transactions for one key."""
+
+    DEFAULT_GAS_BUDGET = 1_000_000_000  # 1 SUI
+
+    def __init__(self, ledger: Ledger, keypair: KeyPair) -> None:
+        self.ledger = ledger
+        self.keypair = keypair
+
+    @property
+    def address(self) -> str:
+        return self.keypair.address
+
+    @property
+    def balance(self) -> int:
+        return self.ledger.balance_of(self.address)
+
+    def call(
+        self,
+        contract: str,
+        function: str,
+        *args: Any,
+        value: int = 0,
+        gas_budget: int | None = None,
+    ) -> TransactionReceipt:
+        tx = Transaction(
+            sender=self.address,
+            contract=contract,
+            function=function,
+            args=tuple(args),
+            nonce=self.ledger.next_nonce(self.address),
+            gas_budget=self.DEFAULT_GAS_BUDGET if gas_budget is None else gas_budget,
+            value=value,
+        ).signed_by(self.keypair)
+        return self.ledger.submit(tx)
+
+    def must_call(self, contract: str, function: str, *args: Any, **kwargs: Any):
+        """Like :meth:`call` but raises on revert; returns the receipt."""
+        receipt = self.call(contract, function, *args, **kwargs)
+        if not receipt.success:
+            raise ChainError(f"{contract}.{function} failed: {receipt.status}")
+        return receipt

@@ -1,0 +1,106 @@
+"""The on-chain object store.
+
+Sui-style: contracts create *objects* (applications, results, slot lists)
+identified by :class:`~repro.common.ids.ObjectId`. Storage is priced by
+encoded size; freeing an object earns the storage rebate (Table II).
+"""
+
+from __future__ import annotations
+
+import copy
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.common.errors import ChainError
+from repro.common.ids import ObjectId
+from repro.common.serialize import canonical_encode
+
+
+@dataclass
+class StoredObject:
+    """One object. ``data`` must be canonically encodable."""
+
+    object_id: ObjectId
+    kind: str
+    owner: str
+    data: dict[str, Any]
+    created_tx: bytes
+    size_bytes: int
+    freed: bool = False
+
+    def encoded_size(self) -> int:
+        return self.size_bytes
+
+
+class ObjectStore:
+    """All live and freed objects, with deterministic deep snapshots."""
+
+    def __init__(self) -> None:
+        self._objects: dict[ObjectId, StoredObject] = {}
+
+    def create(
+        self, object_id: ObjectId, kind: str, owner: str, data: dict, created_tx: bytes
+    ) -> StoredObject:
+        if object_id in self._objects:
+            raise ChainError(f"object {object_id} already exists")
+        size = len(canonical_encode(data))
+        obj = StoredObject(object_id, kind, owner, data, created_tx, size)
+        self._objects[object_id] = obj
+        return obj
+
+    def get(self, object_id: ObjectId) -> StoredObject:
+        obj = self._objects.get(object_id)
+        if obj is None:
+            raise ChainError(f"no such object {object_id}")
+        if obj.freed:
+            raise ChainError(f"object {object_id} has been freed")
+        return obj
+
+    def exists(self, object_id: ObjectId) -> bool:
+        obj = self._objects.get(object_id)
+        return obj is not None and not obj.freed
+
+    def update(self, object_id: ObjectId, data: dict) -> tuple[int, int]:
+        """Replace an object's data; returns (old_size, new_size)."""
+        obj = self.get(object_id)
+        old_size = obj.size_bytes
+        obj.data = data
+        obj.size_bytes = len(canonical_encode(data))
+        return old_size, obj.size_bytes
+
+    def free(self, object_id: ObjectId) -> StoredObject:
+        obj = self.get(object_id)
+        obj.freed = True
+        return obj
+
+    def by_kind(self, kind: str) -> list[StoredObject]:
+        return [
+            obj
+            for obj in self._objects.values()
+            if obj.kind == kind and not obj.freed
+        ]
+
+    def __len__(self) -> int:
+        return sum(1 for obj in self._objects.values() if not obj.freed)
+
+    def snapshot(self) -> dict:
+        return copy.deepcopy(self._objects)
+
+    def restore(self, snapshot: dict) -> None:
+        self._objects = snapshot
+
+    def state_payload(self) -> list:
+        """Deterministic encoding of live objects for state digests."""
+        payload = []
+        for object_id in sorted(self._objects):
+            obj = self._objects[object_id]
+            payload.append(
+                [
+                    object_id.hex(),
+                    obj.kind,
+                    obj.owner,
+                    obj.data,
+                    obj.freed,
+                ]
+            )
+        return payload

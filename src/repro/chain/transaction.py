@@ -1,0 +1,88 @@
+"""Signed transactions and their execution receipts."""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field, replace
+from typing import Any
+
+from repro.chain.crypto import KeyPair, verify_signature
+from repro.chain.gas import GasCost
+from repro.common.errors import VerificationError
+from repro.common.ids import ObjectId
+from repro.common.serialize import canonical_encode
+
+
+@dataclass(frozen=True)
+class Transaction:
+    """A call to one smart-contract entry function.
+
+    ``value`` is the amount of tokens (MIST) moved from the sender into
+    the contract's escrow along with the call — how initiators embed
+    payment with a PurchaseSlot. The signature covers every field except
+    itself; the sender address must equal ``sha256(public_key)[:32hex]``.
+    """
+
+    sender: str
+    contract: str
+    function: str
+    args: tuple
+    nonce: int
+    gas_budget: int
+    value: int = 0
+    public_key: bytes = b""
+    signature: bytes = b""
+
+    def signing_payload(self) -> bytes:
+        return canonical_encode(
+            {
+                "sender": self.sender,
+                "contract": self.contract,
+                "function": self.function,
+                "args": list(self.args),
+                "nonce": self.nonce,
+                "gas_budget": self.gas_budget,
+                "value": self.value,
+                "public_key": self.public_key,
+            }
+        )
+
+    def digest(self) -> bytes:
+        return hashlib.sha256(self.signing_payload() + self.signature).digest()
+
+    def signed_by(self, keypair: KeyPair) -> "Transaction":
+        """A signed copy of this transaction."""
+        unsigned = replace(self, public_key=keypair.public, signature=b"")
+        signature = keypair.sign(unsigned.signing_payload())
+        return replace(unsigned, signature=signature)
+
+    def verify(self) -> None:
+        """Raise :class:`VerificationError` on any authentication failure."""
+        expected = hashlib.sha256(self.public_key).hexdigest()[:32]
+        if expected != self.sender:
+            raise VerificationError("sender address does not match public key")
+        if not verify_signature(self.public_key, self.signing_payload(), self.signature):
+            raise VerificationError("invalid transaction signature")
+
+
+@dataclass
+class TransactionReceipt:
+    """Execution outcome, finality time, and cost of one transaction."""
+
+    digest: bytes
+    status: str  # "success" or "reverted: <reason>"
+    gas: GasCost
+    return_value: Any = None
+    created_objects: list[ObjectId] = field(default_factory=list)
+    events_emitted: int = 0
+    submitted_at: float = 0.0
+    finalized_at: float = 0.0
+    checkpoint: int = -1
+
+    @property
+    def success(self) -> bool:
+        return self.status == "success"
+
+    @property
+    def finality_latency(self) -> float:
+        return self.finalized_at - self.submitted_at

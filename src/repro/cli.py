@@ -1,0 +1,248 @@
+"""Command-line interface: run the paper's experiments directly.
+
+Examples::
+
+    python -m repro table1 --probes 2000
+    python -m repro fig8
+    python -m repro table2
+    python -m repro localize --ases 10 --strategy binary
+    python -m repro quickstart
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+
+def _cmd_table1(args: argparse.Namespace) -> int:
+    from repro.analysis import format_table1_row, table_row
+    from repro.workloads import WanScenario
+
+    scenario = WanScenario.build(seed=args.seed)
+    traces = scenario.run_protocol_study(
+        probes_per_protocol=args.probes, interval=args.interval
+    )
+    print(f"Table I ({args.probes} probes per cell, seed {args.seed}):")
+    for city, by_protocol in traces.items():
+        print(format_table1_row(city, table_row(by_protocol)))
+    return 0
+
+
+def _cmd_fig8(args: argparse.Namespace) -> int:
+    from repro.core.application import DebugletApplication
+    from repro.core.executor import Executor
+    from repro.core.results import EchoMeasurement
+    from repro.netsim import (
+        Link, Network, Protocol, ProtocolTreatment, Simulator, Topology,
+        TreatmentProfile,
+    )
+    from repro.sandbox.programs import echo_client, echo_server
+    from repro.sandbox.programs_native import (
+        native_echo_client,
+        native_echo_server,
+    )
+
+    sim = Simulator()
+    topo = Topology()
+    topo.make_as(1, seed=1, internal_delay=0.2e-3)
+    topo.make_as(2, seed=2, internal_delay=0.2e-3)
+    treatment = TreatmentProfile.uniform(ProtocolTreatment(base_drop=0.008))
+    topo.connect(
+        1, 1, 2, 1,
+        Link.symmetric("lon-ny", base_delay=36.4e-3, seed=31,
+                       jitter_std=0.4e-3, treatment=treatment),
+    )
+    net = Network(topo, sim, seed=32)
+    ex_a = Executor(net, 1, 1, seed=33)
+    ex_b = Executor(net, 2, 1, seed=34)
+
+    count, interval_us = args.probes, 200_000
+    records = {}
+    for index, (name, sandbox_client, sandbox_server) in enumerate(
+        [("D2D", True, True), ("A2D", False, True),
+         ("D2A", True, False), ("A2A", False, False)]
+    ):
+        port = 8500 + index
+        client_stock = echo_client(
+            Protocol.UDP, ex_b.data_address, count=count,
+            interval_us=interval_us, dst_port=port,
+        )
+        server_stock = echo_server(
+            Protocol.UDP, max_echoes=count, idle_timeout_us=4_000_000
+        )
+        if sandbox_client:
+            client_app = DebugletApplication.from_stock("cli", client_stock)
+        else:
+            client_app = DebugletApplication(
+                "cli-n", client_stock.manifest,
+                native_factory=lambda port=port: native_echo_client(
+                    Protocol.UDP, count=count, interval_us=interval_us,
+                    dst_port=port,
+                ),
+            )
+        if sandbox_server:
+            server_app = DebugletApplication.from_stock(
+                "srv", server_stock, listen_port=port
+            )
+        else:
+            server_app = DebugletApplication(
+                "srv-n", server_stock.manifest,
+                native_factory=lambda: native_echo_server(
+                    Protocol.UDP, max_echoes=count, idle_timeout_us=4_000_000
+                ),
+                listen_port=port,
+            )
+        ex_b.submit(server_app, start_at=0.5,
+                    on_complete=lambda r, n=name: records.__setitem__((n, "s"), r))
+        ex_a.submit(client_app, start_at=0.6,
+                    on_complete=lambda r, n=name: records.__setitem__((n, "c"), r))
+    sim.run_until_idle()
+    print(f"Fig 8 ({count} probes per combination):")
+    means = {}
+    for name in ("D2D", "A2D", "D2A", "A2A"):
+        echo = EchoMeasurement.from_result(
+            records[(name, "c")].result, probes_sent=count
+        )
+        means[name] = echo.mean_rtt_ms()
+        print(
+            f"  {name}: mean={echo.mean_rtt_ms():8.3f} ms "
+            f"loss={echo.loss_rate():.2%}"
+        )
+    print(f"  D2D - A2A = {(means['D2D'] - means['A2A']) * 1e3:.0f} us")
+    return 0
+
+
+def _cmd_table2(args: argparse.Namespace) -> int:
+    from repro.chain import GasSchedule
+
+    schedule = GasSchedule()
+    print("Table II (gas schedule):")
+    print("  size      total SUI   rebate SUI")
+    for size in (0, 100, 1000, 5000, 10000):
+        cost = schedule.price(stored_bytes=size)
+        print(f"  {size:6d} B  {cost.total_sui():9.5f}   {cost.rebate_sui():9.5f}")
+    return 0
+
+
+def _cmd_localize(args: argparse.Namespace) -> int:
+    from repro.core import ExecutorFleet, FaultLocalizer, SegmentProber
+    from repro.netsim import FaultInjector, InterfaceId
+    from repro.workloads import build_chain
+
+    n = args.ases
+    fault_link = args.fault_link if args.fault_link is not None else n - 1
+    if not 1 <= fault_link <= n - 1:
+        print(f"fault link must be in [1, {n - 1}]", file=sys.stderr)
+        return 2
+    scenario = build_chain(n, seed=args.seed)
+    fleet = ExecutorFleet(scenario.network, seed=args.seed + 1)
+    fleet.deploy_full()
+    injector = FaultInjector(scenario.topology)
+    fault = injector.link_delay(
+        InterfaceId(fault_link, 2), InterfaceId(fault_link + 1, 1),
+        extra_delay=20e-3, start=0.0, end=1e12,
+    )
+    prober = SegmentProber(fleet, probes=args.probes, interval_us=5000)
+    localizer = FaultLocalizer(prober)
+    report = localizer.localize(
+        scenario.registry.shortest(1, n), strategy=args.strategy
+    )
+    print(f"ground truth: {fault.location}")
+    print(
+        f"{args.strategy}: suspects={[str(s) for s in report.suspects]} "
+        f"measurements={report.measurements_used} "
+        f"time={report.time_to_locate:.2f}s "
+        f"correct={report.found(fault.location)}"
+    )
+    return 0 if report.found(fault.location) else 1
+
+
+def _cmd_quickstart(args: argparse.Namespace) -> int:
+    from repro.core import ChainVerifier, DebugletApplication, EchoMeasurement
+    from repro.core.executor import executor_data_address
+    from repro.netsim import Protocol
+    from repro.sandbox import echo_client, echo_server
+    from repro.workloads import MarketplaceTestbed
+
+    testbed = MarketplaceTestbed.build(n_ases=3, seed=args.seed)
+    path = testbed.chain.registry.shortest(1, 3)
+    count = args.probes
+    server_app = DebugletApplication.from_stock(
+        "srv", echo_server(Protocol.UDP, max_echoes=count,
+                           idle_timeout_us=3_000_000),
+        listen_port=7801, path=path.reversed().as_list(),
+    )
+    client_app = DebugletApplication.from_stock(
+        "cli",
+        echo_client(Protocol.UDP, executor_data_address(3, 1),
+                    count=count, interval_us=50_000, dst_port=7801),
+        path=path.as_list(),
+    )
+    session = testbed.initiator.request_measurement(
+        client_app, server_app, (1, 2), (3, 1), duration=30.0
+    )
+    testbed.initiator.run_until_done(session, testbed.chain.simulator)
+    echo = EchoMeasurement.from_result(
+        session.client_outcome.result, probes_sent=count
+    )
+    print(f"path: {path}")
+    print(f"delay-to-measurement: {session.delay_to_measurement:.2f} s")
+    print(
+        f"measured: mean RTT {echo.mean_rtt_ms():.3f} ms, "
+        f"loss {echo.loss_rate():.1%}"
+    )
+    ChainVerifier(testbed.ledger, testbed.market).verify_result(
+        session.client_application
+    )
+    testbed.ledger.verify_chain()
+    print("verification: OK")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Debuglet reproduction: run the paper's experiments.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("table1", help="Table I: per-protocol RTT/loss, 7-city WAN")
+    p.add_argument("--probes", type=int, default=2000)
+    p.add_argument("--interval", type=float, default=1.0)
+    p.add_argument("--seed", type=int, default=7)
+    p.set_defaults(func=_cmd_table1)
+
+    p = sub.add_parser("fig8", help="Fig 8: sandbox overhead (D2D/A2D/D2A/A2A)")
+    p.add_argument("--probes", type=int, default=500)
+    p.set_defaults(func=_cmd_fig8)
+
+    p = sub.add_parser("table2", help="Table II: gas costs by application size")
+    p.set_defaults(func=_cmd_table2)
+
+    p = sub.add_parser("localize", help="fault localization on an N-AS chain")
+    p.add_argument("--ases", type=int, default=10)
+    p.add_argument("--fault-link", type=int, default=None,
+                   help="1-based index of the faulty link (default: last)")
+    p.add_argument("--strategy", default="binary",
+                   choices=("binary", "linear", "exhaustive"))
+    p.add_argument("--probes", type=int, default=15)
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(func=_cmd_localize)
+
+    p = sub.add_parser("quickstart", help="one verifiable marketplace measurement")
+    p.add_argument("--probes", type=int, default=30)
+    p.add_argument("--seed", type=int, default=1)
+    p.set_defaults(func=_cmd_quickstart)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

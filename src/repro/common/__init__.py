@@ -1,0 +1,49 @@
+"""Shared infrastructure used by every Debuglet subpackage.
+
+This package deliberately has no dependencies on the rest of :mod:`repro`
+so that any subpackage may import it without cycles.
+"""
+
+from repro.common.errors import (
+    ChainError,
+    ConfigurationError,
+    DebugletError,
+    ManifestError,
+    PolicyViolation,
+    SandboxError,
+    SimulationError,
+    VerificationError,
+)
+from repro.common.ids import ObjectId, new_object_id
+from repro.common.rng import RngStream, derive_rng, make_rng
+from repro.common.serialize import canonical_encode, stable_hash
+from repro.common.units import (
+    BYTES_PER_KB,
+    MICROSECOND,
+    MILLISECOND,
+    SECOND,
+    format_duration,
+)
+
+__all__ = [
+    "BYTES_PER_KB",
+    "ChainError",
+    "ConfigurationError",
+    "DebugletError",
+    "ManifestError",
+    "MICROSECOND",
+    "MILLISECOND",
+    "ObjectId",
+    "PolicyViolation",
+    "RngStream",
+    "SandboxError",
+    "SECOND",
+    "SimulationError",
+    "VerificationError",
+    "canonical_encode",
+    "derive_rng",
+    "format_duration",
+    "make_rng",
+    "new_object_id",
+    "stable_hash",
+]

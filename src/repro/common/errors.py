@@ -1,0 +1,62 @@
+"""Exception hierarchy for the Debuglet reproduction.
+
+Every error raised by this library derives from :class:`DebugletError`, so
+applications can catch one base class. Subpackages raise the most specific
+subclass that applies.
+"""
+
+
+class DebugletError(Exception):
+    """Base class for all errors raised by :mod:`repro`."""
+
+
+class ConfigurationError(DebugletError):
+    """A component was constructed or wired with invalid parameters."""
+
+
+class SimulationError(DebugletError):
+    """The network simulator reached an inconsistent state."""
+
+
+class SandboxError(DebugletError):
+    """The sandboxed VM rejected or aborted a Debuglet program."""
+
+
+class FuelExhausted(SandboxError):
+    """A Debuglet exceeded its metered instruction budget."""
+
+
+class MemoryFault(SandboxError):
+    """A Debuglet accessed linear memory out of bounds."""
+
+
+class ManifestError(DebugletError):
+    """A Debuglet manifest is malformed or internally inconsistent."""
+
+
+class PolicyViolation(DebugletError):
+    """A Debuglet attempted an action its manifest or host policy forbids."""
+
+
+class ChainError(DebugletError):
+    """A blockchain transaction was rejected."""
+
+
+class InsufficientGas(ChainError):
+    """The submitted gas budget does not cover the transaction cost."""
+
+
+class InsufficientTokens(ChainError):
+    """A transfer or escrow exceeds the sender's balance."""
+
+
+class ContractRevert(ChainError):
+    """A smart-contract entry function aborted; all state changes rolled back."""
+
+    def __init__(self, reason: str):
+        super().__init__(f"contract reverted: {reason}")
+        self.reason = reason
+
+
+class VerificationError(DebugletError):
+    """A signature, certificate, or on-chain consistency check failed."""

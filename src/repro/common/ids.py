@@ -1,0 +1,53 @@
+"""Opaque object identifiers.
+
+The marketplace contract, the ledger's object store, and measurement
+sessions all address objects by an :class:`ObjectId`. IDs are derived
+deterministically from a creation context (e.g. transaction digest plus an
+index) so that replaying a chain reproduces identical IDs.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True, order=True)
+class ObjectId:
+    """A 16-byte identifier, printed as hex."""
+
+    value: bytes
+
+    def __post_init__(self) -> None:
+        if len(self.value) != 16:
+            raise ValueError(f"ObjectId must be 16 bytes, got {len(self.value)}")
+
+    @classmethod
+    def from_hex(cls, text: str) -> "ObjectId":
+        return cls(bytes.fromhex(text))
+
+    def hex(self) -> str:
+        return self.value.hex()
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value.hex()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"ObjectId({self.value.hex()!r})"
+
+
+def new_object_id(*parts: bytes | str | int) -> ObjectId:
+    """Derive an :class:`ObjectId` deterministically from ``parts``.
+
+    Each part is length-prefixed before hashing so distinct part sequences
+    can never collide by concatenation.
+    """
+    hasher = hashlib.sha256()
+    for part in parts:
+        if isinstance(part, int):
+            part = part.to_bytes(8, "big", signed=True)
+        elif isinstance(part, str):
+            part = part.encode("utf-8")
+        hasher.update(len(part).to_bytes(4, "big"))
+        hasher.update(part)
+    return ObjectId(hasher.digest()[:16])

@@ -1,0 +1,35 @@
+"""Deterministic random-number management.
+
+All stochastic components in the simulator draw from explicitly threaded
+:class:`numpy.random.Generator` instances. Components that need independent
+streams derive them from a parent seed and a string label, so adding a new
+component never perturbs the draws of existing ones.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+import numpy as np
+
+RngStream = np.random.Generator
+
+
+def make_rng(seed: int) -> RngStream:
+    """Create the root generator for a simulation run."""
+    return np.random.default_rng(seed)
+
+
+def derive_rng(seed: int, *labels: str | int) -> RngStream:
+    """Derive an independent stream from ``seed`` and a label path.
+
+    The derivation hashes the labels, so streams for different labels are
+    statistically independent and stable across code changes that add or
+    remove *other* streams.
+    """
+    hasher = hashlib.sha256(str(seed).encode("utf-8"))
+    for label in labels:
+        hasher.update(b"/")
+        hasher.update(str(label).encode("utf-8"))
+    child_seed = int.from_bytes(hasher.digest()[:8], "big")
+    return np.random.default_rng(child_seed)

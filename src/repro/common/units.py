@@ -1,0 +1,26 @@
+"""Time and size units.
+
+Simulated time is a float in **seconds** throughout the library. These
+constants make magnitudes explicit at call sites, e.g.
+``delay = 300 * MICROSECOND``.
+"""
+
+SECOND = 1.0
+MILLISECOND = 1e-3
+MICROSECOND = 1e-6
+
+BYTES_PER_KB = 1000  # the paper's Table II uses kB = 1000 bytes
+
+
+def format_duration(seconds: float) -> str:
+    """Render a duration with a sensible unit for logs and reports."""
+    if seconds < 0:
+        return f"-{format_duration(-seconds)}"
+    if seconds < 1e-3:
+        return f"{seconds * 1e6:.1f} us"
+    if seconds < 1.0:
+        return f"{seconds * 1e3:.2f} ms"
+    if seconds < 120.0:
+        return f"{seconds:.3f} s"
+    minutes, secs = divmod(seconds, 60.0)
+    return f"{int(minutes)} min {secs:.0f} s"

@@ -1,0 +1,9 @@
+"""On-chain contracts for the Debuglet control plane."""
+
+from repro.contracts.debuglet_market import (
+    DebugletMarket,
+    ExecutionSlot,
+    slot_key,
+)
+
+__all__ = ["DebugletMarket", "ExecutionSlot", "slot_key"]

@@ -1,0 +1,460 @@
+"""The Debuglet marketplace smart contract (§IV-C).
+
+Implements the paper's four state maps and entry functions:
+
+- ``ExecutorAddressMap`` — ``"<AS>:<intf>"`` → executor node address;
+- ``ExecutionSlotsMap`` — ``"<AS>:<intf>"`` → sorted, non-overlapping
+  execution slots (cores, memory, bandwidth, start/end, price);
+- ``ApplicationsMap`` — ``"<AS_c>:<intf_c>|<AS_s>:<intf_s>|<t0>|<t1>"`` →
+  list of application object IDs stored on-chain;
+- ``ResultsMap`` — application object ID → result object ID.
+
+Entry functions: ``register_executor``, ``register_time_slot``,
+``lookup_slot``, ``purchase_slot``, ``result_ready``, ``lookup_result``.
+Payment is escrowed in the application objects at purchase time and paid
+out to the executor by ``result_ready`` — enforcement by code, not trust.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.chain.contract import Contract, ExecutionContext, entry
+from repro.common.ids import ObjectId
+
+APPLICATION_KIND = "debuglet_application"
+RESULT_KIND = "debuglet_result"
+
+
+@dataclass(frozen=True)
+class ExecutionSlot:
+    """The 5-tuple a slot is advertised as (§IV-C, ExecutionSlotsMap)."""
+
+    cores: int
+    memory_mb: int
+    bandwidth_mbps: int
+    start: float
+    end: float
+    price: int  # MIST
+
+    def as_dict(self) -> dict:
+        return {
+            "cores": self.cores,
+            "memory_mb": self.memory_mb,
+            "bandwidth_mbps": self.bandwidth_mbps,
+            "start": self.start,
+            "end": self.end,
+            "price": self.price,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ExecutionSlot":
+        return cls(
+            cores=data["cores"],
+            memory_mb=data["memory_mb"],
+            bandwidth_mbps=data["bandwidth_mbps"],
+            start=data["start"],
+            end=data["end"],
+            price=data["price"],
+        )
+
+    def fits(self, cores: int, memory_mb: int, bandwidth_mbps: int) -> bool:
+        return (
+            self.cores >= cores
+            and self.memory_mb >= memory_mb
+            and self.bandwidth_mbps >= bandwidth_mbps
+        )
+
+    def covers(self, start: float, end: float) -> bool:
+        return self.start <= start and self.end >= end
+
+
+def slot_key(asn: int, interface: int) -> str:
+    """The ``<AS, intf>`` map key."""
+    return f"{asn}:{interface}"
+
+
+def applications_key(
+    asn_c: int, intf_c: int, asn_s: int, intf_s: int, start: float, end: float
+) -> str:
+    return f"{asn_c}:{intf_c}|{asn_s}:{intf_s}|{start}|{end}"
+
+
+class DebugletMarket(Contract):
+    """The marketplace contract."""
+
+    name = "debuglet_market"
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.state = {
+            "executor_address_map": {},  # "asn:intf" -> address
+            "execution_slots_map": {},  # "asn:intf" -> [slot dict, ...]
+            "applications_map": {},  # composite key -> [app id hex, ...]
+            "results_map": {},  # app id hex -> result id hex
+        }
+
+    # ----------------------------------------------------- bootstrapping
+
+    @entry
+    def register_executor(self, ctx: ExecutionContext, asn: int, interface: int) -> str:
+        """Bind ``<asn, interface>`` to the caller's address.
+
+        Re-registration by a *different* address aborts: an executor
+        identity cannot be hijacked once claimed.
+        """
+        key = slot_key(asn, interface)
+        existing = self.state["executor_address_map"].get(key)
+        ctx.require(
+            existing is None or existing == ctx.sender,
+            f"executor {key} already registered to another address",
+        )
+        self.state["executor_address_map"][key] = ctx.sender
+        ctx.emit("ExecutorRegistered", asn=asn, interface=interface, address=ctx.sender)
+        return key
+
+    @entry
+    def register_time_slot(
+        self, ctx: ExecutionContext, asn: int, interface: int, slots: list
+    ) -> int:
+        """Advertise available execution slots for ``<asn, interface>``.
+
+        ``slots`` is a list of slot dicts. The caller must be the
+        registered executor. Slots must not overlap existing ones; the
+        merged list is kept sorted by start time.
+        """
+        key = slot_key(asn, interface)
+        registered = self.state["executor_address_map"].get(key)
+        ctx.require(registered is not None, f"executor {key} is not registered")
+        ctx.require(registered == ctx.sender, "caller does not own this executor")
+
+        new_slots = [ExecutionSlot.from_dict(s) for s in slots]
+        for slot in new_slots:
+            ctx.require(slot.end > slot.start, "slot must have positive duration")
+            ctx.require(slot.price >= 0, "slot price must be non-negative")
+        current = [
+            ExecutionSlot.from_dict(s)
+            for s in self.state["execution_slots_map"].get(key, [])
+        ]
+        merged = sorted(current + new_slots, key=lambda s: (s.start, s.end))
+        for a, b in zip(merged, merged[1:]):
+            ctx.require(a.end <= b.start, f"slots overlap at t={b.start}")
+        self.state["execution_slots_map"][key] = [s.as_dict() for s in merged]
+        ctx.emit("TimeSlotsRegistered", asn=asn, interface=interface, count=len(slots))
+        return len(merged)
+
+    # ----------------------------------------- initiating a measurement
+
+    @entry
+    def lookup_slot(
+        self,
+        ctx: ExecutionContext,
+        asn_c: int,
+        intf_c: int,
+        asn_s: int,
+        intf_s: int,
+        cores: int,
+        memory_mb: int,
+        bandwidth_mbps: int,
+        duration: float,
+        earliest: float,
+    ) -> dict:
+        """Find the first window both executors can accommodate.
+
+        Returns the window ``[start, start + duration)``, per-side slot
+        start times (needed by ``purchase_slot``), and the total price.
+        """
+        client_slots = self._fitting_slots(
+            ctx, asn_c, intf_c, cores, memory_mb, bandwidth_mbps
+        )
+        server_slots = self._fitting_slots(
+            ctx, asn_s, intf_s, cores, memory_mb, bandwidth_mbps
+        )
+        best: dict | None = None
+        for cslot in client_slots:
+            for sslot in server_slots:
+                start = max(cslot.start, sslot.start, earliest)
+                end = start + duration
+                if cslot.covers(start, end) and sslot.covers(start, end):
+                    candidate = {
+                        "start": start,
+                        "end": end,
+                        "client_slot_start": cslot.start,
+                        "server_slot_start": sslot.start,
+                        "price_client": cslot.price,
+                        "price_server": sslot.price,
+                        "total_price": cslot.price + sslot.price,
+                    }
+                    if best is None or candidate["start"] < best["start"]:
+                        best = candidate
+        ctx.require(best is not None, "no common execution slot available")
+        return best
+
+    def _fitting_slots(
+        self,
+        ctx: ExecutionContext,
+        asn: int,
+        interface: int,
+        cores: int,
+        memory_mb: int,
+        bandwidth_mbps: int,
+    ) -> list[ExecutionSlot]:
+        key = slot_key(asn, interface)
+        ctx.require(
+            key in self.state["executor_address_map"],
+            f"executor {key} is not registered",
+        )
+        return [
+            slot
+            for slot in (
+                ExecutionSlot.from_dict(s)
+                for s in self.state["execution_slots_map"].get(key, [])
+            )
+            if slot.fits(cores, memory_mb, bandwidth_mbps)
+        ]
+
+    @entry
+    def purchase_slot(
+        self,
+        ctx: ExecutionContext,
+        asn_c: int,
+        intf_c: int,
+        asn_s: int,
+        intf_s: int,
+        client_slot_start: float,
+        server_slot_start: float,
+        window_start: float,
+        window_end: float,
+        client_bytecode: bytes,
+        client_manifest: dict,
+        server_bytecode: bytes,
+        server_manifest: dict,
+    ) -> dict:
+        """Buy the two slots and submit both applications.
+
+        The attached ``value`` must cover both slot prices; the tokens are
+        embedded in the two application objects and paid to each executor
+        on ``result_ready``. Excess value is refunded. Emits one
+        ``ApplicationSubmitted`` event per executor.
+        """
+        return self._do_purchase(
+            ctx,
+            asn_c, intf_c, asn_s, intf_s,
+            client_slot_start, server_slot_start, window_start, window_end,
+            client_fields={
+                "bytecode": store_bytecode(client_bytecode),
+                "manifest": client_manifest,
+            },
+            server_fields={
+                "bytecode": store_bytecode(server_bytecode),
+                "manifest": server_manifest,
+            },
+        )
+
+    @entry
+    def purchase_slot_hashed(
+        self,
+        ctx: ExecutionContext,
+        asn_c: int,
+        intf_c: int,
+        asn_s: int,
+        intf_s: int,
+        client_slot_start: float,
+        server_slot_start: float,
+        window_start: float,
+        window_end: float,
+        client_code_hash: bytes,
+        client_manifest: dict,
+        server_code_hash: bytes,
+        server_manifest: dict,
+    ) -> dict:
+        """Like ``purchase_slot`` but with the §V-B cost optimization:
+        only the 32-byte hashes of the applications go on-chain; the code
+        itself ships out of band (see
+        :class:`repro.core.offchain.OffChainCodeStore`) and executors
+        verify it against the hash before running it."""
+        ctx.require(len(client_code_hash) == 32, "client code hash must be 32 bytes")
+        ctx.require(len(server_code_hash) == 32, "server code hash must be 32 bytes")
+        return self._do_purchase(
+            ctx,
+            asn_c, intf_c, asn_s, intf_s,
+            client_slot_start, server_slot_start, window_start, window_end,
+            client_fields={
+                "bytecode_hash": client_code_hash,
+                "manifest": client_manifest,
+            },
+            server_fields={
+                "bytecode_hash": server_code_hash,
+                "manifest": server_manifest,
+            },
+        )
+
+    def _do_purchase(
+        self,
+        ctx: ExecutionContext,
+        asn_c: int,
+        intf_c: int,
+        asn_s: int,
+        intf_s: int,
+        client_slot_start: float,
+        server_slot_start: float,
+        window_start: float,
+        window_end: float,
+        *,
+        client_fields: dict,
+        server_fields: dict,
+    ) -> dict:
+        client_slot = self._consume_slot(ctx, asn_c, intf_c, client_slot_start)
+        server_slot = self._consume_slot(ctx, asn_s, intf_s, server_slot_start)
+        total = client_slot.price + server_slot.price
+        ctx.require(
+            ctx.value >= total,
+            f"attached {ctx.value} tokens do not cover price {total}",
+        )
+        if ctx.value > total:
+            ctx.transfer_from_contract(ctx.sender, ctx.value - total)
+
+        window = {"start": window_start, "end": window_end}
+        server_data = {
+            "role": "server",
+            "asn": asn_s,
+            "interface": intf_s,
+            "tokens": server_slot.price,
+            "window": window,
+            "initiator": ctx.sender,
+            "peer": "",
+        }
+        server_data.update(server_fields)
+        server_id = ctx.create_object(APPLICATION_KIND, server_data)
+        client_data = {
+            "role": "client",
+            "asn": asn_c,
+            "interface": intf_c,
+            "tokens": client_slot.price,
+            "window": window,
+            "initiator": ctx.sender,
+            "peer": server_id.hex(),
+        }
+        client_data.update(client_fields)
+        client_id = ctx.create_object(APPLICATION_KIND, client_data)
+        server_obj = ctx.objects.get(server_id)
+        data = dict(server_obj.data)
+        data["peer"] = client_id.hex()
+        ctx.update_object(server_id, data)
+
+        key = applications_key(asn_c, intf_c, asn_s, intf_s, window_start, window_end)
+        self.state["applications_map"].setdefault(key, []).extend(
+            [client_id.hex(), server_id.hex()]
+        )
+        ctx.emit(
+            "ApplicationSubmitted",
+            asn=asn_c,
+            interface=intf_c,
+            application_id=client_id.hex(),
+            role="client",
+            window_start=window_start,
+        )
+        ctx.emit(
+            "ApplicationSubmitted",
+            asn=asn_s,
+            interface=intf_s,
+            application_id=server_id.hex(),
+            role="server",
+            window_start=window_start,
+        )
+        return {
+            "client_application": client_id.hex(),
+            "server_application": server_id.hex(),
+            "total_price": total,
+        }
+
+    def _consume_slot(
+        self, ctx: ExecutionContext, asn: int, interface: int, slot_start: float
+    ) -> ExecutionSlot:
+        key = slot_key(asn, interface)
+        slots = [
+            ExecutionSlot.from_dict(s)
+            for s in self.state["execution_slots_map"].get(key, [])
+        ]
+        for index, slot in enumerate(slots):
+            if slot.start == slot_start:
+                del slots[index]
+                self.state["execution_slots_map"][key] = [s.as_dict() for s in slots]
+                return slot
+        ctx.abort(f"no slot starting at {slot_start} on executor {key}")
+        raise AssertionError("unreachable")  # pragma: no cover
+
+    # ----------------------------------------------------------- results
+
+    @entry
+    def result_ready(
+        self, ctx: ExecutionContext, application_id_hex: str, result: bytes
+    ) -> str:
+        """Publish a result and collect the embedded payment.
+
+        Only the registered executor for the application's
+        ``<AS, interface>`` may call this, and only once per application.
+        """
+        app_id = ObjectId.from_hex(application_id_hex)
+        app = ctx.objects.get(app_id)
+        ctx.require(app.kind == APPLICATION_KIND, "object is not an application")
+        key = slot_key(app.data["asn"], app.data["interface"])
+        executor_address = self.state["executor_address_map"].get(key)
+        ctx.require(
+            executor_address == ctx.sender,
+            "caller is not the executor assigned to this application",
+        )
+        ctx.require(
+            application_id_hex not in self.state["results_map"],
+            "result already published for this application",
+        )
+        result_id = ctx.create_object(
+            RESULT_KIND,
+            {
+                "application": application_id_hex,
+                "result": result,
+                "executor": ctx.sender,
+                "published_at": ctx.time,
+            },
+        )
+        ctx.transfer_from_contract(ctx.sender, app.data["tokens"])
+        self.state["results_map"][application_id_hex] = result_id.hex()
+        ctx.emit(
+            "ResultReady",
+            application_id=application_id_hex,
+            result_id=result_id.hex(),
+            initiator=app.data["initiator"],
+        )
+        return result_id.hex()
+
+    @entry
+    def lookup_result(self, ctx: ExecutionContext, application_id_hex: str) -> dict:
+        """Fetch a published result by application ID (§IV-C LookupResult)."""
+        result_hex = self.state["results_map"].get(application_id_hex)
+        ctx.require(result_hex is not None, "no result for this application")
+        result_obj = ctx.objects.get(ObjectId.from_hex(result_hex))
+        return {
+            "result_id": result_hex,
+            "result": result_obj.data["result"],
+            "executor": result_obj.data["executor"],
+            "published_at": result_obj.data["published_at"],
+        }
+
+    # ------------------------------------------------------------ views
+
+    def executor_address(self, asn: int, interface: int) -> str | None:
+        """Off-chain read of ExecutorAddressMap."""
+        return self.state["executor_address_map"].get(slot_key(asn, interface))
+
+    def available_slots(self, asn: int, interface: int) -> list[ExecutionSlot]:
+        """Off-chain read of ExecutionSlotsMap."""
+        return [
+            ExecutionSlot.from_dict(s)
+            for s in self.state["execution_slots_map"].get(slot_key(asn, interface), [])
+        ]
+
+
+def store_bytecode(bytecode: bytes) -> bytes:
+    """Identity today; the §V-B off-chain optimization can swap this for
+    ``sha256(bytecode)`` storage with the code shipped out of band."""
+    return bytecode

@@ -1,0 +1,115 @@
+"""Debuglet core: the paper's primary contribution.
+
+Executors (policy-constrained remote code execution at border routers),
+applications and manifests, the marketplace-driven measurement workflow,
+fault localization strategies, result certification and third-party
+verification, plus the §VI discussion features (decentralized discovery,
+deployment analysis, anti-gaming cross-validation).
+"""
+
+from repro.core.archive import (
+    ArchiveContract,
+    ArchivedMeasurement,
+    OnsetReport,
+    ResultArchive,
+    degradation_onset,
+)
+from repro.core.offchain import OffChainCodeStore
+from repro.core.privacy import ResultSealer, sealed_native_echo_client
+from repro.core.antigaming import (
+    CrossValidationReport,
+    CrossValidator,
+    disable_prioritization,
+    enable_prioritization,
+)
+from repro.core.application import DebugletApplication
+from repro.core.deployment import (
+    DeploymentReport,
+    Element,
+    analyze_deployment,
+    path_elements,
+    sweep_deployment_fraction,
+)
+from repro.core.discovery import (
+    BilateralAgreement,
+    DecentralizedDirectory,
+    ExecutorAdvertisement,
+)
+from repro.core.executor import (
+    ExecutionRecord,
+    Executor,
+    ResultCertificate,
+    executor_data_address,
+    executor_host_name,
+)
+from repro.core.localization import (
+    FaultJudge,
+    FaultLocalizer,
+    LocalizationReport,
+    SegmentVerdict,
+    estimate_baseline_rtt,
+)
+from repro.core.marketplace import (
+    ExecutorAgent,
+    Initiator,
+    MeasurementOutcome,
+    MeasurementSession,
+    decode_result_payload,
+    encode_result_payload,
+)
+from repro.core.probing import (
+    ExecutorFleet,
+    SegmentMeasurement,
+    SegmentProber,
+)
+from repro.core.results import EchoMeasurement, OneWayMeasurement, ServerReport
+from repro.core.verification import ChainVerifier, VerifiedResult, verify_certificate
+
+__all__ = [
+    "ArchiveContract",
+    "ArchivedMeasurement",
+    "BilateralAgreement",
+    "OffChainCodeStore",
+    "OnsetReport",
+    "ResultArchive",
+    "ResultSealer",
+    "sealed_native_echo_client",
+    "degradation_onset",
+    "ChainVerifier",
+    "CrossValidationReport",
+    "CrossValidator",
+    "DebugletApplication",
+    "DecentralizedDirectory",
+    "DeploymentReport",
+    "EchoMeasurement",
+    "Element",
+    "ExecutionRecord",
+    "Executor",
+    "ExecutorAdvertisement",
+    "ExecutorAgent",
+    "ExecutorFleet",
+    "FaultJudge",
+    "FaultLocalizer",
+    "Initiator",
+    "LocalizationReport",
+    "MeasurementOutcome",
+    "MeasurementSession",
+    "OneWayMeasurement",
+    "ResultCertificate",
+    "SegmentMeasurement",
+    "SegmentProber",
+    "SegmentVerdict",
+    "ServerReport",
+    "VerifiedResult",
+    "analyze_deployment",
+    "decode_result_payload",
+    "disable_prioritization",
+    "enable_prioritization",
+    "encode_result_payload",
+    "estimate_baseline_rtt",
+    "executor_data_address",
+    "executor_host_name",
+    "path_elements",
+    "sweep_deployment_fraction",
+    "verify_certificate",
+]

@@ -1,0 +1,158 @@
+"""Decentralized executor discovery and bilateral scheduling (§VI-A).
+
+The alternative to the marketplace: ASes advertise their executors as
+route metadata in routing announcements; initiators learn about them
+through path discovery, negotiate price and window bilaterally, submit the
+application directly, and receive the result directly. No chain is
+involved, so the result is *not publicly verifiable* — but it still
+carries the executor's certificate, which a party that knows the
+executor's key out of band can check.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.common.errors import ConfigurationError, DebugletError
+from repro.core.application import DebugletApplication
+from repro.core.executor import ExecutionRecord, Executor
+from repro.pathaware.discovery import BeaconMetadata, PathRegistry
+from repro.pathaware.segments import PathSegment
+
+EXECUTOR_METADATA_KIND = "debuglet_executor"
+
+
+@dataclass(frozen=True)
+class ExecutorAdvertisement:
+    """What an AS announces about one of its executors."""
+
+    asn: int
+    interface: int
+    host: str  # data-plane host name of the executor
+    price: int  # asking price per execution, MIST
+    capabilities: tuple[str, ...]
+
+    def to_metadata(self) -> BeaconMetadata:
+        return BeaconMetadata(
+            asn=self.asn,
+            kind=EXECUTOR_METADATA_KIND,
+            payload=(
+                ("interface", self.interface),
+                ("host", self.host),
+                ("price", self.price),
+                ("capabilities", self.capabilities),
+            ),
+        )
+
+    @classmethod
+    def from_metadata(cls, metadata: BeaconMetadata) -> "ExecutorAdvertisement":
+        payload = metadata.as_dict()
+        return cls(
+            asn=metadata.asn,
+            interface=payload["interface"],
+            host=payload["host"],
+            price=payload["price"],
+            capabilities=tuple(payload["capabilities"]),
+        )
+
+
+@dataclass
+class BilateralAgreement:
+    """A negotiated execution: window, price, and the serving executor."""
+
+    advertisement: ExecutorAdvertisement
+    window_start: float
+    window_end: float
+    price: int
+
+
+class DecentralizedDirectory:
+    """Advertise and discover executors through routing metadata."""
+
+    def __init__(self, registry: PathRegistry) -> None:
+        self.registry = registry
+        self._executors: dict[tuple[int, int], Executor] = {}
+
+    def advertise(self, executor: Executor, *, price: int) -> ExecutorAdvertisement:
+        """Announce ``executor`` in its AS's routing messages."""
+        advertisement = ExecutorAdvertisement(
+            asn=executor.asn,
+            interface=executor.interface,
+            host=executor.data_address.host,
+            price=price,
+            capabilities=tuple(executor.policy.offered_capabilities),
+        )
+        self.registry.announce(advertisement.to_metadata())
+        self._executors[(executor.asn, executor.interface)] = executor
+        return advertisement
+
+    def executors_in(self, asn: int) -> list[ExecutorAdvertisement]:
+        return [
+            ExecutorAdvertisement.from_metadata(record)
+            for record in self.registry.metadata_from(asn, kind=EXECUTOR_METADATA_KIND)
+        ]
+
+    def executors_on_path(self, segment: PathSegment) -> list[ExecutorAdvertisement]:
+        """All advertised executors at the interfaces ``segment`` touches."""
+        wanted = {(ifid.asn, ifid.interface) for ifid in segment.interfaces()}
+        found = []
+        for asn in segment.asns():
+            for advertisement in self.executors_in(asn):
+                if (advertisement.asn, advertisement.interface) in wanted:
+                    found.append(advertisement)
+        return found
+
+    def _resolve(self, advertisement: ExecutorAdvertisement) -> Executor:
+        executor = self._executors.get(
+            (advertisement.asn, advertisement.interface)
+        )
+        if executor is None:
+            raise DebugletError(
+                f"advertised executor ({advertisement.asn}, "
+                f"{advertisement.interface}) is unreachable"
+            )
+        return executor
+
+    # -------------------------------------------------------- negotiation
+
+    def negotiate(
+        self,
+        advertisement: ExecutorAdvertisement,
+        *,
+        offer: int,
+        window_start: float,
+        window_end: float,
+    ) -> BilateralAgreement:
+        """Propose a window and price; the executor accepts iff the offer
+        meets its asking price and the window is in the future."""
+        executor = self._resolve(advertisement)
+        if offer < advertisement.price:
+            raise DebugletError(
+                f"offer {offer} below asking price {advertisement.price}"
+            )
+        if window_start < executor.simulator.now:
+            raise ConfigurationError("window starts in the past")
+        if window_end <= window_start:
+            raise ConfigurationError("empty window")
+        return BilateralAgreement(
+            advertisement=advertisement,
+            window_start=window_start,
+            window_end=window_end,
+            price=offer,
+        )
+
+    def execute(
+        self,
+        agreement: BilateralAgreement,
+        application: DebugletApplication,
+        *,
+        on_complete: Callable[[ExecutionRecord], None] | None = None,
+    ) -> ExecutionRecord:
+        """Submit the application directly to the agreed executor."""
+        executor = self._resolve(agreement.advertisement)
+        return executor.submit(
+            application,
+            start_at=agreement.window_start,
+            on_complete=on_complete,
+        )

@@ -1,0 +1,591 @@
+"""The Debuglet executor: policy-constrained remote code execution (§IV-B).
+
+An executor is a small service co-located with one border router
+(``<AS, interface>``). It admits applications against its policy, runs
+them inside the sandbox (or natively, for baselines), bridges their host
+calls to real sockets on the simulated network, enforces the manifest at
+run time (packet budgets, duration, contact allow-list, result size), and
+finally *certifies* the result with its Ed25519 key so third parties can
+verify what was measured.
+
+Timing model (calibrated to the paper's §V-B measurements):
+
+- ``setup_time`` (~10 ms): sandbox instantiation before the first
+  instruction runs — the "execution environment setup time";
+- ``host_call_overhead`` (~60 µs): simulated cost of each sandbox/host
+  boundary crossing. This is what makes D2D measurements read ~300 µs
+  above A2A in Fig 8 (3 crossings on the client's timing path, 2 on the
+  server's). Native programs pay neither.
+- ``instruction_time``: CPU time per unit of fuel, folded into the
+  moment results become available.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.common.errors import (
+    ConfigurationError,
+    DebugletError,
+    PolicyViolation,
+    SandboxError,
+)
+from repro.common.rng import derive_rng
+from repro.common.serialize import canonical_encode, stable_hash
+from repro.chain.crypto import KeyPair, sha256
+from repro.core.application import DebugletApplication
+from repro.netsim.endhost import Host, Socket
+from repro.netsim.engine import EventHandle
+from repro.netsim.network import Network
+from repro.netsim.packet import Address, IcmpType, Packet, Protocol
+from repro.sandbox.hostops import protocol_from_number
+from repro.sandbox.manifest import ExecutorPolicy
+from repro.sandbox.program import (
+    ProgramCall,
+    ProgramDone,
+    ReceivedData,
+    RunnableProgram,
+)
+
+
+def executor_host_name(interface: int) -> str:
+    """Data-plane host name of the executor at ``interface``."""
+    return f"exec{interface}"
+
+
+def executor_data_address(asn: int, interface: int) -> Address:
+    """The address Debuglet contacts use to reach that executor."""
+    return Address(asn, executor_host_name(interface))
+
+
+@dataclass
+class ExecutionRecord:
+    """Outcome of one Debuglet execution."""
+
+    application: DebugletApplication
+    status: str = "pending"  # pending | running | completed | failed: <reason>
+    result: bytes = b""
+    return_value: int = 0
+    started_at: float = 0.0
+    finished_at: float = 0.0
+    fuel_used: int = 0
+    packets_sent: int = 0
+    packets_received: int = 0
+    logs: list[int] = field(default_factory=list)
+    certificate: "ResultCertificate | None" = None
+
+    @property
+    def completed(self) -> bool:
+        return self.status == "completed"
+
+    @property
+    def failed(self) -> bool:
+        return self.status.startswith("failed")
+
+
+@dataclass(frozen=True)
+class ResultCertificate:
+    """The executor's signed statement about an execution (§IV-B).
+
+    Binds the code hash, the result bytes, the vantage point, and the
+    execution window under the executor's key. Verified by
+    :mod:`repro.core.verification`.
+    """
+
+    asn: int
+    interface: int
+    code_hash: bytes
+    result_hash: bytes
+    started_at: float
+    finished_at: float
+    executor_public_key: bytes
+    signature: bytes
+
+    def signing_payload(self) -> bytes:
+        return canonical_encode(
+            {
+                "asn": self.asn,
+                "interface": self.interface,
+                "code_hash": self.code_hash,
+                "result_hash": self.result_hash,
+                "started_at": self.started_at,
+                "finished_at": self.finished_at,
+                "public_key": self.executor_public_key,
+            }
+        )
+
+
+class _Execution:
+    """Book-keeping for one running program."""
+
+    def __init__(
+        self,
+        executor: "Executor",
+        application: DebugletApplication,
+        program: RunnableProgram,
+        on_complete: Callable[[ExecutionRecord], None] | None,
+    ) -> None:
+        self.executor = executor
+        self.application = application
+        self.program = program
+        self.record = ExecutionRecord(application=application)
+        self.on_complete = on_complete
+        self.sockets: dict[Protocol, Socket] = {}
+        self.recv_queues: dict[Protocol, list[tuple[Packet, float]]] = {}
+        self.last_received: dict[Protocol, Packet] = {}
+        self.pending_recv: tuple[Protocol, EventHandle] | None = None
+        self.deadline_handle: EventHandle | None = None
+        self.port_by_protocol: dict[Protocol, int] = {}
+        self.done = False
+
+
+class Executor:
+    """A Debuglet executor co-located with one border router."""
+
+    def __init__(
+        self,
+        network: Network,
+        asn: int,
+        interface: int,
+        *,
+        keypair: KeyPair | None = None,
+        policy: ExecutorPolicy | None = None,
+        setup_time: float = 10e-3,
+        setup_jitter: float = 0.3e-3,
+        host_call_overhead: float = 60e-6,
+        instruction_time: float = 2e-9,
+        concurrent_capacity: int = 8,
+        seed: int = 0,
+    ) -> None:
+        self.network = network
+        self.asn = asn
+        self.interface = interface
+        self.keypair = keypair or KeyPair.deterministic(f"executor-{asn}-{interface}")
+        self.policy = policy or ExecutorPolicy()
+        self.setup_time = setup_time
+        self.setup_jitter = setup_jitter
+        self.host_call_overhead = host_call_overhead
+        self.instruction_time = instruction_time
+        if concurrent_capacity < 1:
+            raise ConfigurationError("concurrent_capacity must be >= 1")
+        self.concurrent_capacity = concurrent_capacity
+        self._rng = derive_rng(seed, "executor", asn, interface)
+        self._port_counter = 45000 + (asn * 131 + interface * 17) % 1000
+        self.executions: list[ExecutionRecord] = []
+        self._running = 0
+        self._waiting: list[_Execution] = []
+
+        address = executor_data_address(asn, interface)
+        if address in network.hosts:
+            self.host = network.hosts[address]
+        else:
+            self.host = network.make_host(
+                asn, executor_host_name(interface), attachment=f"if{interface}"
+            )
+        # Executors never auto-echo: programs decide how to respond.
+        self.host.echo_protocols = set()
+
+    @property
+    def data_address(self) -> Address:
+        return self.host.address
+
+    @property
+    def simulator(self):
+        return self.network.simulator
+
+    # ---------------------------------------------------------- admission
+
+    def admit(self, application: DebugletApplication) -> None:
+        """Policy + manifest admission (raises on rejection)."""
+        self.policy.admit(application.manifest)
+        if application.module is not None:
+            application.manifest.validate_module(application.module)
+
+    # ---------------------------------------------------------- execution
+
+    def submit(
+        self,
+        application: DebugletApplication,
+        *,
+        start_at: float | None = None,
+        on_complete: Callable[[ExecutionRecord], None] | None = None,
+    ) -> ExecutionRecord:
+        """Admit and schedule ``application``; returns its (live) record.
+
+        Execution begins at ``start_at`` (default: now) plus the sandbox
+        setup time for sandboxed programs.
+        """
+        self.admit(application)
+        program = application.instantiate()
+        execution = _Execution(self, application, program, on_complete)
+        self.executions.append(execution.record)
+
+        start = self.simulator.now if start_at is None else start_at
+        if start < self.simulator.now:
+            raise ConfigurationError("cannot schedule execution in the past")
+        setup = 0.0
+        if program.is_sandboxed:
+            setup = self.setup_time + abs(
+                float(self._rng.normal(0.0, self.setup_jitter))
+            )
+        self.simulator.schedule_at(start + setup, self._begin, execution)
+        return execution.record
+
+    def _begin(self, execution: _Execution) -> None:
+        # Finite resources (§IV-C): beyond capacity, executions queue and
+        # start as earlier ones finish.
+        if self._running >= self.concurrent_capacity:
+            execution.record.status = "queued"
+            self._waiting.append(execution)
+            return
+        self._running += 1
+        record = execution.record
+        record.status = "running"
+        record.started_at = self.simulator.now
+        # Pre-bind listen sockets so early probes are not dropped.
+        listen_port = execution.application.listen_port
+        if listen_port is not None:
+            try:
+                for capability in execution.application.manifest.capabilities:
+                    protocol = Protocol[capability.upper()]
+                    self._bind_socket(execution, protocol, listen_port)
+            except ConfigurationError as exc:
+                self._finish_failed(execution, f"cannot bind sockets: {exc}")
+                return
+        deadline = record.started_at + execution.application.manifest.max_duration
+        execution.deadline_handle = self.simulator.schedule_at(
+            deadline, self._abort, execution, "duration limit exceeded"
+        )
+        try:
+            step = execution.program.begin(list(execution.application.args))
+        except SandboxError as exc:
+            self._finish_failed(execution, f"trap at start: {exc}")
+            return
+        self._dispatch(execution, step)
+
+    # The dispatch loop: handle steps until the program blocks or finishes.
+
+    def _dispatch(self, execution: _Execution, step) -> None:
+        while not execution.done:
+            if isinstance(step, ProgramDone):
+                self._finish_completed(execution, step.value)
+                return
+            assert isinstance(step, ProgramCall)
+            try:
+                resumed = self._perform(execution, step)
+            except (PolicyViolation, SandboxError, ConfigurationError) as exc:
+                self._finish_failed(execution, str(exc))
+                return
+            if resumed is None:
+                return  # blocked: a scheduled event will continue us
+            step = resumed
+
+    def _resume(self, execution: _Execution, result: int, data: ReceivedData | None) -> None:
+        if execution.done:
+            return
+        try:
+            step = execution.program.resume(result, data)
+        except SandboxError as exc:
+            self._finish_failed(execution, f"trap: {exc}")
+            return
+        self._dispatch(execution, step)
+
+    def _overhead(self, execution: _Execution) -> float:
+        if execution.program.is_sandboxed:
+            return self.host_call_overhead
+        return 0.0
+
+    def _resume_after(
+        self, execution: _Execution, delay: float, result: int,
+        data: ReceivedData | None = None,
+    ):
+        """Resume later (host-switch cost) or immediately when free."""
+        if delay > 0:
+            self.simulator.schedule(delay, self._resume, execution, result, data)
+            return None
+        return execution.program.resume(result, data)
+
+    # ------------------------------------------------------- host ops
+
+    def _perform(self, execution: _Execution, call: ProgramCall):
+        """Perform one host op. Returns the next step, or None if blocked."""
+        op = call.op
+        overhead = self._overhead(execution)
+        now = self.simulator.now
+
+        if op == "now_us":
+            return self._resume_after(
+                execution, overhead, int(round((now + overhead) * 1e6))
+            )
+        if op == "sleep_until_us":
+            wake = max(call.args[0] / 1e6, now) + overhead
+            self.simulator.schedule_at(wake, self._resume, execution, 0, None)
+            return None
+        if op == "net_send":
+            return self._op_net_send(execution, call, overhead)
+        if op == "net_recv":
+            return self._op_net_recv(execution, call, overhead)
+        if op == "net_reply":
+            return self._op_net_reply(execution, call, overhead)
+        if op == "result_i64":
+            value = int(call.args[0]) & ((1 << 64) - 1)
+            self._append_result(execution, value.to_bytes(8, "little"))
+            return self._resume_after(execution, overhead, 0)
+        if op == "result_bytes":
+            self._append_result(execution, call.payload or b"")
+            return self._resume_after(execution, overhead, 0)
+        if op == "log_i64":
+            execution.record.logs.append(call.args[0])
+            return self._resume_after(execution, overhead, 0)
+        if op == "rand_u32":
+            return self._resume_after(
+                execution, overhead, int(self._rng.integers(0, 2**32))
+            )
+        raise PolicyViolation(f"host op {op!r} not available")
+
+    def _append_result(self, execution: _Execution, data: bytes) -> None:
+        record = execution.record
+        limit = execution.application.manifest.max_result_bytes
+        if len(record.result) + len(data) > limit:
+            raise PolicyViolation(f"result exceeds declared {limit} bytes")
+        record.result += data
+
+    def _op_net_send(self, execution: _Execution, call: ProgramCall, overhead: float):
+        proto_num, contact_idx, dst_port, seq, size = call.args
+        protocol = protocol_from_number(proto_num)
+        manifest = execution.application.manifest
+        if not manifest.allows_protocol(protocol):
+            raise PolicyViolation(f"manifest lacks {protocol.name.lower()} capability")
+        if not 0 <= contact_idx < len(manifest.contacts):
+            raise PolicyViolation(f"contact index {contact_idx} not in manifest")
+        if execution.record.packets_sent >= manifest.max_packets_sent:
+            raise PolicyViolation("send budget exhausted")
+        execution.record.packets_sent += 1
+
+        dst = manifest.contacts[contact_idx]
+        socket = self._socket_for(execution, protocol)
+        icmp_type = IcmpType.ECHO_REQUEST if protocol is Protocol.ICMP else None
+        # The packet leaves once the host switch completes.
+        send_delay = overhead
+
+        def do_send() -> None:
+            if execution.done:
+                return
+            socket.send(
+                dst,
+                dst_port=dst_port,
+                size=max(int(size), 1),
+                seq=int(seq),
+                payload=call.payload,
+                path=execution.application.path,
+                icmp_type=icmp_type,
+            )
+
+        if send_delay > 0:
+            self.simulator.schedule(send_delay, do_send)
+        else:
+            do_send()
+        return self._resume_after(execution, send_delay, 1)
+
+    def _op_net_recv(self, execution: _Execution, call: ProgramCall, overhead: float):
+        proto_num, timeout_us = call.args
+        protocol = protocol_from_number(proto_num)
+        manifest = execution.application.manifest
+        if not manifest.allows_protocol(protocol):
+            raise PolicyViolation(f"manifest lacks {protocol.name.lower()} capability")
+        self._socket_for(execution, protocol)  # ensure bound
+        queue = execution.recv_queues.setdefault(protocol, [])
+        if queue:
+            packet, arrival = queue.pop(0)
+            data = self._to_received(execution, packet, arrival)
+            return self._resume_after(execution, overhead, len(data.payload), data)
+        if execution.pending_recv is not None:
+            raise PolicyViolation("overlapping net_recv calls")
+        timeout_at = self.simulator.now + max(timeout_us, 0) / 1e6
+        handle = self.simulator.schedule_at(
+            timeout_at, self._recv_timeout, execution
+        )
+        execution.pending_recv = (protocol, handle)
+        return None
+
+    def _recv_timeout(self, execution: _Execution) -> None:
+        if execution.done or execution.pending_recv is None:
+            return
+        execution.pending_recv = None
+        self._resume(execution, -1, None)
+
+    def _op_net_reply(self, execution: _Execution, call: ProgramCall, overhead: float):
+        proto_num, seq, size = call.args
+        protocol = protocol_from_number(proto_num)
+        manifest = execution.application.manifest
+        last = execution.last_received.get(protocol)
+        if last is None:
+            return self._resume_after(execution, overhead, 0)
+        if execution.record.packets_sent >= manifest.max_packets_sent:
+            raise PolicyViolation("send budget exhausted")
+        execution.record.packets_sent += 1
+        socket = self._socket_for(execution, protocol)
+        icmp_type = IcmpType.ECHO_REPLY if protocol is Protocol.ICMP else None
+        reply_path = execution.application.path
+
+        def do_reply() -> None:
+            if execution.done:
+                return
+            socket.send(
+                last.src,
+                dst_port=last.src_port,
+                size=max(int(size), 1),
+                seq=int(seq),
+                payload=last.payload,
+                path=reply_path,
+                icmp_type=icmp_type,
+            )
+
+        if overhead > 0:
+            self.simulator.schedule(overhead, do_reply)
+        else:
+            do_reply()
+        return self._resume_after(execution, overhead, 1)
+
+    # ------------------------------------------------------- sockets
+
+    def _socket_for(self, execution: _Execution, protocol: Protocol) -> Socket:
+        socket = execution.sockets.get(protocol)
+        if socket is not None:
+            return socket
+        port = execution.application.listen_port
+        if protocol in (Protocol.UDP, Protocol.TCP):
+            if port is None:
+                port = self._alloc_port()
+        else:
+            port = 0
+        return self._bind_socket(execution, protocol, port)
+
+    def _bind_socket(
+        self, execution: _Execution, protocol: Protocol, port: int
+    ) -> Socket:
+        if protocol in execution.sockets:
+            return execution.sockets[protocol]
+        if protocol in (Protocol.ICMP, Protocol.RAW_IP):
+            port = 0
+        socket = self.host.open_socket(protocol, port)
+        socket.on_receive = lambda packet, t: self._on_packet(
+            execution, protocol, packet, t
+        )
+        execution.sockets[protocol] = socket
+        execution.port_by_protocol[protocol] = port
+        execution.recv_queues.setdefault(protocol, [])
+        return socket
+
+    def _alloc_port(self) -> int:
+        self._port_counter += 1
+        return self._port_counter
+
+    def _on_packet(
+        self, execution: _Execution, protocol: Protocol, packet: Packet, t: float
+    ) -> None:
+        if execution.done:
+            return
+        record = execution.record
+        manifest = execution.application.manifest
+        if record.packets_received >= manifest.max_packets_received:
+            return  # budget exhausted: excess packets are dropped silently
+        record.packets_received += 1
+        execution.last_received[protocol] = packet
+        if (
+            execution.pending_recv is not None
+            and execution.pending_recv[0] is protocol
+        ):
+            _, handle = execution.pending_recv
+            handle.cancel()
+            execution.pending_recv = None
+            data = self._to_received(execution, packet, t)
+            delay = self._overhead(execution)
+            if delay > 0:
+                self.simulator.schedule(
+                    delay, self._resume, execution, len(data.payload), data
+                )
+            else:
+                self._resume(execution, len(data.payload), data)
+        else:
+            execution.recv_queues.setdefault(protocol, []).append((packet, t))
+
+    def _to_received(
+        self, execution: _Execution, packet: Packet, arrival: float
+    ) -> ReceivedData:
+        contacts = execution.application.manifest.contacts
+        try:
+            contact_index = contacts.index(packet.src)
+        except ValueError:
+            contact_index = -1
+        payload = packet.payload if isinstance(packet.payload, bytes) else bytes(packet.size)
+        return ReceivedData(
+            contact_index=contact_index,
+            src_port=packet.src_port,
+            seq=packet.seq,
+            recv_time_us=int(round((arrival + self._overhead(execution)) * 1e6)),
+            payload=payload,
+        )
+
+    # ------------------------------------------------------ completion
+
+    def _abort(self, execution: _Execution, reason: str) -> None:
+        if not execution.done:
+            self._finish_failed(execution, reason)
+
+    def _finish_completed(self, execution: _Execution, value: int) -> None:
+        execution.record.return_value = value
+        self._finish(execution, "completed")
+
+    def _finish_failed(self, execution: _Execution, reason: str) -> None:
+        self._finish(execution, f"failed: {reason}")
+
+    def _finish(self, execution: _Execution, status: str) -> None:
+        execution.done = True
+        record = execution.record
+        record.status = status
+        record.fuel_used = execution.program.fuel_used
+        cpu_time = record.fuel_used * self.instruction_time
+        record.finished_at = self.simulator.now + cpu_time
+        if execution.deadline_handle is not None:
+            execution.deadline_handle.cancel()
+        if execution.pending_recv is not None:
+            execution.pending_recv[1].cancel()
+            execution.pending_recv = None
+        for socket in execution.sockets.values():
+            socket.close()
+        record.certificate = self.certify(record)
+        self._running -= 1
+        if self._waiting:
+            queued = self._waiting.pop(0)
+            self.simulator.schedule(0.0, self._begin, queued)
+        if execution.on_complete is not None:
+            execution.on_complete(record)
+
+    # ---------------------------------------------------- certification
+
+    def certify(self, record: ExecutionRecord) -> ResultCertificate:
+        """Sign the execution outcome (only completed runs get results)."""
+        result_hash = sha256(record.result)
+        certificate = ResultCertificate(
+            asn=self.asn,
+            interface=self.interface,
+            code_hash=record.application.code_hash(),
+            result_hash=result_hash,
+            started_at=record.started_at,
+            finished_at=record.finished_at,
+            executor_public_key=self.keypair.public,
+            signature=b"",
+        )
+        signature = self.keypair.sign(certificate.signing_payload())
+        return ResultCertificate(
+            asn=certificate.asn,
+            interface=certificate.interface,
+            code_hash=certificate.code_hash,
+            result_hash=certificate.result_hash,
+            started_at=certificate.started_at,
+            finished_at=certificate.finished_at,
+            executor_public_key=certificate.executor_public_key,
+            signature=signature,
+        )

@@ -1,0 +1,339 @@
+"""Fault localization over Debuglet segment measurements.
+
+Implements the paper's measurement-selection strategies (§IV-B, §VI-D):
+
+- **exhaustive** — measure every consecutive inter-domain link plus the
+  whole path, then attribute residual degradation to AS interiors by
+  decomposition (the Fig 6 procedure generalized);
+- **binary** — the §VI-D binary search: split the path at its midpoint,
+  recurse into faulty halves; interior faults of the split AS are inferred
+  when a faulty interval has two clean halves;
+- **linear** — scan growing prefixes from the client side, then
+  disambiguate link vs interior with one extra link measurement.
+
+A :class:`FaultJudge` compares each measurement against a baseline
+expectation (analytic from the topology, or calibrated), and the localizer
+returns a report with suspects, the measurements spent, and time-to-locate
+— the §VI-D cost/time trade-off.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.common.errors import ConfigurationError
+from repro.core.probing import SegmentMeasurement, SegmentProber, Vantage
+from repro.netsim.faults import FaultLocation
+from repro.netsim.packet import Protocol
+from repro.netsim.topology import InterfaceId, Topology
+from repro.pathaware.segments import PathSegment
+
+
+def estimate_baseline_rtt(
+    topology: Topology,
+    segment: PathSegment,
+    *,
+    sandbox_overhead: float = 300e-6,
+) -> float:
+    """Analytic no-fault RTT for a D2D measurement over ``segment``.
+
+    Sums propagation both ways over the inter-domain links and the
+    interior delays of transit ASes, plus the sandbox host-switch
+    overhead. Queueing under benign load is not included — judges should
+    allow slack on top of this.
+    """
+    total = sandbox_overhead
+    for a, b in segment.inter_domain_links():
+        total += topology.channel_between(a, b).base_delay
+        total += topology.channel_between(b, a).base_delay
+    hops = segment.as_list()
+    for hop in hops:
+        asys = topology.autonomous_system(hop.asn)
+        if hop.ingress is not None and hop.egress is not None:
+            total += 2 * asys.internal_delay  # transit both directions
+    return total
+
+
+@dataclass
+class SegmentVerdict:
+    """One judged measurement."""
+
+    measurement: SegmentMeasurement
+    baseline_rtt_ms: float
+    faulty: bool
+    reasons: list[str] = field(default_factory=list)
+
+
+@dataclass
+class FaultJudge:
+    """Decides whether a segment measurement indicates a fault.
+
+    A segment is faulty when loss exceeds ``loss_threshold``, or the mean
+    RTT exceeds baseline by both the absolute slack and the relative
+    factor (both must trip, so short segments are not flagged by noise).
+    """
+
+    loss_threshold: float = 0.02
+    rtt_slack_ms: float = 2.0
+    rtt_factor: float = 1.3
+
+    def judge(
+        self, measurement: SegmentMeasurement, baseline_rtt_ms: float
+    ) -> SegmentVerdict:
+        reasons: list[str] = []
+        if not measurement.ok:
+            reasons.append("execution failed")
+            return SegmentVerdict(measurement, baseline_rtt_ms, True, reasons)
+        loss = measurement.loss_rate()
+        if loss > self.loss_threshold:
+            reasons.append(f"loss {loss:.3f} > {self.loss_threshold}")
+        mean = measurement.mean_rtt_ms()
+        threshold = max(
+            baseline_rtt_ms + self.rtt_slack_ms, baseline_rtt_ms * self.rtt_factor
+        )
+        if not math.isnan(mean) and mean > threshold:
+            reasons.append(
+                f"rtt {mean:.3f} ms > threshold {threshold:.3f} ms "
+                f"(baseline {baseline_rtt_ms:.3f})"
+            )
+        return SegmentVerdict(measurement, baseline_rtt_ms, bool(reasons), reasons)
+
+
+@dataclass
+class LocalizationReport:
+    """What a localization run concluded and what it cost."""
+
+    path: PathSegment
+    strategy: str
+    suspects: list[FaultLocation]
+    verdicts: list[SegmentVerdict]
+    started_at: float
+    finished_at: float
+
+    @property
+    def measurements_used(self) -> int:
+        return len(self.verdicts)
+
+    @property
+    def time_to_locate(self) -> float:
+        return self.finished_at - self.started_at
+
+    def found(self, location: FaultLocation) -> bool:
+        """Did the report name ``location`` (link matched either way)?"""
+        for suspect in self.suspects:
+            if suspect == location:
+                return True
+            if (
+                suspect.link is not None
+                and location.link is not None
+                and set(suspect.link) == set(location.link)
+            ):
+                return True
+        return False
+
+
+class FaultLocalizer:
+    """Runs a strategy of segment measurements to localize path faults."""
+
+    STRATEGIES = ("exhaustive", "binary", "linear", "guided")
+
+    def __init__(
+        self,
+        prober: SegmentProber,
+        *,
+        judge: FaultJudge | None = None,
+        protocol: Protocol = Protocol.UDP,
+        baseline: Callable[[PathSegment], float] | None = None,
+    ) -> None:
+        self.prober = prober
+        self.judge = judge or FaultJudge()
+        self.protocol = protocol
+        topology = prober.network.topology
+        self._baseline = baseline or (
+            lambda segment: estimate_baseline_rtt(topology, segment)
+        )
+
+    # ------------------------------------------------------ vantage math
+
+    @staticmethod
+    def _client_vantage(path: PathSegment, index: int) -> Vantage:
+        hop = path.hops[index]
+        interface = hop.egress if hop.egress is not None else hop.ingress
+        if interface is None:
+            raise ConfigurationError(f"AS {hop.asn} has no on-path interface")
+        return (hop.asn, interface)
+
+    @staticmethod
+    def _server_vantage(path: PathSegment, index: int) -> Vantage:
+        hop = path.hops[index]
+        interface = hop.ingress if hop.ingress is not None else hop.egress
+        if interface is None:
+            raise ConfigurationError(f"AS {hop.asn} has no on-path interface")
+        return (hop.asn, interface)
+
+    def _measure(self, path: PathSegment, i: int, j: int) -> SegmentVerdict:
+        """Measure the sub-path between on-path AS indices ``i < j``."""
+        asns = path.asns()
+        segment = path.subsegment(asns[i], asns[j])
+        client = self._client_vantage(path, i)
+        server = self._server_vantage(path, j)
+        measurement = self.prober.measure_sync(
+            client, server, segment, protocol=self.protocol
+        )
+        baseline_ms = self._baseline(segment) * 1e3
+        return self.judge.judge(measurement, baseline_ms)
+
+    # -------------------------------------------------------- strategies
+
+    def localize(
+        self,
+        path: PathSegment,
+        *,
+        strategy: str = "binary",
+        hint: FaultLocation | None = None,
+    ) -> LocalizationReport:
+        """Run ``strategy`` over ``path`` and report suspects.
+
+        The ``guided`` strategy (§VI-D: "educated initial guesses,
+        historical data") checks ``hint`` first with the minimal bracketing
+        measurements and falls back to binary search when the hint does
+        not pan out.
+        """
+        if strategy not in self.STRATEGIES:
+            raise ConfigurationError(f"unknown strategy {strategy!r}")
+        if strategy == "guided" and hint is None:
+            raise ConfigurationError("guided strategy requires a hint")
+        if path.length < 1:
+            raise ConfigurationError("path must cross at least one link")
+        started = self.prober.network.simulator.now
+        verdicts: list[SegmentVerdict] = []
+        if strategy == "binary":
+            suspects = self._binary(path, verdicts)
+        elif strategy == "linear":
+            suspects = self._linear(path, verdicts)
+        elif strategy == "guided":
+            suspects = self._guided(path, verdicts, hint)
+        else:
+            suspects = self._exhaustive(path, verdicts)
+        finished = self.prober.network.simulator.now
+        return LocalizationReport(
+            path=path,
+            strategy=strategy,
+            suspects=suspects,
+            verdicts=verdicts,
+            started_at=started,
+            finished_at=finished,
+        )
+
+    def _link_location(self, path: PathSegment, i: int) -> FaultLocation:
+        egress, ingress = path.inter_domain_links()[i]
+        return FaultLocation(link=(egress, ingress))
+
+    @staticmethod
+    def _interior_location(path: PathSegment, index: int) -> FaultLocation:
+        return FaultLocation(asn=path.hops[index].asn)
+
+    def _binary(self, path: PathSegment, verdicts: list[SegmentVerdict]) -> list[FaultLocation]:
+        def search(lo: int, hi: int) -> list[FaultLocation]:
+            verdict = self._measure(path, lo, hi)
+            verdicts.append(verdict)
+            if not verdict.faulty:
+                return []
+            if hi - lo == 1:
+                return [self._link_location(path, lo)]
+            mid = (lo + hi) // 2
+            left = search(lo, mid)
+            right = search(mid, hi)
+            if not left and not right:
+                # Both halves clean, whole faulty: the split AS interior,
+                # which neither half traverses, is the only remaining spot.
+                return [self._interior_location(path, mid)]
+            return left + right
+
+        return search(0, len(path.hops) - 1)
+
+    def _linear(self, path: PathSegment, verdicts: list[SegmentVerdict]) -> list[FaultLocation]:
+        n = len(path.hops) - 1
+        suspects: list[FaultLocation] = []
+        base = 0  # restarted past each located fault so it is not re-counted
+        k = 1
+        while k <= n:
+            verdict = self._measure(path, base, k)
+            verdicts.append(verdict)
+            if not verdict.faulty:
+                k += 1
+                continue
+            # Degradation appeared between (base, k-1) and (base, k):
+            # either the link entering AS k, or the interior of AS k-1.
+            if k - base == 1:
+                suspects.append(self._link_location(path, base))
+            else:
+                link_verdict = self._measure(path, k - 1, k)
+                verdicts.append(link_verdict)
+                if link_verdict.faulty:
+                    suspects.append(self._link_location(path, k - 1))
+                else:
+                    suspects.append(self._interior_location(path, k - 1))
+            base = k
+            k += 1
+        return suspects
+
+    def _guided(
+        self,
+        path: PathSegment,
+        verdicts: list[SegmentVerdict],
+        hint: FaultLocation,
+    ) -> list[FaultLocation]:
+        """Check the hinted location first; fall back to binary search."""
+        if hint.link is not None:
+            links = path.inter_domain_links()
+            for index, (a, b) in enumerate(links):
+                if {a, b} == set(hint.link):
+                    verdict = self._measure(path, index, index + 1)
+                    verdicts.append(verdict)
+                    if verdict.faulty:
+                        return [self._link_location(path, index)]
+                    break
+        elif hint.asn is not None:
+            asns = path.asns()
+            if hint.asn in asns:
+                k = asns.index(hint.asn)
+                if 0 < k < len(asns) - 1:
+                    whole = self._measure(path, k - 1, k + 1)
+                    verdicts.append(whole)
+                    if whole.faulty:
+                        left = self._measure(path, k - 1, k)
+                        right = self._measure(path, k, k + 1)
+                        verdicts.extend([left, right])
+                        if not (left.faulty or right.faulty):
+                            return [self._interior_location(path, k)]
+                        # The degradation is on an adjacent link after all.
+                        suspects = []
+                        if left.faulty:
+                            suspects.append(self._link_location(path, k - 1))
+                        if right.faulty:
+                            suspects.append(self._link_location(path, k))
+                        return suspects
+        # Hint did not pan out: run the general search.
+        return self._binary(path, verdicts)
+
+    def _exhaustive(self, path: PathSegment, verdicts: list[SegmentVerdict]) -> list[FaultLocation]:
+        n = len(path.hops) - 1
+        suspects: list[FaultLocation] = []
+        link_faulty: list[bool] = []
+        for i in range(n):
+            verdict = self._measure(path, i, i + 1)
+            verdicts.append(verdict)
+            link_faulty.append(verdict.faulty)
+            if verdict.faulty:
+                suspects.append(self._link_location(path, i))
+        # Interior checks: for each transit AS, measure across it and
+        # subtract the two adjacent links (the Fig 6 decomposition).
+        for k in range(1, n):
+            verdict = self._measure(path, k - 1, k + 1)
+            verdicts.append(verdict)
+            if verdict.faulty and not (link_faulty[k - 1] or link_faulty[k]):
+                suspects.append(self._interior_location(path, k))
+        return suspects

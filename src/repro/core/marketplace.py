@@ -1,0 +1,386 @@
+"""Marketplace runtime: wiring executors and initiators to the chain.
+
+Implements the five-step measurement flow of §IV-A over the
+:class:`~repro.contracts.debuglet_market.DebugletMarket` contract:
+
+1. an endpoint (here: the initiator itself) wants a measurement;
+2. the initiator generates Debuglet applications and looks up slots;
+3. it purchases the slots, escrowing tokens with the bytecode on-chain;
+4. executor agents — subscribed to ``ApplicationSubmitted`` events for
+   their ``<AS, interface>`` — fetch, admit, and run the applications at
+   the purchased window;
+5. each agent publishes its certified result with ``result_ready``,
+   collecting the escrowed payment; the initiator is notified through
+   ``ResultReady`` events.
+
+Result payloads on-chain are JSON: the raw result bytes (hex), the
+execution status, and the executor's :class:`ResultCertificate` fields, so
+any third party can run :mod:`repro.core.verification` against them.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.chain.events import Event
+from repro.chain.ledger import Ledger, Wallet
+from repro.common.errors import ChainError, ConfigurationError, DebugletError
+from repro.common.ids import ObjectId
+from repro.contracts.debuglet_market import APPLICATION_KIND, ExecutionSlot
+from repro.core.application import DebugletApplication
+from repro.core.executor import ExecutionRecord, Executor, ResultCertificate
+from repro.core.offchain import OffChainCodeStore
+
+
+def encode_result_payload(record: ExecutionRecord) -> bytes:
+    """The on-chain result blob: result bytes + status + certificate."""
+    certificate = record.certificate
+    if certificate is None:
+        raise DebugletError("execution record has no certificate")
+    payload = {
+        "result": record.result.hex(),
+        "status": record.status,
+        "packets_sent": record.packets_sent,
+        "packets_received": record.packets_received,
+        "certificate": {
+            "asn": certificate.asn,
+            "interface": certificate.interface,
+            "code_hash": certificate.code_hash.hex(),
+            "result_hash": certificate.result_hash.hex(),
+            "started_at": certificate.started_at,
+            "finished_at": certificate.finished_at,
+            "public_key": certificate.executor_public_key.hex(),
+            "signature": certificate.signature.hex(),
+        },
+    }
+    return json.dumps(payload, sort_keys=True).encode("utf-8")
+
+
+def decode_result_payload(blob: bytes) -> tuple[bytes, str, ResultCertificate]:
+    """Inverse of :func:`encode_result_payload`."""
+    try:
+        payload = json.loads(blob.decode("utf-8"))
+        cert = payload["certificate"]
+        certificate = ResultCertificate(
+            asn=cert["asn"],
+            interface=cert["interface"],
+            code_hash=bytes.fromhex(cert["code_hash"]),
+            result_hash=bytes.fromhex(cert["result_hash"]),
+            started_at=cert["started_at"],
+            finished_at=cert["finished_at"],
+            executor_public_key=bytes.fromhex(cert["public_key"]),
+            signature=bytes.fromhex(cert["signature"]),
+        )
+        return bytes.fromhex(payload["result"]), payload["status"], certificate
+    except (ValueError, KeyError, UnicodeDecodeError) as exc:
+        raise DebugletError(f"malformed result payload: {exc}") from exc
+
+
+class ExecutorAgent:
+    """An executor's on-chain presence (steps 3–5 of the flow)."""
+
+    def __init__(
+        self,
+        executor: Executor,
+        ledger: Ledger,
+        *,
+        market: str = "debuglet_market",
+        gas_funding: int = 10_000_000_000,
+        code_store: "OffChainCodeStore | None" = None,
+    ) -> None:
+        self.executor = executor
+        self.ledger = ledger
+        self.market = market
+        self.wallet = Wallet(ledger, executor.keypair)
+        if ledger.balance_of(self.wallet.address) < gas_funding:
+            ledger.faucet(self.wallet.address, gas_funding)
+        self.code_store = code_store
+        self.handled_applications: list[str] = []
+        self.rejected_applications: list[tuple[str, str]] = []
+        self._subscription = None
+
+    @property
+    def asn(self) -> int:
+        return self.executor.asn
+
+    @property
+    def interface(self) -> int:
+        return self.executor.interface
+
+    def register(self) -> None:
+        """RegisterExecutor + start watching for purchased applications."""
+        self.wallet.must_call(self.market, "register_executor", self.asn, self.interface)
+        self._subscription = self.ledger.events.subscribe(
+            "ApplicationSubmitted",
+            self._on_application,
+            asn=self.asn,
+            interface=self.interface,
+        )
+
+    def offer_slots(self, slots: list[ExecutionSlot]) -> None:
+        """RegisterTimeSlot for this executor."""
+        self.wallet.must_call(
+            self.market,
+            "register_time_slot",
+            self.asn,
+            self.interface,
+            [slot.as_dict() for slot in slots],
+        )
+
+    def offer_standing_slots(
+        self,
+        *,
+        horizon: float = 3600.0,
+        price: int = 50_000_000,
+        cores: int = 2,
+        memory_mb: int = 512,
+        bandwidth_mbps: int = 100,
+        count: int = 16,
+    ) -> None:
+        """Offer ``count`` back-to-back slots covering the next ``horizon``
+        seconds — the standing IaaS-style availability the paper expects
+        ISPs to provision (§V-B)."""
+        now = self.ledger.now
+        width = horizon / count
+        slots = [
+            ExecutionSlot(
+                cores=cores,
+                memory_mb=memory_mb,
+                bandwidth_mbps=bandwidth_mbps,
+                start=now + i * width,
+                end=now + (i + 1) * width,
+                price=price,
+            )
+            for i in range(count)
+        ]
+        self.offer_slots(slots)
+
+    # ------------------------------------------------------ event handling
+
+    def _on_application(self, event: Event) -> None:
+        application_id = event.get("application_id")
+        self.handled_applications.append(application_id)
+        obj = self.ledger.objects.get(ObjectId.from_hex(application_id))
+        if obj.kind != APPLICATION_KIND:
+            return
+        try:
+            wire = self._fetch_wire(obj.data)
+            application = DebugletApplication.from_wire(wire)
+            self.executor.admit(application)
+        except DebugletError as exc:
+            # Inadmissible or unfetchable application: never run; the
+            # initiator's escrow stays locked (a real deployment would add
+            # a refund path).
+            self.rejected_applications.append((application_id, str(exc)))
+            return
+        window_start = obj.data["window"]["start"]
+        start_at = max(window_start, self.executor.simulator.now)
+
+        def on_complete(record: ExecutionRecord) -> None:
+            self._publish_result(application_id, record)
+
+        self.executor.submit(application, start_at=start_at, on_complete=on_complete)
+
+    def _fetch_wire(self, data: dict) -> bytes:
+        """The on-chain bytecode, or the off-chain blob verified against
+        the on-chain hash (§V-B optimization)."""
+        if "bytecode" in data:
+            return data["bytecode"]
+        digest = data.get("bytecode_hash")
+        if digest is None:
+            raise DebugletError("application object carries no code nor hash")
+        if self.code_store is None:
+            raise DebugletError("hash-only application but no off-chain store")
+        return self.code_store.get_verified(digest)
+
+    def _publish_result(self, application_id: str, record: ExecutionRecord) -> None:
+        self.wallet.must_call(
+            self.market,
+            "result_ready",
+            application_id,
+            encode_result_payload(record),
+        )
+
+
+@dataclass
+class MeasurementOutcome:
+    """One side's published result, decoded."""
+
+    application_id: str
+    result: bytes = b""
+    status: str = ""
+    certificate: ResultCertificate | None = None
+
+
+@dataclass
+class MeasurementSession:
+    """A purchased client/server measurement awaiting results."""
+
+    client_application: str
+    server_application: str
+    window_start: float
+    window_end: float
+    total_price: int
+    purchase_digest: bytes
+    requested_at: float
+    outcomes: dict[str, MeasurementOutcome] = field(default_factory=dict)
+    completed_at: float | None = None
+    on_complete: Callable[["MeasurementSession"], None] | None = None
+
+    @property
+    def done(self) -> bool:
+        return self.completed_at is not None
+
+    @property
+    def client_outcome(self) -> MeasurementOutcome:
+        return self.outcomes["client"]
+
+    @property
+    def server_outcome(self) -> MeasurementOutcome:
+        return self.outcomes["server"]
+
+    @property
+    def delay_to_measurement(self) -> float:
+        """Request-to-window-start latency (§V-B delay-to-measurement)."""
+        return self.window_start - self.requested_at
+
+
+class Initiator:
+    """The requesting side: generates Debuglets, buys slots, awaits results."""
+
+    def __init__(
+        self,
+        ledger: Ledger,
+        wallet: Wallet,
+        *,
+        market: str = "debuglet_market",
+    ) -> None:
+        self.ledger = ledger
+        self.wallet = wallet
+        self.market = market
+        self.sessions: list[MeasurementSession] = []
+
+    def request_measurement(
+        self,
+        client_app: DebugletApplication,
+        server_app: DebugletApplication,
+        client_vantage: tuple[int, int],
+        server_vantage: tuple[int, int],
+        *,
+        duration: float,
+        cores: int = 1,
+        memory_mb: int = 128,
+        bandwidth_mbps: int = 10,
+        earliest: float | None = None,
+        on_complete: Callable[[MeasurementSession], None] | None = None,
+        code_store: OffChainCodeStore | None = None,
+    ) -> MeasurementSession:
+        """Steps 2–3: LookupSlot then PurchaseSlot with escrowed tokens.
+
+        ``earliest`` defaults to now plus two finality latencies and a
+        small margin — the soonest the executors can have learned of the
+        purchase (both critical-path transactions must finalize).
+
+        With ``code_store`` set, the applications ship off-chain and only
+        their hashes are purchased on-chain (§V-B's ~1-cent optimization);
+        the executor agents must share the same store.
+        """
+        requested_at = self.ledger.now
+        if earliest is None:
+            earliest = requested_at + 2 * self.ledger.finality_latency + 0.1
+        asn_c, intf_c = client_vantage
+        asn_s, intf_s = server_vantage
+
+        lookup = self.wallet.must_call(
+            self.market,
+            "lookup_slot",
+            asn_c,
+            intf_c,
+            asn_s,
+            intf_s,
+            cores,
+            memory_mb,
+            bandwidth_mbps,
+            duration,
+            earliest,
+        ).return_value
+
+        if code_store is None:
+            client_payload = client_app.to_wire()
+            server_payload = server_app.to_wire()
+            purchase_function = "purchase_slot"
+        else:
+            client_payload = code_store.put(client_app.to_wire())
+            server_payload = code_store.put(server_app.to_wire())
+            purchase_function = "purchase_slot_hashed"
+        purchase = self.wallet.must_call(
+            self.market,
+            purchase_function,
+            asn_c,
+            intf_c,
+            asn_s,
+            intf_s,
+            lookup["client_slot_start"],
+            lookup["server_slot_start"],
+            lookup["start"],
+            lookup["end"],
+            client_payload,
+            client_app.manifest.as_dict(),
+            server_payload,
+            server_app.manifest.as_dict(),
+            value=lookup["total_price"],
+        )
+        apps = purchase.return_value
+        session = MeasurementSession(
+            client_application=apps["client_application"],
+            server_application=apps["server_application"],
+            window_start=lookup["start"],
+            window_end=lookup["end"],
+            total_price=apps["total_price"],
+            purchase_digest=purchase.digest,
+            requested_at=requested_at,
+            on_complete=on_complete,
+        )
+        session.outcomes["client"] = MeasurementOutcome(apps["client_application"])
+        session.outcomes["server"] = MeasurementOutcome(apps["server_application"])
+        self.sessions.append(session)
+        for role, app_id in (
+            ("client", apps["client_application"]),
+            ("server", apps["server_application"]),
+        ):
+            self.ledger.events.subscribe(
+                "ResultReady",
+                lambda event, role=role, session=session: self._on_result(
+                    session, role, event
+                ),
+                application_id=app_id,
+            )
+        return session
+
+    def _on_result(self, session: MeasurementSession, role: str, event: Event) -> None:
+        if session.done:
+            return
+        outcome = session.outcomes[role]
+        if outcome.status:
+            return  # already recorded
+        lookup = self.wallet.must_call(
+            self.market, "lookup_result", outcome.application_id
+        ).return_value
+        result, status, certificate = decode_result_payload(lookup["result"])
+        outcome.result = result
+        outcome.status = status
+        outcome.certificate = certificate
+        if all(o.status for o in session.outcomes.values()):
+            session.completed_at = self.ledger.now
+            if session.on_complete is not None:
+                session.on_complete(session)
+
+    @staticmethod
+    def run_until_done(session: MeasurementSession, simulator) -> MeasurementSession:
+        """Pump the simulator until the session completes."""
+        while not session.done:
+            if not simulator.step():
+                raise ChainError("simulation idle before session completion")
+        return session

@@ -1,0 +1,150 @@
+"""Decoding and summarizing Debuglet execution results.
+
+Stock programs emit (key, value) i64 pairs (see
+:mod:`repro.sandbox.programs`). This module turns those raw bytes into
+measurement summaries: RTT/loss for echo clients, per-direction delay for
+one-way pairs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.common.errors import DebugletError
+from repro.sandbox.programs import decode_result_pairs
+
+
+@dataclass
+class EchoMeasurement:
+    """Summary of an echo-client result: RTTs in microseconds by seq."""
+
+    probes_sent: int
+    rtts_us: dict[int, int]
+
+    @classmethod
+    def from_result(cls, result: bytes, *, probes_sent: int) -> "EchoMeasurement":
+        pairs = decode_result_pairs(result)
+        rtts: dict[int, int] = {}
+        for seq, rtt_us in pairs:
+            if seq < 0 or seq >= probes_sent:
+                raise DebugletError(f"result contains out-of-range seq {seq}")
+            rtts[seq] = rtt_us
+        return cls(probes_sent=probes_sent, rtts_us=rtts)
+
+    @property
+    def received(self) -> int:
+        return len(self.rtts_us)
+
+    @property
+    def lost(self) -> int:
+        return self.probes_sent - self.received
+
+    def loss_rate(self) -> float:
+        if self.probes_sent == 0:
+            return 0.0
+        return self.lost / self.probes_sent
+
+    def rtts_ms(self) -> np.ndarray:
+        return np.array(sorted(self.rtts_us.values())) / 1e3  # us -> ms
+
+    def mean_rtt_ms(self) -> float:
+        if not self.rtts_us:
+            return float("nan")
+        return float(np.mean(list(self.rtts_us.values()))) / 1e3
+
+    def std_rtt_ms(self) -> float:
+        if len(self.rtts_us) < 2:
+            return 0.0
+        return float(np.std(list(self.rtts_us.values()), ddof=1)) / 1e3
+
+    def summary(self) -> dict:
+        return {
+            "sent": self.probes_sent,
+            "received": self.received,
+            "mean_rtt_ms": self.mean_rtt_ms(),
+            "std_rtt_ms": self.std_rtt_ms(),
+            "loss_rate": self.loss_rate(),
+        }
+
+    def offset_corrected(self, sandbox_overhead_us: float) -> "EchoMeasurement":
+        """Subtract the known sandbox overhead from every RTT.
+
+        §V-B: the sandbox "does introduce some noise to the measurements,
+        but an almost constant delay, which can be offset from the results
+        if the execution environment is known, thus enabling extraction of
+        the ground truth measurement results." For the default executor
+        configuration the D2D overhead is 5 host-switch crossings
+        (3 client-side + 2 server-side).
+        """
+        corrected = {
+            seq: max(0, round(rtt - sandbox_overhead_us))
+            for seq, rtt in self.rtts_us.items()
+        }
+        return EchoMeasurement(probes_sent=self.probes_sent, rtts_us=corrected)
+
+
+@dataclass
+class ServerReport:
+    """Summary of an echo-server result: how many probes it saw."""
+
+    echoes: int
+
+    @classmethod
+    def from_result(cls, result: bytes) -> "ServerReport":
+        pairs = decode_result_pairs(result)
+        if len(pairs) != 1 or pairs[0][0] != 0:
+            raise DebugletError("malformed echo-server result")
+        return cls(echoes=pairs[0][1])
+
+
+@dataclass
+class OneWayMeasurement:
+    """Per-direction delay/loss from a sender/receiver result pair.
+
+    This is Debuglet's unidirectional measurement (§III): forward-path
+    performance isolated from the reverse path.
+    """
+
+    sent: int
+    delays_us: dict[int, int]  # seq -> one-way delay
+
+    @classmethod
+    def combine(cls, sender_result: bytes, receiver_result: bytes) -> "OneWayMeasurement":
+        send_times = dict(decode_result_pairs(sender_result))
+        arrivals = dict(decode_result_pairs(receiver_result))
+        delays: dict[int, int] = {}
+        for seq, arrival_us in arrivals.items():
+            if seq not in send_times:
+                raise DebugletError(f"receiver saw unknown seq {seq}")
+            delays[seq] = arrival_us - send_times[seq]
+        return cls(sent=len(send_times), delays_us=delays)
+
+    @property
+    def received(self) -> int:
+        return len(self.delays_us)
+
+    def loss_rate(self) -> float:
+        if self.sent == 0:
+            return 0.0
+        return (self.sent - self.received) / self.sent
+
+    def mean_delay_ms(self) -> float:
+        if not self.delays_us:
+            return float("nan")
+        return float(np.mean(list(self.delays_us.values()))) / 1e3
+
+    def std_delay_ms(self) -> float:
+        if len(self.delays_us) < 2:
+            return 0.0
+        return float(np.std(list(self.delays_us.values()), ddof=1)) / 1e3
+
+    def summary(self) -> dict:
+        return {
+            "sent": self.sent,
+            "received": self.received,
+            "mean_delay_ms": self.mean_delay_ms(),
+            "std_delay_ms": self.std_delay_ms(),
+            "loss_rate": self.loss_rate(),
+        }

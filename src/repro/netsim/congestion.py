@@ -1,0 +1,177 @@
+"""Time-varying link congestion.
+
+A :class:`CongestionProcess` models the utilization ``u(t)`` of a link (or
+aggregate Internet path) as a deterministic diurnal baseline plus randomly
+placed bursts. Queueing-delay samples and drop probabilities are derived
+from the utilization at the query instant, with priority classes seeing a
+fraction of the backlog — this is the mechanism behind the paper's
+observation that ICMP (priority-queued) shows lower jitter than UDP/TCP.
+"""
+
+from __future__ import annotations
+
+import bisect
+import math
+from dataclasses import dataclass, field
+
+from repro.common.rng import RngStream, derive_rng
+
+DAY = 86400.0
+
+
+@dataclass(frozen=True)
+class Burst:
+    """A transient utilization increase on a link."""
+
+    start: float
+    duration: float
+    magnitude: float
+
+    @property
+    def end(self) -> float:
+        return self.start + self.duration
+
+
+@dataclass
+class CongestionConfig:
+    """Parameters of a congestion process.
+
+    ``base_utilization`` is the average fraction of capacity in use;
+    ``diurnal_amplitude`` adds a sinusoid with a one-day period;
+    bursts arrive as a Poisson process with the given rate (per second),
+    exponential durations, and uniform magnitudes.
+    """
+
+    base_utilization: float = 0.30
+    diurnal_amplitude: float = 0.10
+    diurnal_phase: float = 0.0
+    burst_rate: float = 1.0 / 3600.0
+    burst_mean_duration: float = 120.0
+    burst_magnitude_range: tuple[float, float] = (0.15, 0.45)
+    queue_service_time: float = 0.4e-3
+    queue_shape: float = 2.0
+    priority_backlog_fraction: float = 0.12
+    drop_threshold: float = 0.70
+    drop_scale: float = 0.25
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.base_utilization < 1.0:
+            raise ValueError("base_utilization must be in [0, 1)")
+        if self.queue_service_time <= 0:
+            raise ValueError("queue_service_time must be positive")
+
+
+class CongestionProcess:
+    """Deterministic, seedable utilization process over a fixed horizon.
+
+    The burst schedule is materialized up front for ``horizon`` seconds so
+    that ``utilization(t)`` is a pure function of construction parameters —
+    queries never mutate state and the process can be shared by many
+    packets.
+    """
+
+    def __init__(
+        self,
+        config: CongestionConfig,
+        *,
+        seed: int = 0,
+        label: str = "congestion",
+        horizon: float = 2 * DAY,
+    ) -> None:
+        self.config = config
+        self.horizon = horizon
+        self._bursts: list[Burst] = []
+        self._burst_starts: list[float] = []
+        self._extra: list[Burst] = []  # fault-injected bursts, kept separate
+        rng = derive_rng(seed, label, "bursts")
+        self._generate_bursts(rng)
+
+    def _generate_bursts(self, rng: RngStream) -> None:
+        config = self.config
+        if config.burst_rate <= 0:
+            return
+        time = 0.0
+        low, high = config.burst_magnitude_range
+        while True:
+            time += float(rng.exponential(1.0 / config.burst_rate))
+            if time >= self.horizon:
+                break
+            duration = float(rng.exponential(config.burst_mean_duration))
+            magnitude = float(rng.uniform(low, high))
+            self._bursts.append(Burst(time, duration, magnitude))
+        self._burst_starts = [burst.start for burst in self._bursts]
+
+    def inject_burst(self, start: float, duration: float, magnitude: float) -> Burst:
+        """Add a fault-injected congestion episode (used by fault injection)."""
+        burst = Burst(start, duration, magnitude)
+        self._extra.append(burst)
+        return burst
+
+    def clear_injected(self) -> None:
+        """Remove all fault-injected bursts."""
+        self._extra.clear()
+
+    def utilization(self, t: float) -> float:
+        """Utilization in [0, 0.99] at simulated time ``t``."""
+        config = self.config
+        value = config.base_utilization
+        if config.diurnal_amplitude:
+            value += config.diurnal_amplitude * math.sin(
+                2.0 * math.pi * t / DAY + config.diurnal_phase
+            )
+        # Natural bursts: only those starting at or before t can be active.
+        index = bisect.bisect_right(self._burst_starts, t)
+        for burst in self._bursts[max(0, index - 64) : index]:
+            if burst.start <= t < burst.end:
+                value += burst.magnitude
+        for burst in self._extra:
+            if burst.start <= t < burst.end:
+                value += burst.magnitude
+        return min(max(value, 0.0), 0.99)
+
+    def mean_queue_delay(self, t: float, *, priority: bool = False) -> float:
+        """Expected queueing delay at ``t`` for the given service class.
+
+        Uses the M/M/1-style ``u / (1 - u)`` backlog growth; priority
+        traffic only sees ``priority_backlog_fraction`` of the backlog.
+        """
+        u = self.utilization(t)
+        backlog = u / (1.0 - u)
+        if priority:
+            backlog *= self.config.priority_backlog_fraction
+        return backlog * self.config.queue_service_time
+
+    def sample_queue_delay(
+        self, t: float, rng: RngStream, *, priority: bool = False
+    ) -> float:
+        """Draw a queueing delay with the class-appropriate mean."""
+        mean = self.mean_queue_delay(t, priority=priority)
+        if mean <= 0.0:
+            return 0.0
+        shape = self.config.queue_shape
+        return float(rng.gamma(shape, mean / shape))
+
+    def drop_probability(self, t: float, *, multiplier: float = 1.0) -> float:
+        """Congestion-loss probability at ``t``.
+
+        Zero below ``drop_threshold`` utilization, then grows quadratically.
+        ``multiplier`` applies protocol-differential treatment (e.g. routers
+        deprioritizing TCP on congested links, per §II).
+        """
+        u = self.utilization(t)
+        excess = u - self.config.drop_threshold
+        if excess <= 0.0:
+            return 0.0
+        probability = self.config.drop_scale * excess * excess * multiplier
+        return min(probability, 1.0)
+
+
+def calm_congestion(seed: int = 0, label: str = "calm") -> CongestionProcess:
+    """A nearly idle link: negligible queueing, no natural bursts."""
+    config = CongestionConfig(
+        base_utilization=0.05,
+        diurnal_amplitude=0.0,
+        burst_rate=0.0,
+        queue_service_time=0.05e-3,
+    )
+    return CongestionProcess(config, seed=seed, label=label)

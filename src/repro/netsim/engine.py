@@ -1,0 +1,122 @@
+"""Discrete-event simulation engine.
+
+A :class:`Simulator` owns a priority queue of timestamped events. Components
+schedule callbacks; the run loop pops them in time order. Ties are broken by
+insertion order, which keeps runs fully deterministic.
+"""
+
+from __future__ import annotations
+
+import heapq
+from itertools import count
+from typing import Any, Callable
+
+from repro.common.errors import SimulationError
+
+
+class EventHandle:
+    """A scheduled event that can be cancelled before it fires."""
+
+    __slots__ = ("time", "callback", "args", "cancelled")
+
+    def __init__(self, time: float, callback: Callable[..., None], args: tuple):
+        self.time = time
+        self.callback = callback
+        self.args = args
+        self.cancelled = False
+
+    def cancel(self) -> None:
+        """Prevent the event from firing. Safe to call more than once."""
+        self.cancelled = True
+
+
+class Simulator:
+    """A deterministic discrete-event simulator.
+
+    Time is a float in seconds, starting at 0.0. Events scheduled for the
+    same instant fire in the order they were scheduled.
+    """
+
+    def __init__(self) -> None:
+        self._queue: list[tuple[float, int, EventHandle]] = []
+        self._sequence = count()
+        self._now = 0.0
+        self._running = False
+        self._events_processed = 0
+
+    @property
+    def now(self) -> float:
+        """Current simulated time in seconds."""
+        return self._now
+
+    @property
+    def events_processed(self) -> int:
+        """Number of events that have fired so far."""
+        return self._events_processed
+
+    @property
+    def pending_events(self) -> int:
+        """Number of events still queued (including cancelled ones)."""
+        return len(self._queue)
+
+    def schedule_at(
+        self, time: float, callback: Callable[..., None], *args: Any
+    ) -> EventHandle:
+        """Schedule ``callback(*args)`` at absolute simulated ``time``."""
+        if time < self._now:
+            raise SimulationError(
+                f"cannot schedule event at {time} before current time {self._now}"
+            )
+        handle = EventHandle(time, callback, args)
+        heapq.heappush(self._queue, (time, next(self._sequence), handle))
+        return handle
+
+    def schedule(
+        self, delay: float, callback: Callable[..., None], *args: Any
+    ) -> EventHandle:
+        """Schedule ``callback(*args)`` after ``delay`` seconds."""
+        if delay < 0:
+            raise SimulationError(f"negative delay: {delay}")
+        return self.schedule_at(self._now + delay, callback, *args)
+
+    def step(self) -> bool:
+        """Fire the next non-cancelled event. Returns False when idle."""
+        while self._queue:
+            time, _, handle = heapq.heappop(self._queue)
+            if handle.cancelled:
+                continue
+            self._now = time
+            self._events_processed += 1
+            handle.callback(*handle.args)
+            return True
+        return False
+
+    def run(self, until: float | None = None) -> None:
+        """Run events until the queue drains or simulated ``until`` passes.
+
+        With ``until`` set, the clock is advanced to exactly ``until`` even
+        if the last event fires earlier, so repeated ``run(until=...)``
+        calls observe monotonically increasing time.
+        """
+        if self._running:
+            raise SimulationError("simulator is already running (reentrant run)")
+        self._running = True
+        try:
+            while self._queue:
+                time, _, handle = self._queue[0]
+                if until is not None and time > until:
+                    break
+                heapq.heappop(self._queue)
+                if handle.cancelled:
+                    continue
+                self._now = time
+                self._events_processed += 1
+                handle.callback(*handle.args)
+            if until is not None and until > self._now:
+                self._now = until
+        finally:
+            self._running = False
+
+    def run_until_idle(self) -> None:
+        """Run until no events remain."""
+        self.run(until=None)

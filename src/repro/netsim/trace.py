@@ -1,0 +1,104 @@
+"""Measurement traces: per-probe records and summary statistics.
+
+A :class:`MeasurementTrace` is what every probing tool in this repository
+produces — the paper's Table I cells (RTT mean/std, loss per-mille) are
+direct summaries of one trace each.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.netsim.packet import Protocol
+
+
+@dataclass
+class ProbeRecord:
+    """One probe's fate. ``rtt`` is ``None`` when the probe was lost."""
+
+    seq: int
+    send_time: float
+    rtt: float | None = None
+    receive_time: float | None = None
+
+    @property
+    def lost(self) -> bool:
+        return self.rtt is None
+
+
+@dataclass
+class MeasurementTrace:
+    """An ordered collection of probe records for one (pair, protocol)."""
+
+    protocol: Protocol
+    label: str = ""
+    records: list[ProbeRecord] = field(default_factory=list)
+
+    def add(self, record: ProbeRecord) -> None:
+        self.records.append(record)
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    @property
+    def sent(self) -> int:
+        return len(self.records)
+
+    @property
+    def lost(self) -> int:
+        return sum(1 for record in self.records if record.lost)
+
+    @property
+    def received(self) -> int:
+        return self.sent - self.lost
+
+    def loss_rate(self) -> float:
+        """Fraction of probes lost, in [0, 1]."""
+        if not self.records:
+            return 0.0
+        return self.lost / self.sent
+
+    def loss_per_mille(self) -> float:
+        """Loss in the paper's per-thousandths (‰) unit."""
+        return self.loss_rate() * 1000.0
+
+    def rtts(self) -> np.ndarray:
+        """Round-trip times of received probes, in seconds."""
+        return np.array(
+            [record.rtt for record in self.records if record.rtt is not None]
+        )
+
+    def rtts_ms(self) -> np.ndarray:
+        return self.rtts() * 1e3
+
+    def mean_rtt_ms(self) -> float:
+        values = self.rtts_ms()
+        return float(values.mean()) if values.size else float("nan")
+
+    def std_rtt_ms(self) -> float:
+        values = self.rtts_ms()
+        return float(values.std(ddof=1)) if values.size > 1 else 0.0
+
+    def percentile_ms(self, q: float) -> float:
+        values = self.rtts_ms()
+        return float(np.percentile(values, q)) if values.size else float("nan")
+
+    def time_series(self) -> tuple[np.ndarray, np.ndarray]:
+        """(send_time, rtt_ms) arrays for received probes — Fig 1–3 data."""
+        times = [r.send_time for r in self.records if r.rtt is not None]
+        rtts = [r.rtt * 1e3 for r in self.records if r.rtt is not None]
+        return np.array(times), np.array(rtts)
+
+    def summary(self) -> dict:
+        """The Table I cell for this trace."""
+        return {
+            "protocol": self.protocol.name,
+            "label": self.label,
+            "sent": self.sent,
+            "received": self.received,
+            "mean_ms": self.mean_rtt_ms(),
+            "std_ms": self.std_rtt_ms(),
+            "loss_per_mille": self.loss_per_mille(),
+        }

@@ -1,0 +1,19 @@
+"""Path-aware networking (SCION-like) on top of the simulator.
+
+Provides what Debuglet's design requires from the network architecture
+(§III-A): endpoints can discover interface-level paths, select among them
+under policy, derive sub-paths between vantage points, and read metadata
+that ASes attach to routing announcements.
+"""
+
+from repro.pathaware.discovery import BeaconMetadata, PathRegistry
+from repro.pathaware.segments import PathSegment
+from repro.pathaware.selection import PathPolicy, PathSelector
+
+__all__ = [
+    "BeaconMetadata",
+    "PathPolicy",
+    "PathRegistry",
+    "PathSegment",
+    "PathSelector",
+]

@@ -1,0 +1,143 @@
+"""Path discovery: enumerate interface-level paths through the AS graph.
+
+Stands in for SCION beaconing / segment-routing topology distribution. The
+registry enumerates simple AS-level paths deterministically (neighbors in
+sorted interface order, shortest first), so endpoints — and tests — always
+see the same candidate set for a given topology.
+
+Beacons can also carry *metadata*, which §VI-A uses as the decentralized
+channel for advertising Debuglet executors in routing messages.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.common.errors import ConfigurationError
+from repro.netsim.topology import PathHop, Topology
+from repro.pathaware.segments import PathSegment
+
+
+@dataclass(frozen=True)
+class BeaconMetadata:
+    """A metadata record an AS attaches to its routing announcements."""
+
+    asn: int
+    kind: str
+    payload: tuple[tuple[str, Any], ...]
+
+    def as_dict(self) -> dict[str, Any]:
+        return dict(self.payload)
+
+
+class PathRegistry:
+    """Enumerates and caches paths over a topology.
+
+    ``max_path_length`` bounds the number of inter-domain links considered;
+    ``max_paths`` bounds how many candidates are returned per AS pair.
+    """
+
+    def __init__(
+        self,
+        topology: Topology,
+        *,
+        max_path_length: int = 16,
+        max_paths: int = 8,
+    ) -> None:
+        if max_path_length < 1 or max_paths < 1:
+            raise ConfigurationError("path bounds must be >= 1")
+        self.topology = topology
+        self.max_path_length = max_path_length
+        self.max_paths = max_paths
+        self._cache: dict[tuple[int, int], list[PathSegment]] = {}
+        self._metadata: list[BeaconMetadata] = []
+
+    def invalidate(self) -> None:
+        """Drop cached paths (call after topology changes)."""
+        self._cache.clear()
+
+    def paths(self, src_asn: int, dst_asn: int) -> list[PathSegment]:
+        """All candidate paths from ``src_asn`` to ``dst_asn``.
+
+        Sorted by AS-path length, then by hop key for determinism.
+        """
+        cache_key = (src_asn, dst_asn)
+        if cache_key in self._cache:
+            return self._cache[cache_key]
+        if src_asn == dst_asn:
+            segments = [PathSegment.from_hops([PathHop(src_asn, None, None)])]
+            self._cache[cache_key] = segments
+            return segments
+
+        found: list[PathSegment] = []
+        # Iterative DFS over (asn, trail, visited); trail holds
+        # (asn, egress, peer_asn, peer_ingress) steps.
+        stack: list[tuple[int, tuple, frozenset[int]]] = [
+            (src_asn, (), frozenset({src_asn}))
+        ]
+        while stack:
+            asn, trail, visited = stack.pop()
+            if len(trail) >= self.max_path_length:
+                continue
+            for egress, peer_asn, peer_ingress in reversed(
+                self.topology.neighbors(asn)
+            ):
+                if peer_asn in visited:
+                    continue
+                new_trail = trail + ((asn, egress, peer_asn, peer_ingress),)
+                if peer_asn == dst_asn:
+                    found.append(_trail_to_segment(new_trail))
+                else:
+                    stack.append((peer_asn, new_trail, visited | {peer_asn}))
+
+        found.sort(key=lambda segment: (segment.length, segment.key()))
+        segments = found[: self.max_paths]
+        self._cache[cache_key] = segments
+        return segments
+
+    def shortest(self, src_asn: int, dst_asn: int) -> PathSegment:
+        candidates = self.paths(src_asn, dst_asn)
+        if not candidates:
+            raise ConfigurationError(f"no path from AS {src_asn} to AS {dst_asn}")
+        return candidates[0]
+
+    # ----------------------------------------------------- beacon metadata
+
+    def announce(self, metadata: BeaconMetadata) -> None:
+        """Attach ``metadata`` to the origin AS's routing announcements.
+
+        Every AS that can reach the origin learns the metadata — the
+        propagation model of BGP/SCION beaconing, abstracted to instant
+        convergence.
+        """
+        self._metadata.append(metadata)
+
+    def withdraw(self, metadata: BeaconMetadata) -> None:
+        self._metadata.remove(metadata)
+
+    def metadata_from(self, asn: int, *, kind: str | None = None) -> list[BeaconMetadata]:
+        """Metadata announced by ``asn`` (optionally filtered by kind)."""
+        return [
+            record
+            for record in self._metadata
+            if record.asn == asn and (kind is None or record.kind == kind)
+        ]
+
+    def all_metadata(self, *, kind: str | None = None) -> list[BeaconMetadata]:
+        return [
+            record
+            for record in self._metadata
+            if kind is None or record.kind == kind
+        ]
+
+
+def _trail_to_segment(trail: tuple) -> PathSegment:
+    hops: list[PathHop] = []
+    ingress: int | None = None
+    for asn, egress, peer_asn, peer_ingress in trail:
+        hops.append(PathHop(asn, ingress, egress))
+        ingress = peer_ingress
+    last = trail[-1]
+    hops.append(PathHop(last[2], ingress, None))
+    return PathSegment.from_hops(hops)

@@ -1,0 +1,118 @@
+"""Path segments: interface-level forwarding paths as first-class values.
+
+Debuglet requires path-aware networking (§III-A): the initiator must pin
+the exact sequence of ``<AS, ingress interface, egress interface>`` hops a
+measurement packet takes, and must be able to derive sub-paths between two
+on-path vantage points. :class:`PathSegment` provides those operations on
+top of :class:`repro.netsim.topology.PathHop`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.common.errors import ConfigurationError
+from repro.netsim.topology import InterfaceId, PathHop
+
+
+@dataclass(frozen=True)
+class PathSegment:
+    """An immutable interface-level path between two ASes."""
+
+    hops: tuple[PathHop, ...]
+
+    def __post_init__(self) -> None:
+        if not self.hops:
+            raise ConfigurationError("a path segment needs at least one hop")
+        for hop, nxt in zip(self.hops, self.hops[1:]):
+            if hop.egress is None or nxt.ingress is None:
+                raise ConfigurationError(
+                    "interior hops may only appear at segment endpoints"
+                )
+
+    @classmethod
+    def from_hops(cls, hops: list[PathHop]) -> "PathSegment":
+        return cls(tuple(hops))
+
+    @property
+    def src_asn(self) -> int:
+        return self.hops[0].asn
+
+    @property
+    def dst_asn(self) -> int:
+        return self.hops[-1].asn
+
+    @property
+    def length(self) -> int:
+        """Number of inter-domain links crossed."""
+        return len(self.hops) - 1
+
+    def asns(self) -> list[int]:
+        return [hop.asn for hop in self.hops]
+
+    def as_list(self) -> list[PathHop]:
+        return list(self.hops)
+
+    def interfaces(self) -> list[InterfaceId]:
+        """Every inter-domain interface the path touches, in order."""
+        result: list[InterfaceId] = []
+        for hop in self.hops:
+            if hop.ingress is not None:
+                result.append(InterfaceId(hop.asn, hop.ingress))
+            if hop.egress is not None:
+                result.append(InterfaceId(hop.asn, hop.egress))
+        return result
+
+    def inter_domain_links(self) -> list[tuple[InterfaceId, InterfaceId]]:
+        """The (egress, ingress) interface pairs of each crossed link."""
+        pairs = []
+        for hop, nxt in zip(self.hops, self.hops[1:]):
+            pairs.append(
+                (InterfaceId(hop.asn, hop.egress), InterfaceId(nxt.asn, nxt.ingress))
+            )
+        return pairs
+
+    def reversed(self) -> "PathSegment":
+        """The same path traversed in the opposite direction."""
+        hops = tuple(
+            PathHop(hop.asn, ingress=hop.egress, egress=hop.ingress)
+            for hop in reversed(self.hops)
+        )
+        return PathSegment(hops)
+
+    def subsegment(self, from_asn: int, to_asn: int) -> "PathSegment":
+        """The sub-path between two on-path ASes (inclusive).
+
+        The endpoints of the returned segment keep their on-path ingress
+        and egress interfaces trimmed to interior endpoints, because a
+        measurement between vantage points starts/ends at those ASes.
+        """
+        asns = self.asns()
+        if from_asn not in asns or to_asn not in asns:
+            raise ConfigurationError("both ASes must be on the path")
+        start = asns.index(from_asn)
+        end = asns.index(to_asn)
+        if start > end:
+            raise ConfigurationError(
+                f"AS {from_asn} does not precede AS {to_asn} on this path"
+            )
+        hops = list(self.hops[start : end + 1])
+        hops[0] = PathHop(hops[0].asn, ingress=None, egress=hops[0].egress)
+        hops[-1] = PathHop(hops[-1].asn, ingress=hops[-1].ingress, egress=None)
+        return PathSegment(tuple(hops))
+
+    def contains_link(self, a: InterfaceId, b: InterfaceId) -> bool:
+        links = self.inter_domain_links()
+        return (a, b) in links or (b, a) in links
+
+    def key(self) -> tuple:
+        """A hashable identity usable as a dict key."""
+        return tuple((h.asn, h.ingress, h.egress) for h in self.hops)
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        parts = []
+        for hop in self.hops:
+            ingress = "" if hop.ingress is None else f"{hop.ingress}>"
+            egress = "" if hop.egress is None else f">{hop.egress}"
+            parts.append(f"{ingress}AS{hop.asn}{egress}")
+        return " ".join(parts)

@@ -1,0 +1,65 @@
+"""Endpoint path selection policies.
+
+Path-aware architectures let endpoints choose among candidate paths. The
+Debuglet initiator uses this to (a) reproduce the path its degraded traffic
+takes and (b) construct measurement sub-paths between executor vantage
+points.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.common.errors import ConfigurationError
+from repro.netsim.topology import InterfaceId
+from repro.pathaware.discovery import PathRegistry
+from repro.pathaware.segments import PathSegment
+
+
+@dataclass
+class PathPolicy:
+    """Constraints an acceptable path must satisfy."""
+
+    avoid_asns: frozenset[int] = frozenset()
+    require_asns: frozenset[int] = frozenset()
+    require_links: tuple[tuple[InterfaceId, InterfaceId], ...] = ()
+    max_length: int | None = None
+
+    def admits(self, segment: PathSegment) -> bool:
+        asns = set(segment.asns())
+        if asns & self.avoid_asns:
+            return False
+        if not self.require_asns <= asns:
+            return False
+        if self.max_length is not None and segment.length > self.max_length:
+            return False
+        for a, b in self.require_links:
+            if not segment.contains_link(a, b):
+                return False
+        return True
+
+
+class PathSelector:
+    """Select paths from a registry subject to a policy."""
+
+    def __init__(self, registry: PathRegistry) -> None:
+        self.registry = registry
+
+    def candidates(
+        self, src_asn: int, dst_asn: int, policy: PathPolicy | None = None
+    ) -> list[PathSegment]:
+        segments = self.registry.paths(src_asn, dst_asn)
+        if policy is None:
+            return segments
+        return [segment for segment in segments if policy.admits(segment)]
+
+    def select(
+        self, src_asn: int, dst_asn: int, policy: PathPolicy | None = None
+    ) -> PathSegment:
+        """The best (shortest admissible) path, or raise."""
+        candidates = self.candidates(src_asn, dst_asn, policy)
+        if not candidates:
+            raise ConfigurationError(
+                f"no admissible path from AS {src_asn} to AS {dst_asn}"
+            )
+        return candidates[0]

@@ -1,0 +1,167 @@
+"""Assembler: textual Debuglet assembly → :class:`~repro.sandbox.module.Module`.
+
+The source format, one item per line (``;`` starts a comment):
+
+.. code-block:: text
+
+    .memory 65536
+    .buffer udp_send_buffer 0 1024
+    .buffer udp_recv_buffer 1024 1056
+    .global counter 0
+    .func run_debuglet 0 2        ; name, n_params, n_locals
+        push 10
+        local_set 0
+    loop:                          ; labels end with ':'
+        local_get 0
+        jz done
+        local_get 0
+        push 1
+        sub
+        local_set 0
+        jmp loop
+    done:
+        push 0
+        ret
+    .end
+
+Numeric immediates may be decimal (optionally negative) or ``0x`` hex.
+Jumps take label names; the assembler resolves them to instruction
+indices. ``host`` and ``call`` take symbolic names kept as strings.
+"""
+
+from __future__ import annotations
+
+from repro.common.errors import SandboxError
+from repro.sandbox.isa import Instruction, Op
+from repro.sandbox.module import BufferSpec, Function, Module
+
+_OPS_BY_NAME = {op.value: op for op in Op}
+_LABEL_OPS = (Op.JMP, Op.JZ, Op.JNZ)
+_NAME_OPS = (Op.CALL, Op.HOST, Op.GLOBAL_GET, Op.GLOBAL_SET)
+_INT_OPS = (Op.PUSH, Op.LOCAL_GET, Op.LOCAL_SET, Op.LOCAL_TEE)
+
+
+class AssemblyError(SandboxError):
+    """Raised with the offending line number on any parse failure."""
+
+    def __init__(self, line_no: int, message: str):
+        super().__init__(f"line {line_no}: {message}")
+        self.line_no = line_no
+
+
+def _parse_int(token: str, line_no: int) -> int:
+    try:
+        return int(token, 0)
+    except ValueError:
+        raise AssemblyError(line_no, f"expected integer, got {token!r}") from None
+
+
+def assemble(source: str) -> Module:
+    """Assemble ``source`` into a validated :class:`Module`."""
+    memory_size = 65536
+    buffers: dict[str, BufferSpec] = {}
+    globals_: dict[str, int] = {}
+    functions: dict[str, Function] = {}
+
+    current: Function | None = None
+    labels: dict[str, int] = {}
+    fixups: list[tuple[int, str, int]] = []  # (code index, label, line)
+
+    for line_no, raw_line in enumerate(source.splitlines(), start=1):
+        line = raw_line.split(";", 1)[0].strip()
+        if not line:
+            continue
+        tokens = line.split()
+        head = tokens[0]
+
+        if head == ".memory":
+            if len(tokens) != 2:
+                raise AssemblyError(line_no, ".memory takes one argument")
+            memory_size = _parse_int(tokens[1], line_no)
+            continue
+        if head == ".buffer":
+            if len(tokens) != 4:
+                raise AssemblyError(line_no, ".buffer takes name, offset, size")
+            name = tokens[1]
+            if name in buffers:
+                raise AssemblyError(line_no, f"duplicate buffer {name!r}")
+            buffers[name] = BufferSpec(
+                name, _parse_int(tokens[2], line_no), _parse_int(tokens[3], line_no)
+            )
+            continue
+        if head == ".global":
+            if len(tokens) != 3:
+                raise AssemblyError(line_no, ".global takes name and initial value")
+            if tokens[1] in globals_:
+                raise AssemblyError(line_no, f"duplicate global {tokens[1]!r}")
+            globals_[tokens[1]] = _parse_int(tokens[2], line_no)
+            continue
+        if head == ".func":
+            if current is not None:
+                raise AssemblyError(line_no, "nested .func (missing .end?)")
+            if len(tokens) != 4:
+                raise AssemblyError(line_no, ".func takes name, n_params, n_locals")
+            name = tokens[1]
+            if name in functions:
+                raise AssemblyError(line_no, f"duplicate function {name!r}")
+            current = Function(
+                name, _parse_int(tokens[2], line_no), _parse_int(tokens[3], line_no)
+            )
+            labels = {}
+            fixups = []
+            continue
+        if head == ".end":
+            if current is None:
+                raise AssemblyError(line_no, ".end outside a function")
+            for index, label, fixup_line in fixups:
+                if label not in labels:
+                    raise AssemblyError(fixup_line, f"undefined label {label!r}")
+                old = current.code[index]
+                current.code[index] = Instruction(old.op, labels[label])
+            functions[current.name] = current
+            current = None
+            continue
+
+        if current is None:
+            raise AssemblyError(line_no, f"instruction outside a function: {line!r}")
+
+        if head.endswith(":") and len(tokens) == 1:
+            label = head[:-1]
+            if label in labels:
+                raise AssemblyError(line_no, f"duplicate label {label!r}")
+            labels[label] = len(current.code)
+            continue
+
+        op = _OPS_BY_NAME.get(head)
+        if op is None:
+            raise AssemblyError(line_no, f"unknown instruction {head!r}")
+        if op in _LABEL_OPS:
+            if len(tokens) != 2:
+                raise AssemblyError(line_no, f"{head} takes a label")
+            fixups.append((len(current.code), tokens[1], line_no))
+            current.code.append(Instruction(op, -1))  # patched at .end
+        elif op in _NAME_OPS:
+            if len(tokens) != 2:
+                raise AssemblyError(line_no, f"{head} takes a name")
+            current.code.append(Instruction(op, tokens[1]))
+        elif op in _INT_OPS:
+            if len(tokens) != 2:
+                raise AssemblyError(line_no, f"{head} takes an integer")
+            current.code.append(Instruction(op, _parse_int(tokens[1], line_no)))
+        else:
+            if len(tokens) != 1:
+                raise AssemblyError(line_no, f"{head} takes no argument")
+            current.code.append(Instruction(op))
+
+    if current is not None:
+        raise AssemblyError(len(source.splitlines()), "unterminated .func")
+
+    module = Module(
+        functions=functions,
+        memory_size=memory_size,
+        buffers=buffers,
+        globals=globals_,
+        source=source,
+    )
+    module.validate()
+    return module

@@ -1,0 +1,61 @@
+"""Host operations: the narrow API between a Debuglet and its executor.
+
+The paper's executor gives WA bytecode (1) protocol-namespaced send and
+receive buffers and (2) an API to request packet transmission and
+reception, plus an output buffer for results (§IV-B). These are the
+corresponding operations. Every argument and result is a 64-bit integer;
+bulk data moves through the module's declared buffers.
+
+``net_recv`` writes a 32-byte header followed by the payload into the
+receive buffer::
+
+    offset 0:  source contact index (or -1 if the sender is not a contact)
+    offset 8:  source port
+    offset 16: sequence number
+    offset 24: receive timestamp (microseconds)
+
+Protocols are named by their IP protocol number (17=UDP, 6=TCP, 1=ICMP,
+201=raw IP), matching :class:`repro.netsim.packet.Protocol`.
+"""
+
+from __future__ import annotations
+
+from repro.common.errors import SandboxError
+from repro.netsim.packet import Protocol
+
+#: op name -> (number of i64 arguments, number of i64 results)
+HOST_OPS: dict[str, tuple[int, int]] = {
+    "now_us": (0, 1),  # -> current time in microseconds
+    "sleep_until_us": (1, 1),  # (wake_time_us) -> 0; blocks
+    "net_send": (5, 1),  # (proto, contact_idx, dst_port, seq, size) -> 1
+    "net_recv": (2, 1),  # (proto, timeout_us) -> payload size or -1; blocks
+    "net_reply": (3, 1),  # (proto, seq, size) -> 1 or 0 (nothing to reply to)
+    "result_i64": (1, 1),  # (value) -> 0; append 8 bytes to the output
+    "result_bytes": (2, 1),  # (offset, length) -> 0; append from memory
+    "log_i64": (1, 1),  # (value) -> 0; debug channel
+    "rand_u32": (0, 1),  # -> executor-provided randomness (e.g. TCP seq)
+}
+
+#: Header size net_recv prepends in the receive buffer.
+RECV_HEADER_SIZE = 32
+
+#: Ops that can suspend the program while simulated time passes.
+BLOCKING_OPS = frozenset({"sleep_until_us", "net_recv"})
+
+
+def arity_of(name: str) -> int:
+    """Number of arguments ``name`` pops; trap on unknown ops."""
+    if name not in HOST_OPS:
+        raise SandboxError(f"unknown host operation {name!r}")
+    return HOST_OPS[name][0]
+
+
+_PROTOCOLS_BY_NUMBER = {p.wire_number: p for p in Protocol}
+
+
+def protocol_from_number(number: int) -> Protocol:
+    """Map a wire protocol number to :class:`Protocol`; trap if unknown."""
+    protocol = _PROTOCOLS_BY_NUMBER.get(number)
+    if protocol is None:
+        raise SandboxError(f"unsupported protocol number {number}")
+    return protocol

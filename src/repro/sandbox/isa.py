@@ -1,0 +1,104 @@
+"""Instruction set of the Debuglet bytecode VM.
+
+A deliberately small, WebAssembly-flavoured stack machine: 64-bit integer
+values, structured locals per call frame, a byte-addressed linear memory,
+and explicit ``HOST`` instructions for everything that touches the outside
+world. Every instruction costs fuel, which is how executors bound a
+Debuglet to "a finite number of instructions" (§IV-B).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+
+class Op(enum.Enum):
+    """Opcodes. The comment gives stack effect ``before -- after``."""
+
+    PUSH = "push"  # -- v              (arg: immediate)
+    DROP = "drop"  # v --
+    DUP = "dup"  # v -- v v
+    SWAP = "swap"  # a b -- b a
+
+    ADD = "add"  # a b -- a+b
+    SUB = "sub"  # a b -- a-b
+    MUL = "mul"  # a b -- a*b
+    DIVS = "divs"  # a b -- a//b       (signed; traps on b == 0)
+    REMS = "rems"  # a b -- a%b        (signed; traps on b == 0)
+    AND = "and"  # a b -- a&b
+    OR = "or"  # a b -- a|b
+    XOR = "xor"  # a b -- a^b
+    SHL = "shl"  # a b -- a<<b
+    SHRU = "shru"  # a b -- a>>b      (logical)
+
+    EQ = "eq"  # a b -- (a==b)
+    NE = "ne"  # a b -- (a!=b)
+    LTS = "lts"  # a b -- (a<b signed)
+    GTS = "gts"  # a b -- (a>b signed)
+    LES = "les"  # a b -- (a<=b signed)
+    GES = "ges"  # a b -- (a>=b signed)
+    EQZ = "eqz"  # a -- (a==0)
+
+    LOCAL_GET = "local_get"  # -- v    (arg: local index)
+    LOCAL_SET = "local_set"  # v --    (arg: local index)
+    LOCAL_TEE = "local_tee"  # v -- v  (arg: local index)
+    GLOBAL_GET = "global_get"  # -- v  (arg: global name)
+    GLOBAL_SET = "global_set"  # v --  (arg: global name)
+
+    LOAD8 = "load8"  # addr -- byte
+    STORE8 = "store8"  # addr v --
+    LOAD64 = "load64"  # addr -- v     (little-endian)
+    STORE64 = "store64"  # addr v --
+
+    JMP = "jmp"  # --                  (arg: target index)
+    JZ = "jz"  # c --                  (arg: target index; jump if c == 0)
+    JNZ = "jnz"  # c --                (arg: target index; jump if c != 0)
+    CALL = "call"  # args... -- ret    (arg: function name)
+    RET = "ret"  # v --                (returns top of stack)
+
+    HOST = "host"  # args... -- rets   (arg: host op name)
+    NOP = "nop"  # --
+
+
+#: Fuel cost per instruction; HOST calls are an order of magnitude dearer,
+#: matching the relative expense of a sandbox boundary crossing.
+FUEL_COST = {op: 1 for op in Op}
+FUEL_COST[Op.HOST] = 16
+FUEL_COST[Op.CALL] = 4
+
+
+@dataclass(frozen=True)
+class Instruction:
+    """One decoded instruction."""
+
+    op: Op
+    arg: int | str | None = None
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.op.value if self.arg is None else f"{self.op.value} {self.arg}"
+
+
+_NEEDS_INT_ARG = {
+    Op.PUSH,
+    Op.LOCAL_GET,
+    Op.LOCAL_SET,
+    Op.LOCAL_TEE,
+    Op.JMP,
+    Op.JZ,
+    Op.JNZ,
+}
+_NEEDS_STR_ARG = {Op.GLOBAL_GET, Op.GLOBAL_SET, Op.CALL, Op.HOST}
+
+
+def validate_instruction(instruction: Instruction) -> None:
+    """Raise ``ValueError`` when the argument kind does not match the op."""
+    op, arg = instruction.op, instruction.arg
+    if op in _NEEDS_INT_ARG:
+        if not isinstance(arg, int):
+            raise ValueError(f"{op.value} requires an integer argument, got {arg!r}")
+    elif op in _NEEDS_STR_ARG:
+        if not isinstance(arg, str):
+            raise ValueError(f"{op.value} requires a name argument, got {arg!r}")
+    elif arg is not None:
+        raise ValueError(f"{op.value} takes no argument, got {arg!r}")

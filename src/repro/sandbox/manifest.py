@@ -1,0 +1,132 @@
+"""Debuglet manifests: declared resource needs, evaluated before execution.
+
+Per §IV-B, a Debuglet ships with a manifest containing its resource
+requirements (CPU, duration, memory, packet counts), the addresses it will
+contact, and the capabilities it needs. The remote AS evaluates the
+manifest *before* running anything; at run time the executor enforces it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.common.errors import ManifestError
+from repro.netsim.packet import Address, Protocol
+from repro.sandbox.module import Module
+
+
+@dataclass(frozen=True)
+class Manifest:
+    """Resource and policy declaration accompanying a Debuglet.
+
+    ``contacts`` is the ordered list of remote addresses the program may
+    reach; host ops name peers by index into it, so the program physically
+    cannot address anything undeclared.
+    """
+
+    max_instructions: int
+    max_duration: float
+    max_memory_bytes: int
+    max_packets_sent: int
+    max_packets_received: int
+    contacts: tuple[Address, ...] = ()
+    capabilities: tuple[str, ...] = ()
+    max_result_bytes: int = 65536
+
+    def __post_init__(self) -> None:
+        if self.max_instructions <= 0:
+            raise ManifestError("max_instructions must be positive")
+        if self.max_duration <= 0:
+            raise ManifestError("max_duration must be positive")
+        if self.max_memory_bytes <= 0:
+            raise ManifestError("max_memory_bytes must be positive")
+        if self.max_packets_sent < 0 or self.max_packets_received < 0:
+            raise ManifestError("packet limits must be non-negative")
+        if self.max_result_bytes <= 0:
+            raise ManifestError("max_result_bytes must be positive")
+        unknown = set(self.capabilities) - set(KNOWN_CAPABILITIES)
+        if unknown:
+            raise ManifestError(f"unknown capabilities: {sorted(unknown)}")
+
+    def allows_protocol(self, protocol: Protocol) -> bool:
+        return protocol.name.lower() in self.capabilities
+
+    def validate_module(self, module: Module) -> None:
+        """Static admission check of a module against this manifest."""
+        if module.memory_size > self.max_memory_bytes:
+            raise ManifestError(
+                f"module memory {module.memory_size} exceeds declared "
+                f"{self.max_memory_bytes}"
+            )
+
+    def as_dict(self) -> dict:
+        """Serializable form (stored alongside the application on-chain)."""
+        return {
+            "max_instructions": self.max_instructions,
+            "max_duration": self.max_duration,
+            "max_memory_bytes": self.max_memory_bytes,
+            "max_packets_sent": self.max_packets_sent,
+            "max_packets_received": self.max_packets_received,
+            "contacts": [[c.asn, c.host] for c in self.contacts],
+            "capabilities": list(self.capabilities),
+            "max_result_bytes": self.max_result_bytes,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "Manifest":
+        return cls(
+            max_instructions=data["max_instructions"],
+            max_duration=data["max_duration"],
+            max_memory_bytes=data["max_memory_bytes"],
+            max_packets_sent=data["max_packets_sent"],
+            max_packets_received=data["max_packets_received"],
+            contacts=tuple(Address(asn, host) for asn, host in data["contacts"]),
+            capabilities=tuple(data["capabilities"]),
+            max_result_bytes=data.get("max_result_bytes", 65536),
+        )
+
+
+#: Capabilities a manifest may request: one per probe protocol.
+KNOWN_CAPABILITIES = ("udp", "tcp", "icmp", "raw_ip")
+
+
+@dataclass(frozen=True)
+class ExecutorPolicy:
+    """An AS's admission policy for foreign Debuglets (§IV-B).
+
+    A manifest is admitted only if every declared requirement fits under
+    the policy's ceilings and every requested capability is offered.
+    """
+
+    max_instructions: int = 100_000_000
+    max_duration: float = 3600.0
+    max_memory_bytes: int = 16 * 1024 * 1024
+    max_packets_sent: int = 1_000_000
+    max_packets_received: int = 1_000_000
+    max_result_bytes: int = 1024 * 1024
+    offered_capabilities: tuple[str, ...] = KNOWN_CAPABILITIES
+    blocked_asns: frozenset[int] = frozenset()
+
+    def admit(self, manifest: Manifest) -> None:
+        """Raise :class:`ManifestError` when the manifest is inadmissible."""
+        checks = [
+            ("max_instructions", manifest.max_instructions, self.max_instructions),
+            ("max_duration", manifest.max_duration, self.max_duration),
+            ("max_memory_bytes", manifest.max_memory_bytes, self.max_memory_bytes),
+            ("max_packets_sent", manifest.max_packets_sent, self.max_packets_sent),
+            (
+                "max_packets_received",
+                manifest.max_packets_received,
+                self.max_packets_received,
+            ),
+            ("max_result_bytes", manifest.max_result_bytes, self.max_result_bytes),
+        ]
+        for name, asked, ceiling in checks:
+            if asked > ceiling:
+                raise ManifestError(f"{name}: requested {asked} > policy {ceiling}")
+        missing = set(manifest.capabilities) - set(self.offered_capabilities)
+        if missing:
+            raise ManifestError(f"capabilities not offered: {sorted(missing)}")
+        for contact in manifest.contacts:
+            if contact.asn in self.blocked_asns:
+                raise ManifestError(f"contact AS {contact.asn} is blocked by policy")

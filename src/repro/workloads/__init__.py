@@ -1,0 +1,33 @@
+"""Workloads: the scenarios behind every table and figure."""
+
+from repro.workloads.scenarios import (
+    ChainScenario,
+    Fig6Scenario,
+    MarketplaceTestbed,
+    build_chain,
+    build_internet_like,
+)
+from repro.workloads.wan import (
+    CITY_SPECS,
+    INTERNAL_RTT_MS,
+    LONDON_ASN,
+    CitySpec,
+    ProtoSpec,
+    WanScenario,
+    build_city_link,
+)
+
+__all__ = [
+    "CITY_SPECS",
+    "ChainScenario",
+    "CitySpec",
+    "Fig6Scenario",
+    "INTERNAL_RTT_MS",
+    "LONDON_ASN",
+    "MarketplaceTestbed",
+    "ProtoSpec",
+    "WanScenario",
+    "build_chain",
+    "build_internet_like",
+    "build_city_link",
+]

@@ -1,0 +1,109 @@
+"""Ping and traceroute baselines, including their paper-noted flaws."""
+
+import pytest
+
+from repro.baselines import Ping, Traceroute, ping_sync, traceroute_sync
+from repro.netsim import (
+    FaultInjector,
+    InterfaceId,
+    Protocol,
+    ProtocolTreatment,
+    TreatmentProfile,
+)
+from repro.netsim.packet import Address
+
+
+class TestPing:
+    def test_measures_rtt_and_loss(self, three_as_network):
+        sim, _, _, client, server = three_as_network
+        trace = ping_sync(client, server.address, count=10, interval=0.1)
+        assert trace.sent == 10
+        assert trace.lost == 0
+        assert 20.0 < trace.mean_rtt_ms() < 35.0
+
+    def test_ping_counts_losses(self, three_as_network):
+        sim, topo, _, client, server = three_as_network
+        injector = FaultInjector(topo)
+        injector.link_loss(
+            InterfaceId(2, 2), InterfaceId(3, 1), loss=1.0, start=0.0, end=0.35
+        )
+        trace = ping_sync(client, server.address, count=10, interval=0.1)
+        assert trace.lost == 4  # probes at 0, 0.1, 0.2, 0.3
+
+    def test_ping_measures_icmp_not_data_treatment(self, two_as_network):
+        """The paper's core point: ping sees ICMP's (priority) treatment,
+        missing degradation that only hits data protocols."""
+        sim, topo, _, client, server = two_as_network
+        # Network degrades UDP only.
+        profile = TreatmentProfile(
+            treatments={Protocol.UDP: ProtocolTreatment(extra_delay=30e-3)}
+        )
+        link, _ = topo.link_at(InterfaceId(1, 1))
+        link.forward.treatment = profile
+        link.reverse.treatment = profile
+        ping = Ping(client, server.address, count=5, interval=0.1)
+        udp_sock = client.open_udp(2000)
+        udp_rtts = []
+        udp_sock.on_receive = lambda p, t: udp_rtts.append(t)
+        for i in range(5):
+            sim.schedule_at(i * 0.1, lambda i=i: udp_sock.send(
+                server.address, dst_port=7, seq=i))
+        sim.run_until_idle()
+        icmp_trace = ping.finalize()
+        assert icmp_trace.mean_rtt_ms() < 25.0  # ping looks healthy
+        # ... while actual UDP data traffic suffers.
+        assert udp_rtts  # replies arrived
+        # (UDP replies took an extra 60 ms round trip.)
+
+
+class TestTraceroute:
+    def test_discovers_border_routers_in_order(self, three_as_network):
+        sim, _, _, client, server = three_as_network
+        result = traceroute_sync(client, server.address, max_ttl=6, probe_gap=0.6)
+        responders = [h.responder for h in result.hops if h.responder]
+        assert responders[:4] == [
+            Address(1, "br2"),
+            Address(2, "br1"),
+            Address(2, "br2"),
+            Address(3, "br1"),
+        ]
+        assert result.destination_reached()
+
+    def test_disabled_router_leaves_star(self, three_as_network):
+        sim, topo, _, client, server = three_as_network
+        topo.autonomous_system(2).router(1).ttl_exceeded_enabled = False
+        result = traceroute_sync(client, server.address, max_ttl=5, probe_gap=0.6)
+        ttl2 = [h for h in result.hops if h.ttl == 2]
+        assert all(h.responder is None for h in ttl2)  # '* * *'
+        assert result.silent_hops >= 1
+
+    def test_rate_limited_router_drops_some_probes(self, three_as_network):
+        sim, topo, _, client, server = three_as_network
+        router = topo.autonomous_system(1).router(2)
+        router.icmp_rate_limit = 0.5  # one ICMP per 2 s
+        tracer = Traceroute(
+            client, server.address, max_ttl=1, probes_per_hop=4, probe_gap=0.05
+        )
+        sim.run_until_idle()
+        answered = [h for h in tracer.result.hops if h.responder is not None]
+        assert len(answered) == 1  # only the first probe got an answer
+
+    def test_slow_path_inflates_hop_rtt(self, three_as_network):
+        """Paper §II: routers answer TTL expiry on the slow path, so
+        traceroute RTTs exceed what data packets experience."""
+        sim, topo, _, client, server = three_as_network
+        for asys in topo.ases.values():
+            for router in asys.routers.values():
+                router.slow_path_delay = 30e-3
+                router.slow_path_jitter = 0.0
+        result = traceroute_sync(client, server.address, max_ttl=2, probe_gap=0.6)
+        first_hop = next(h for h in result.hops if h.ttl == 1 and h.rtt)
+        # Data-plane RTT to that router is ~2 ms; traceroute reports 30+.
+        assert first_hop.rtt > 30e-3
+
+    def test_destination_echo_terminates(self, two_as_network):
+        sim, _, _, client, server = two_as_network
+        result = traceroute_sync(client, server.address, max_ttl=8, probe_gap=0.6)
+        reached = [h for h in result.hops if h.reached_destination]
+        assert len(reached) >= 1
+        assert reached[0].responder == server.address

@@ -1,0 +1,121 @@
+"""Contract runtime mechanics: entries, context, event timing."""
+
+import pytest
+
+from repro.chain.contract import Contract, ExecutionContext, entry
+from repro.chain.crypto import KeyPair
+from repro.chain.ledger import Ledger, Wallet
+from repro.common.errors import ChainError, ContractRevert
+from repro.netsim.engine import Simulator
+
+
+class Widget(Contract):
+    name = "widget"
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.state = {"value": 0}
+
+    @entry
+    def poke(self, ctx: ExecutionContext) -> int:
+        self.state["value"] += 1
+        ctx.emit("Poked", value=self.state["value"])
+        return self.state["value"]
+
+    def not_an_entry(self, ctx: ExecutionContext) -> None:  # pragma: no cover
+        self.state["value"] = 999
+
+
+class TestEntryDiscipline:
+    def _wallet(self, ledger):
+        keypair = KeyPair.deterministic("w")
+        ledger.create_account(keypair, balance=10**10)
+        return Wallet(ledger, keypair)
+
+    def test_unknown_function_reverts(self):
+        ledger = Ledger()
+        ledger.register_contract(Widget())
+        wallet = self._wallet(ledger)
+        receipt = wallet.call("widget", "missing")
+        assert not receipt.success
+        assert "no entry function" in receipt.status
+
+    def test_undecorated_method_not_callable(self):
+        ledger = Ledger()
+        ledger.register_contract(Widget())
+        wallet = self._wallet(ledger)
+        receipt = wallet.call("widget", "not_an_entry")
+        assert not receipt.success
+        assert ledger.contracts["widget"].state["value"] == 0
+
+    def test_contract_without_name_rejected(self):
+        class Nameless(Contract):
+            pass
+
+        with pytest.raises(ChainError):
+            Nameless()
+
+    def test_duplicate_contract_registration_rejected(self):
+        ledger = Ledger()
+        ledger.register_contract(Widget())
+        with pytest.raises(ChainError):
+            ledger.register_contract(Widget())
+
+
+class TestEventTiming:
+    def test_events_delivered_at_finality_with_scheduler(self):
+        """With a simulator-backed ledger, events arrive only after the
+        finality latency elapses — the behaviour the delay-to-measurement
+        evaluation depends on."""
+        sim = Simulator()
+        ledger = Ledger(
+            clock=lambda: sim.now,
+            scheduler=lambda delay, fn: sim.schedule(delay, fn),
+            finality_latency=0.5,
+        )
+        ledger.register_contract(Widget())
+        keypair = KeyPair.deterministic("w")
+        ledger.create_account(keypair, balance=10**10)
+        wallet = Wallet(ledger, keypair)
+
+        seen_at = []
+        ledger.events.subscribe("Poked", lambda e: seen_at.append(sim.now))
+        wallet.call("widget", "poke")
+        assert seen_at == []  # not yet finalized
+        sim.run_until_idle()
+        assert seen_at == [pytest.approx(0.5)]
+
+    def test_events_immediate_without_scheduler(self):
+        ledger = Ledger()
+        ledger.register_contract(Widget())
+        keypair = KeyPair.deterministic("w")
+        ledger.create_account(keypair, balance=10**10)
+        Wallet(ledger, keypair).call("widget", "poke")
+        assert len(ledger.events.events_named("Poked")) == 1
+
+
+class TestContextHelpers:
+    def test_require_passes_and_fails(self):
+        ctx = ExecutionContext(
+            ledger=Ledger(), contract=Widget(), sender="s", value=0,
+            time=0.0, tx_digest=b"\x00" * 32,
+        )
+        ctx.require(True, "fine")
+        with pytest.raises(ContractRevert, match="broken"):
+            ctx.require(False, "broken")
+
+    def test_object_ids_deterministic_within_tx(self):
+        ledger = Ledger()
+        contract = Widget()
+        ctx_a = ExecutionContext(
+            ledger=ledger, contract=contract, sender="s", value=0, time=0.0,
+            tx_digest=b"\x01" * 32,
+        )
+        ctx_b = ExecutionContext(
+            ledger=ledger, contract=contract, sender="s", value=0, time=0.0,
+            tx_digest=b"\x01" * 32,
+        )
+        first_a, second_a = ctx_a.new_object_id(), ctx_a.new_object_id()
+        first_b = ctx_b.new_object_id()
+        assert first_a == first_b  # same tx digest, same sequence
+        assert first_a != second_a  # sequence advances within a tx

@@ -1,0 +1,104 @@
+"""Ed25519: RFC 8032 vectors, tamper detection, key pairs."""
+
+import pytest
+
+from repro.chain.crypto import (
+    KeyPair,
+    ed25519_public_key,
+    ed25519_sign,
+    ed25519_verify,
+    hmac_sha256,
+    sha256,
+    verify_signature,
+)
+
+
+class TestRfc8032Vectors:
+    # Test vectors 1-3 from RFC 8032 §7.1.
+    VECTORS = [
+        (
+            "9d61b19deffd5a60ba844af492ec2cc44449c5697b326919703bac031cae7f60",
+            "d75a980182b10ab7d54bfed3c964073a0ee172f3daa62325af021a68f707511a",
+            "",
+            "e5564300c360ac729086e2cc806e828a84877f1eb8e5d974d873e06522490155"
+            "5fb8821590a33bacc61e39701cf9b46bd25bf5f0595bbe24655141438e7a100b",
+        ),
+        (
+            "4ccd089b28ff96da9db6c346ec114e0f5b8a319f35aba624da8cf6ed4fb8a6fb",
+            "3d4017c3e843895a92b70aa74d1b7ebc9c982ccf2ec4968cc0cd55f12af4660c",
+            "72",
+            "92a009a9f0d4cab8720e820b5f642540a2b27b5416503f8fb3762223ebdb69da"
+            "085ac1e43e15996e458f3613d0f11d8c387b2eaeb4302aeeb00d291612bb0c00",
+        ),
+        (
+            "c5aa8df43f9f837bedb7442f31dcb7b166d38535076f094b85ce3a2e0b4458f7",
+            "fc51cd8e6218a1a38da47ed00230f0580816ed13ba3303ac5deb911548908025",
+            "af82",
+            "6291d657deec24024827e69c3abe01a30ce548a284743a445e3680d7db5ac3ac"
+            "18ff9b538d16f290ae67f760984dc6594a7c15e9716ed28dc027beceea1ec40a",
+        ),
+    ]
+
+    @pytest.mark.parametrize("seed_hex,pub_hex,msg_hex,sig_hex", VECTORS)
+    def test_vector(self, seed_hex, pub_hex, msg_hex, sig_hex):
+        seed = bytes.fromhex(seed_hex)
+        message = bytes.fromhex(msg_hex)
+        assert ed25519_public_key(seed).hex() == pub_hex
+        assert ed25519_sign(seed, message).hex() == sig_hex
+        assert ed25519_verify(bytes.fromhex(pub_hex), message, bytes.fromhex(sig_hex))
+
+
+class TestTamperResistance:
+    def test_modified_message_fails(self):
+        keypair = KeyPair.deterministic("k")
+        signature = keypair.sign(b"hello")
+        assert not verify_signature(keypair.public, b"hellO", signature)
+
+    def test_modified_signature_fails(self):
+        keypair = KeyPair.deterministic("k")
+        signature = bytearray(keypair.sign(b"hello"))
+        signature[5] ^= 0x01
+        assert not verify_signature(keypair.public, b"hello", bytes(signature))
+
+    def test_wrong_key_fails(self):
+        a = KeyPair.deterministic("a")
+        b = KeyPair.deterministic("b")
+        assert not verify_signature(b.public, b"msg", a.sign(b"msg"))
+
+    def test_garbage_inputs_return_false(self):
+        keypair = KeyPair.deterministic("k")
+        assert not verify_signature(b"short", b"msg", keypair.sign(b"msg"))
+        assert not verify_signature(keypair.public, b"msg", b"short")
+        assert not verify_signature(b"\xff" * 32, b"msg", b"\xff" * 64)
+
+
+class TestKeyPair:
+    def test_deterministic_reproducible(self):
+        assert KeyPair.deterministic("x") == KeyPair.deterministic("x")
+        assert KeyPair.deterministic("x") != KeyPair.deterministic("y")
+
+    def test_generate_unique(self):
+        assert KeyPair.generate() != KeyPair.generate()
+
+    def test_address_is_hex(self):
+        address = KeyPair.deterministic("x").address
+        assert len(address) == 32
+        int(address, 16)  # parses as hex
+
+    def test_sign_verify_own(self):
+        keypair = KeyPair.deterministic("self")
+        assert keypair.verify_own(b"data", keypair.sign(b"data"))
+
+    def test_seed_length_enforced(self):
+        from repro.common.errors import VerificationError
+
+        with pytest.raises(VerificationError):
+            ed25519_public_key(b"short")
+
+
+class TestHashes:
+    def test_sha256(self):
+        assert sha256(b"").hex().startswith("e3b0c442")
+
+    def test_hmac(self):
+        assert hmac_sha256(b"key", b"data") != hmac_sha256(b"key2", b"data")

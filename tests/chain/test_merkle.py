@@ -1,0 +1,51 @@
+"""Merkle trees and inclusion proofs."""
+
+import pytest
+
+from repro.chain.merkle import MerkleTree, verify_inclusion
+from repro.common.errors import VerificationError
+
+
+class TestTree:
+    def test_needs_leaves(self):
+        with pytest.raises(VerificationError):
+            MerkleTree([])
+
+    def test_single_leaf_root(self):
+        tree = MerkleTree([b"only"])
+        assert verify_inclusion(b"only", tree.proof(0), tree.root)
+
+    def test_root_changes_with_any_leaf(self):
+        base = MerkleTree([b"a", b"b", b"c"]).root
+        assert MerkleTree([b"a", b"b", b"x"]).root != base
+        assert MerkleTree([b"x", b"b", b"c"]).root != base
+
+    def test_leaf_order_matters(self):
+        assert MerkleTree([b"a", b"b"]).root != MerkleTree([b"b", b"a"]).root
+
+    @pytest.mark.parametrize("n", [1, 2, 3, 4, 5, 7, 8, 9, 16, 33])
+    def test_every_leaf_proves_inclusion(self, n):
+        leaves = [f"leaf-{i}".encode() for i in range(n)]
+        tree = MerkleTree(leaves)
+        for i, leaf in enumerate(leaves):
+            assert verify_inclusion(leaf, tree.proof(i), tree.root)
+
+    def test_wrong_leaf_fails(self):
+        tree = MerkleTree([b"a", b"b", b"c"])
+        assert not verify_inclusion(b"z", tree.proof(0), tree.root)
+
+    def test_wrong_index_proof_fails(self):
+        tree = MerkleTree([b"a", b"b", b"c", b"d"])
+        assert not verify_inclusion(b"a", tree.proof(1), tree.root)
+
+    def test_proof_index_bounds(self):
+        tree = MerkleTree([b"a"])
+        with pytest.raises(VerificationError):
+            tree.proof(5)
+
+    def test_second_preimage_guard(self):
+        # A leaf equal to an interior node's encoding must not verify as
+        # that node (leaf/node domain separation).
+        tree = MerkleTree([b"a", b"b"])
+        fake_leaf = tree.root
+        assert not verify_inclusion(fake_leaf, tree.proof(0), tree.root)

@@ -1,0 +1,122 @@
+"""Object store and event bus."""
+
+import pytest
+
+from repro.chain.events import Event, EventBus
+from repro.chain.objects import ObjectStore
+from repro.common.errors import ChainError
+from repro.common.ids import new_object_id
+
+
+def _event(name="E", attrs=(), seq=0):
+    return Event(
+        name=name, attributes=tuple(attrs), tx_digest=b"\x00" * 32,
+        sequence=seq, emitted_at=0.0,
+    )
+
+
+class TestObjectStore:
+    def test_create_get(self):
+        store = ObjectStore()
+        oid = new_object_id("a")
+        store.create(oid, "kind", "owner", {"x": 1}, b"tx")
+        assert store.get(oid).data == {"x": 1}
+        assert store.exists(oid)
+
+    def test_duplicate_create_rejected(self):
+        store = ObjectStore()
+        oid = new_object_id("a")
+        store.create(oid, "k", "o", {}, b"tx")
+        with pytest.raises(ChainError):
+            store.create(oid, "k", "o", {}, b"tx")
+
+    def test_get_missing_raises(self):
+        with pytest.raises(ChainError):
+            ObjectStore().get(new_object_id("missing"))
+
+    def test_free_makes_object_inaccessible(self):
+        store = ObjectStore()
+        oid = new_object_id("a")
+        store.create(oid, "k", "o", {}, b"tx")
+        store.free(oid)
+        assert not store.exists(oid)
+        with pytest.raises(ChainError):
+            store.get(oid)
+
+    def test_update_tracks_size(self):
+        store = ObjectStore()
+        oid = new_object_id("a")
+        store.create(oid, "k", "o", {"d": b""}, b"tx")
+        old, new = store.update(oid, {"d": b"x" * 100})
+        assert new > old
+
+    def test_by_kind_excludes_freed(self):
+        store = ObjectStore()
+        a, b = new_object_id("a"), new_object_id("b")
+        store.create(a, "app", "o", {}, b"tx")
+        store.create(b, "app", "o", {}, b"tx")
+        store.free(a)
+        assert [o.object_id for o in store.by_kind("app")] == [b]
+
+    def test_snapshot_restore(self):
+        store = ObjectStore()
+        oid = new_object_id("a")
+        store.create(oid, "k", "o", {"v": 1}, b"tx")
+        snapshot = store.snapshot()
+        store.update(oid, {"v": 2})
+        store.restore(snapshot)
+        assert store.get(oid).data == {"v": 1}
+
+    def test_state_payload_deterministic(self):
+        def build():
+            store = ObjectStore()
+            for label in ("a", "b", "c"):
+                store.create(new_object_id(label), "k", "o", {"l": label}, b"tx")
+            return store.state_payload()
+
+        assert build() == build()
+
+
+class TestEventBus:
+    def test_subscribe_and_publish(self):
+        bus = EventBus()
+        seen = []
+        bus.subscribe("E", seen.append)
+        hits = bus.publish(_event())
+        assert hits == 1
+        assert len(seen) == 1
+
+    def test_name_filter(self):
+        bus = EventBus()
+        seen = []
+        bus.subscribe("Other", seen.append)
+        bus.publish(_event("E"))
+        assert seen == []
+
+    def test_attribute_filters(self):
+        bus = EventBus()
+        seen = []
+        bus.subscribe("E", seen.append, asn=5)
+        bus.publish(_event("E", attrs=(("asn", 5),)))
+        bus.publish(_event("E", attrs=(("asn", 6),)))
+        assert len(seen) == 1
+
+    def test_unsubscribe(self):
+        bus = EventBus()
+        seen = []
+        subscription = bus.subscribe("E", seen.append)
+        bus.unsubscribe(subscription)
+        bus.publish(_event())
+        assert seen == []
+
+    def test_history_kept(self):
+        bus = EventBus()
+        bus.publish(_event("A"))
+        bus.publish(_event("B"))
+        assert [e.name for e in bus.history] == ["A", "B"]
+        assert len(bus.events_named("A")) == 1
+
+    def test_event_get(self):
+        event = _event(attrs=(("k", "v"),))
+        assert event.get("k") == "v"
+        assert event.get("missing", 9) == 9

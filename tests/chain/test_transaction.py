@@ -1,0 +1,50 @@
+"""Transaction signing and digests."""
+
+import pytest
+
+from repro.chain.crypto import KeyPair
+from repro.chain.transaction import Transaction
+from repro.common.errors import VerificationError
+
+
+def _tx(**overrides) -> Transaction:
+    defaults = dict(
+        sender="", contract="c", function="f", args=(1, "x"),
+        nonce=0, gas_budget=100, value=5,
+    )
+    defaults.update(overrides)
+    return Transaction(**defaults)
+
+
+class TestSigning:
+    def test_signed_by_fills_key_and_verifies(self):
+        keypair = KeyPair.deterministic("k")
+        tx = _tx(sender=keypair.address).signed_by(keypair)
+        tx.verify()
+        assert tx.public_key == keypair.public
+
+    def test_wrong_sender_address_fails(self):
+        keypair = KeyPair.deterministic("k")
+        tx = _tx(sender="0" * 32).signed_by(keypair)
+        with pytest.raises(VerificationError, match="does not match"):
+            tx.verify()
+
+    def test_signature_covers_args(self):
+        keypair = KeyPair.deterministic("k")
+        tx = _tx(sender=keypair.address).signed_by(keypair)
+        from dataclasses import replace
+
+        tampered = replace(tx, args=(2, "x"))
+        with pytest.raises(VerificationError):
+            tampered.verify()
+
+    def test_digest_differs_per_nonce(self):
+        keypair = KeyPair.deterministic("k")
+        a = _tx(sender=keypair.address, nonce=0).signed_by(keypair)
+        b = _tx(sender=keypair.address, nonce=1).signed_by(keypair)
+        assert a.digest() != b.digest()
+
+    def test_digest_stable(self):
+        keypair = KeyPair.deterministic("k")
+        tx = _tx(sender=keypair.address).signed_by(keypair)
+        assert tx.digest() == tx.digest()

@@ -1,0 +1,48 @@
+"""Wallet conveniences."""
+
+import pytest
+
+from repro.chain.contract import Contract, ExecutionContext, entry
+from repro.chain.crypto import KeyPair
+from repro.chain.ledger import Ledger, Wallet
+
+
+class Echoer(Contract):
+    name = "echoer"
+
+    @entry
+    def echo(self, ctx: ExecutionContext, value: int) -> int:
+        return value
+
+
+@pytest.fixture
+def wallet():
+    ledger = Ledger()
+    ledger.register_contract(Echoer())
+    keypair = KeyPair.deterministic("wallet-owner")
+    ledger.create_account(keypair, balance=10**10)
+    return Wallet(ledger, keypair)
+
+
+class TestWallet:
+    def test_address_matches_keypair(self, wallet):
+        assert wallet.address == wallet.keypair.address
+
+    def test_balance_tracks_ledger(self, wallet):
+        assert wallet.balance == 10**10
+        receipt = wallet.call("echoer", "echo", 1)
+        assert wallet.balance == 10**10 - receipt.gas.total
+
+    def test_nonce_managed_automatically(self, wallet):
+        for i in range(3):
+            receipt = wallet.call("echoer", "echo", i)
+            assert receipt.success
+        assert wallet.ledger.next_nonce(wallet.address) == 3
+
+    def test_default_gas_budget_applied(self, wallet):
+        receipt = wallet.call("echoer", "echo", 1)
+        assert receipt.gas.total <= Wallet.DEFAULT_GAS_BUDGET
+
+    def test_explicit_gas_budget(self, wallet):
+        receipt = wallet.call("echoer", "echo", 1, gas_budget=1)
+        assert not receipt.success  # budget below the computation fee

@@ -1,0 +1,39 @@
+"""ObjectId derivation and validation."""
+
+import pytest
+
+from repro.common.ids import ObjectId, new_object_id
+
+
+class TestObjectId:
+    def test_requires_16_bytes(self):
+        with pytest.raises(ValueError):
+            ObjectId(b"short")
+
+    def test_hex_roundtrip(self):
+        oid = new_object_id(b"tx", 1)
+        assert ObjectId.from_hex(oid.hex()) == oid
+
+    def test_ordering_is_stable(self):
+        a = new_object_id("a")
+        b = new_object_id("b")
+        assert (a < b) != (b < a)
+
+    def test_usable_as_dict_key(self):
+        oid = new_object_id("key")
+        assert {oid: 1}[new_object_id("key")] == 1
+
+
+class TestNewObjectId:
+    def test_deterministic(self):
+        assert new_object_id(b"tx", 1) == new_object_id(b"tx", 1)
+
+    def test_different_parts_differ(self):
+        assert new_object_id(b"tx", 1) != new_object_id(b"tx", 2)
+
+    def test_length_prefix_prevents_concat_collisions(self):
+        assert new_object_id("ab", "c") != new_object_id("a", "bc")
+
+    def test_mixed_part_types(self):
+        oid = new_object_id(b"bytes", "str", 42)
+        assert isinstance(oid, ObjectId)

@@ -1,0 +1,32 @@
+"""Deterministic RNG streams."""
+
+from repro.common.rng import derive_rng, make_rng
+
+
+class TestMakeRng:
+    def test_same_seed_same_draws(self):
+        assert make_rng(7).random() == make_rng(7).random()
+
+    def test_different_seed_different_draws(self):
+        assert make_rng(7).random() != make_rng(8).random()
+
+
+class TestDeriveRng:
+    def test_same_labels_same_stream(self):
+        a = derive_rng(1, "link", 3)
+        b = derive_rng(1, "link", 3)
+        assert list(a.integers(0, 100, 5)) == list(b.integers(0, 100, 5))
+
+    def test_different_labels_independent(self):
+        a = derive_rng(1, "link", 3).random()
+        b = derive_rng(1, "link", 4).random()
+        assert a != b
+
+    def test_label_path_is_not_concatenated(self):
+        # ("ab", "c") must differ from ("a", "bc")
+        a = derive_rng(1, "ab", "c").random()
+        b = derive_rng(1, "a", "bc").random()
+        assert a != b
+
+    def test_seed_changes_stream(self):
+        assert derive_rng(1, "x").random() != derive_rng(2, "x").random()

@@ -1,0 +1,78 @@
+"""Canonical serialization: determinism, injectivity, type discipline."""
+
+import pytest
+
+from repro.common.serialize import canonical_encode, stable_hash
+
+
+class TestCanonicalEncode:
+    def test_dict_key_order_does_not_matter(self):
+        a = {"x": 1, "y": 2}
+        b = {"y": 2, "x": 1}
+        assert canonical_encode(a) == canonical_encode(b)
+
+    def test_distinct_values_encode_differently(self):
+        values = [
+            None,
+            True,
+            False,
+            0,
+            1,
+            -1,
+            2**70,
+            0.0,
+            1.5,
+            "",
+            "a",
+            b"",
+            b"a",
+            [],
+            [1],
+            [1, 2],
+            [[1], 2],
+            {},
+            {"a": 1},
+            {"a": [1]},
+        ]
+        encodings = [canonical_encode(value) for value in values]
+        assert len(set(encodings)) == len(values)
+
+    def test_bool_is_not_int(self):
+        assert canonical_encode(True) != canonical_encode(1)
+        assert canonical_encode(False) != canonical_encode(0)
+
+    def test_string_is_not_bytes(self):
+        assert canonical_encode("ab") != canonical_encode(b"ab")
+
+    def test_list_vs_nested_list_no_confusion(self):
+        assert canonical_encode([1, 2, 3]) != canonical_encode([[1, 2], 3])
+        assert canonical_encode(["ab"]) != canonical_encode(["a", "b"])
+
+    def test_tuple_encodes_like_list(self):
+        assert canonical_encode((1, 2)) == canonical_encode([1, 2])
+
+    def test_nested_structures(self):
+        value = {"k": [1, {"inner": b"\x00\xff"}, None, True]}
+        assert canonical_encode(value) == canonical_encode(value)
+
+    def test_non_string_keys_rejected(self):
+        with pytest.raises(TypeError):
+            canonical_encode({1: "a"})
+
+    def test_unsupported_type_rejected(self):
+        with pytest.raises(TypeError):
+            canonical_encode(object())
+
+    def test_large_negative_int_roundtrip_distinct(self):
+        assert canonical_encode(-(2**80)) != canonical_encode(2**80)
+
+
+class TestStableHash:
+    def test_is_32_bytes(self):
+        assert len(stable_hash({"a": 1})) == 32
+
+    def test_stable_across_calls(self):
+        assert stable_hash([1, "x"]) == stable_hash([1, "x"])
+
+    def test_different_values_hash_differently(self):
+        assert stable_hash({"a": 1}) != stable_hash({"a": 2})

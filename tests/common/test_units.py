@@ -1,0 +1,27 @@
+"""Duration formatting and unit constants."""
+
+from repro.common.units import MICROSECOND, MILLISECOND, SECOND, format_duration
+
+
+class TestUnits:
+    def test_magnitudes(self):
+        assert SECOND == 1.0
+        assert MILLISECOND == 1e-3
+        assert MICROSECOND == 1e-6
+
+
+class TestFormatDuration:
+    def test_microseconds(self):
+        assert format_duration(250e-6) == "250.0 us"
+
+    def test_milliseconds(self):
+        assert format_duration(12.34e-3) == "12.34 ms"
+
+    def test_seconds(self):
+        assert format_duration(3.5) == "3.500 s"
+
+    def test_minutes(self):
+        assert format_duration(150.0) == "2 min 30 s"
+
+    def test_negative(self):
+        assert format_duration(-0.5).startswith("-")

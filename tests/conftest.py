@@ -1,0 +1,41 @@
+"""Shared fixtures: small, fast topologies and chains."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.netsim import Link, Network, Protocol, Simulator, Topology
+from repro.netsim.treatment import TreatmentProfile
+
+ALL_PROTOCOLS = (Protocol.UDP, Protocol.TCP, Protocol.ICMP, Protocol.RAW_IP)
+
+
+@pytest.fixture
+def two_as_network():
+    """AS1 -10ms- AS2 with a client in AS1 and an echo server in AS2."""
+    sim = Simulator()
+    topo = Topology()
+    topo.make_as(1, seed=1)
+    topo.make_as(2, seed=2)
+    topo.connect(
+        1, 1, 2, 1, Link.symmetric("1-2", base_delay=10e-3, seed=7)
+    )
+    net = Network(topo, sim, seed=3)
+    client = net.make_host(1, "client")
+    server = net.make_host(2, "server", echo_protocols=ALL_PROTOCOLS)
+    return sim, topo, net, client, server
+
+
+@pytest.fixture
+def three_as_network():
+    """AS1 - AS2 - AS3 line, 5 ms links."""
+    sim = Simulator()
+    topo = Topology()
+    for asn in (1, 2, 3):
+        topo.make_as(asn, seed=asn)
+    topo.connect(1, 2, 2, 1, Link.symmetric("1-2", base_delay=5e-3, seed=11))
+    topo.connect(2, 2, 3, 1, Link.symmetric("2-3", base_delay=5e-3, seed=12))
+    net = Network(topo, sim, seed=4)
+    client = net.make_host(1, "client")
+    server = net.make_host(3, "server", echo_protocols=ALL_PROTOCOLS)
+    return sim, topo, net, client, server

@@ -1,0 +1,122 @@
+"""Fault-hiding ISPs and their detection (§VI-E)."""
+
+import numpy as np
+import pytest
+
+from repro.core.antigaming import (
+    CrossValidator,
+    disable_prioritization,
+    enable_prioritization,
+)
+from repro.core.application import DebugletApplication
+from repro.core.executor import executor_data_address
+from repro.core.probing import ExecutorFleet, SegmentProber
+from repro.core.results import EchoMeasurement
+from repro.netsim import CongestionConfig, CongestionProcess, InterfaceId, Protocol
+from repro.netsim.traffic import ProbeTrain
+from repro.workloads.scenarios import build_chain
+
+
+def _congest_link(topology, a, b):
+    """Give the a<->b link heavy queueing so prioritization matters."""
+    config = CongestionConfig(
+        base_utilization=0.85, diurnal_amplitude=0.0, burst_rate=0.0,
+        queue_service_time=2e-3, drop_threshold=0.99,
+    )
+    channels = [
+        topology.channel_between(a, b),
+        topology.channel_between(b, a),
+    ]
+    for index, channel in enumerate(channels):
+        channel.congestion = CongestionProcess(config, seed=40 + index)
+    return channels
+
+
+class TestPrioritizationMechanism:
+    def test_prioritized_executor_traffic_is_faster(self):
+        scenario = build_chain(2, seed=6)
+        channels = _congest_link(
+            scenario.topology, InterfaceId(1, 2), InterfaceId(2, 1)
+        )
+        fleet = ExecutorFleet(scenario.network, seed=7)
+        fleet.deploy_full()
+        prober = SegmentProber(fleet, probes=25, interval_us=5000)
+        path = scenario.registry.shortest(1, 2)
+
+        honest = prober.measure_sync((1, 2), (2, 1), path)
+        enable_prioritization(
+            channels,
+            [executor_data_address(1, 2), executor_data_address(2, 1)],
+        )
+        gamed = prober.measure_sync((1, 2), (2, 1), path)
+        disable_prioritization(channels)
+        assert gamed.mean_rtt_ms() < honest.mean_rtt_ms() - 2.0
+
+
+class TestCrossValidator:
+    def test_gaming_detected_by_endhost_comparison(self):
+        scenario = build_chain(2, seed=8)
+        channels = _congest_link(
+            scenario.topology, InterfaceId(1, 2), InterfaceId(2, 1)
+        )
+        fleet = ExecutorFleet(scenario.network, seed=9)
+        fleet.deploy_full()
+        enable_prioritization(
+            channels,
+            [executor_data_address(1, 2), executor_data_address(2, 1)],
+        )
+        # Executor-to-executor measurement (prioritized by the cheater).
+        prober = SegmentProber(fleet, probes=25, interval_us=5000)
+        path = scenario.registry.shortest(1, 2)
+        d2d = prober.measure_sync((1, 2), (2, 1), path)
+        # Ordinary end hosts see the real (congested) path.
+        client = scenario.network.make_host(1, "user")
+        server = scenario.network.make_host(
+            2, "site", echo_protocols=(Protocol.UDP,)
+        )
+        train = ProbeTrain(
+            client, server.address, Protocol.UDP,
+            count=25, interval=0.01, src_port=3999,
+        )
+        scenario.simulator.run_until_idle()
+        endhost_trace = train.finalize()
+
+        validator = CrossValidator(rtt_tolerance_ms=1.5)
+        report = validator.compare(
+            executor_rtts_ms=np.array(sorted(d2d.echo.rtts_us.values())) / 1e3,
+            executor_loss=d2d.loss_rate(),
+            endhost_rtts_ms=endhost_trace.rtts_ms(),
+            endhost_loss=endhost_trace.loss_rate(),
+        )
+        assert report.gaming_suspected
+        assert report.rtt_gap_ms > 1.5
+
+    def test_honest_network_passes(self):
+        validator = CrossValidator()
+        rtts = np.array([10.0, 10.5, 11.0])
+        report = validator.compare(
+            executor_rtts_ms=rtts, executor_loss=0.0,
+            endhost_rtts_ms=rtts + 0.2, endhost_loss=0.0,
+        )
+        assert not report.gaming_suspected
+
+    def test_loss_gap_detection(self):
+        validator = CrossValidator(loss_tolerance=0.01)
+        rtts = np.array([10.0])
+        report = validator.compare(
+            executor_rtts_ms=rtts, executor_loss=0.0,
+            endhost_rtts_ms=rtts, endhost_loss=0.08,
+        )
+        assert report.gaming_suspected
+        assert any("loss" in reason for reason in report.reasons)
+
+    def test_vantage_consistency_check(self):
+        validator = CrossValidator()
+        suspicious, spread = validator.consistency_across_vantages(
+            {"a": 10.0, "b": 18.0, "c": 11.0}
+        )
+        assert suspicious and spread == pytest.approx(8.0)
+        consistent, _ = validator.consistency_across_vantages(
+            {"a": 10.0, "b": 10.5}
+        )
+        assert not consistent

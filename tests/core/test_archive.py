@@ -1,0 +1,115 @@
+"""Result archiving and age-of-information analysis (§VI-F)."""
+
+import pytest
+
+from repro.chain import KeyPair, Ledger, Wallet, sui_to_mist
+from repro.common.errors import DebugletError, VerificationError
+from repro.core.archive import (
+    ArchiveContract,
+    ArchivedMeasurement,
+    ResultArchive,
+    degradation_onset,
+)
+
+
+def _measurement(t, rtt, loss=0.0, segment="1:2|3:1"):
+    return ArchivedMeasurement(
+        segment_key=segment, measured_at=t, mean_rtt_ms=rtt, loss_rate=loss,
+        result=f"result-at-{t}".encode(),
+    )
+
+
+@pytest.fixture
+def archive_setup():
+    ledger = Ledger()
+    contract = ledger.register_contract(ArchiveContract())
+    keypair = KeyPair.deterministic("archivist")
+    ledger.create_account(keypair, balance=sui_to_mist(100))
+    wallet = Wallet(ledger, keypair)
+    return ledger, contract, ResultArchive(ledger, contract, wallet)
+
+
+class TestAnchoring:
+    def test_archive_and_verify(self, archive_setup):
+        _, _, archive = archive_setup
+        anchor = archive.archive(_measurement(10.0, 20.0))
+        verified = archive.verify(anchor)
+        assert verified.mean_rtt_ms == 20.0
+
+    def test_tampered_retention_detected(self, archive_setup):
+        _, _, archive = archive_setup
+        anchor = archive.archive(_measurement(10.0, 20.0))
+        archive._entries[anchor] = _measurement(10.0, 5.0)  # prettier numbers
+        with pytest.raises(VerificationError, match="does not match"):
+            archive.verify(anchor)
+
+    def test_unknown_anchor_raises(self, archive_setup):
+        _, _, archive = archive_setup
+        with pytest.raises(DebugletError):
+            archive.fetch("00" * 16)
+
+    def test_history_sorted_and_verified(self, archive_setup):
+        _, _, archive = archive_setup
+        for t in (30.0, 10.0, 20.0):
+            archive.archive(_measurement(t, 20.0))
+        history = archive.history("1:2|3:1")
+        assert [entry.measured_at for entry in history] == [10.0, 20.0, 30.0]
+
+    def test_history_is_per_segment(self, archive_setup):
+        _, _, archive = archive_setup
+        archive.archive(_measurement(1.0, 20.0, segment="a"))
+        archive.archive(_measurement(2.0, 20.0, segment="b"))
+        assert len(archive.history("a")) == 1
+
+    def test_anchor_cost_is_small(self, archive_setup):
+        """§VI-F: keeping only hashes on-chain keeps archiving cheap."""
+        ledger, _, archive = archive_setup
+        archive.archive(_measurement(10.0, 20.0))
+        receipt = ledger.receipts[-1]
+        assert receipt.gas.total_sui() < 0.02
+
+
+class TestDegradationOnset:
+    def test_onset_found(self):
+        history = [
+            _measurement(t, 20.0) for t in (0.0, 60.0, 120.0)
+        ] + [
+            _measurement(180.0, 21.0),
+            _measurement(240.0, 35.0),  # degradation starts here
+            _measurement(300.0, 36.0),
+        ]
+        report = degradation_onset(history)
+        assert report.degradation_detected
+        assert report.onset_at == 240.0
+        assert report.baseline_rtt_ms == pytest.approx(20.0)
+        assert report.degraded_rtt_ms == pytest.approx(35.0)
+
+    def test_loss_triggers_onset(self):
+        history = [_measurement(t, 20.0) for t in (0.0, 60.0, 120.0)]
+        history.append(_measurement(180.0, 20.0, loss=0.2))
+        report = degradation_onset(history)
+        assert report.onset_at == 180.0
+
+    def test_healthy_history(self):
+        history = [_measurement(t * 60.0, 20.0 + (t % 2) * 0.5) for t in range(8)]
+        report = degradation_onset(history)
+        assert not report.degradation_detected
+
+    def test_needs_enough_history(self):
+        with pytest.raises(DebugletError):
+            degradation_onset([_measurement(0.0, 20.0)])
+
+
+class TestEndToEndTrend:
+    def test_archive_pinpoints_fault_start_time(self, archive_setup):
+        """The §VI-F use case: archived periodic measurements reveal when
+        a path started degrading."""
+        _, _, archive = archive_setup
+        fault_start = 7 * 600.0
+        for i in range(12):
+            t = i * 600.0
+            rtt = 20.0 if t < fault_start else 33.0
+            archive.archive(_measurement(t, rtt))
+        history = archive.history("1:2|3:1")
+        report = degradation_onset(history)
+        assert report.onset_at == fault_start

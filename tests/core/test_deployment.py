@@ -1,0 +1,79 @@
+"""Incremental-deployment analysis (§VI-B)."""
+
+import pytest
+
+from repro.common.errors import ConfigurationError
+from repro.core.deployment import (
+    Element,
+    analyze_deployment,
+    path_elements,
+    sweep_deployment_fraction,
+)
+
+
+class TestElements:
+    def test_chain_of_n_has_expected_elements(self):
+        elements = path_elements(5)
+        links = [e for e in elements if e.kind == "link"]
+        interiors = [e for e in elements if e.kind == "interior"]
+        assert len(links) == 4
+        assert len(interiors) == 3  # endpoints excluded
+
+    def test_minimum_size(self):
+        with pytest.raises(ConfigurationError):
+            path_elements(1)
+
+
+class TestAnalyzeDeployment:
+    def test_full_deployment_isolates_everything(self):
+        report = analyze_deployment(6, set(range(6)))
+        assert report.exact_isolation_rate == 1.0
+        assert report.mean_suspect_set == 1.0
+
+    def test_no_deployment_groups_everything(self):
+        # Only the endpoints measure: every element shares one signature.
+        report = analyze_deployment(6, set())
+        n_elements = len(path_elements(6))
+        assert report.mean_suspect_set == n_elements
+        assert report.exact_isolation_rate == 0.0
+
+    def test_partial_deployment_partitions_by_gaps(self):
+        # Chain of 5, deployer at AS 2 only: measurable = {0, 2, 4}.
+        report = analyze_deployment(5, {2})
+        # Elements split into: covered left of AS2, right of AS2, and the
+        # interior of AS2 itself (distinguishable: it is in (0,4) and in
+        # (0,4)-spanning pairs but not in (0,2) or (2,4)).
+        sizes = report.group_sizes
+        interior_2 = Element("interior", 2)
+        assert sizes[interior_2] == 1  # uniquely identified
+        # Left of the deployer: links 0, 1 and interior 1 share the
+        # signature {(0,2), (0,4)} — a three-element suspect group.
+        left_group = [Element("link", 0), Element("link", 1), Element("interior", 1)]
+        assert all(sizes[e] == 3 for e in left_group)
+
+    def test_more_deployment_never_hurts(self):
+        sparse = analyze_deployment(10, {5})
+        dense = analyze_deployment(10, {2, 5, 7})
+        assert dense.mean_suspect_set <= sparse.mean_suspect_set
+        assert dense.exact_isolation_rate >= sparse.exact_isolation_rate
+
+    def test_out_of_range_deployers_ignored(self):
+        report = analyze_deployment(4, {99})
+        assert report.measurable == [0, 3]
+
+
+class TestSweep:
+    def test_monotone_improvement_with_fraction(self):
+        rows = sweep_deployment_fraction(
+            12, [0.0, 0.5, 1.0], trials=20, seed=1
+        )
+        suspect_sizes = [row["mean_suspect_set"] for row in rows]
+        assert suspect_sizes[0] > suspect_sizes[1] > suspect_sizes[2]
+        exact = [row["exact_isolation_rate"] for row in rows]
+        assert exact[0] < exact[1] < exact[2]
+        assert exact[2] == 1.0
+
+    def test_deterministic_given_seed(self):
+        a = sweep_deployment_fraction(10, [0.3], trials=10, seed=7)
+        b = sweep_deployment_fraction(10, [0.3], trials=10, seed=7)
+        assert a == b

@@ -1,0 +1,76 @@
+"""Marketplace negative paths: missing executors, funds, admission."""
+
+import pytest
+
+from repro.chain import KeyPair, Wallet
+from repro.common.errors import ChainError
+from repro.core.application import DebugletApplication
+from repro.core.executor import executor_data_address
+from repro.core.marketplace import Initiator
+from repro.netsim.packet import Protocol
+from repro.sandbox.manifest import ExecutorPolicy, Manifest
+from repro.sandbox.programs import echo_client, echo_server
+from repro.workloads.scenarios import MarketplaceTestbed
+
+
+def _apps(testbed, port=9800):
+    path = testbed.chain.registry.shortest(1, 2)
+    server_app = DebugletApplication.from_stock(
+        "srv", echo_server(Protocol.UDP, max_echoes=5, idle_timeout_us=1_000_000),
+        listen_port=port, path=path.reversed().as_list(),
+    )
+    client_app = DebugletApplication.from_stock(
+        "cli",
+        echo_client(Protocol.UDP, executor_data_address(2, 1),
+                    count=5, interval_us=20_000, dst_port=port),
+        path=path.as_list(),
+    )
+    return client_app, server_app
+
+
+class TestRequestFailures:
+    def test_unknown_vantage_rejected(self):
+        testbed = MarketplaceTestbed.build(2, seed=110)
+        client_app, server_app = _apps(testbed)
+        with pytest.raises(ChainError, match="not registered"):
+            testbed.initiator.request_measurement(
+                client_app, server_app, (1, 99), (2, 1), duration=10.0
+            )
+
+    def test_unfunded_initiator_rejected(self):
+        testbed = MarketplaceTestbed.build(2, seed=111)
+        broke_keypair = KeyPair.deterministic("broke")
+        testbed.ledger.create_account(broke_keypair, balance=1000)
+        broke = Initiator(testbed.ledger, Wallet(testbed.ledger, broke_keypair))
+        client_app, server_app = _apps(testbed)
+        with pytest.raises(Exception):
+            broke.request_measurement(
+                client_app, server_app, (1, 2), (2, 1), duration=10.0
+            )
+
+    def test_duration_longer_than_any_slot_rejected(self):
+        testbed = MarketplaceTestbed.build(2, seed=112)
+        client_app, server_app = _apps(testbed)
+        with pytest.raises(ChainError, match="no common execution slot"):
+            testbed.initiator.request_measurement(
+                client_app, server_app, (1, 2), (2, 1), duration=10_000.0
+            )
+
+
+class TestAgentAdmission:
+    def test_inadmissible_application_never_runs(self):
+        """An application exceeding the executor's policy is purchased
+        on-chain but rejected at admission; no result is ever published."""
+        testbed = MarketplaceTestbed.build(2, seed=113)
+        agent = testbed.agents[(1, 2)]
+        agent.executor.policy = ExecutorPolicy(max_packets_sent=1)
+        client_app, server_app = _apps(testbed, port=9801)
+        session = testbed.initiator.request_measurement(
+            client_app, server_app, (1, 2), (2, 1), duration=10.0
+        )
+        sim = testbed.chain.simulator
+        sim.run(until=sim.now + 30.0)
+        assert not session.done
+        assert agent.rejected_applications
+        # The server side (admissible) still ran and published.
+        assert session.server_outcome.status == "completed"

@@ -1,0 +1,137 @@
+"""The §V-B off-chain optimization: hash-only purchases."""
+
+import hashlib
+
+import pytest
+
+from repro.common.errors import DebugletError
+from repro.core.application import DebugletApplication
+from repro.core.executor import executor_data_address
+from repro.core.offchain import OffChainCodeStore
+from repro.core.results import EchoMeasurement
+from repro.core.verification import ChainVerifier
+from repro.netsim.packet import Protocol
+from repro.sandbox.programs import echo_client, echo_server
+from repro.workloads.scenarios import MarketplaceTestbed
+
+COUNT = 8
+
+
+def _apps(testbed, port):
+    path = testbed.chain.registry.shortest(1, 2)
+    server_app = DebugletApplication.from_stock(
+        "srv", echo_server(Protocol.UDP, max_echoes=COUNT, idle_timeout_us=2_000_000),
+        listen_port=port, path=path.reversed().as_list(),
+    )
+    client_app = DebugletApplication.from_stock(
+        "cli",
+        echo_client(Protocol.UDP, executor_data_address(2, 1),
+                    count=COUNT, interval_us=20_000, dst_port=port),
+        path=path.as_list(),
+    )
+    return client_app, server_app
+
+
+class TestOffChainCodeStore:
+    def test_put_get_roundtrip(self):
+        store = OffChainCodeStore()
+        digest = store.put(b"blob")
+        assert store.get(digest) == b"blob"
+        assert digest == hashlib.sha256(b"blob").digest()
+
+    def test_missing_blob_raises(self):
+        with pytest.raises(DebugletError):
+            OffChainCodeStore().get(b"\x00" * 32)
+
+    def test_get_verified_detects_tamper(self):
+        store = OffChainCodeStore()
+        digest = store.put(b"blob")
+        store._blobs[digest.hex()] = b"tampered"
+        with pytest.raises(DebugletError, match="match its hash"):
+            store.get_verified(digest)
+
+
+class TestHashedPurchaseFlow:
+    @pytest.fixture(scope="class")
+    def hashed_session(self):
+        testbed = MarketplaceTestbed.build(2, seed=61)
+        client_app, server_app = _apps(testbed, 8750)
+        session = testbed.initiator.request_measurement(
+            client_app, server_app, (1, 2), (2, 1), duration=20.0,
+            code_store=testbed.code_store,
+        )
+        testbed.initiator.run_until_done(session, testbed.chain.simulator)
+        return testbed, session, client_app
+
+    def test_flow_completes(self, hashed_session):
+        _, session, _ = hashed_session
+        assert session.done
+        echo = EchoMeasurement.from_result(
+            session.client_outcome.result, probes_sent=COUNT
+        )
+        assert echo.received == COUNT
+
+    def test_on_chain_object_holds_only_the_hash(self, hashed_session):
+        testbed, session, client_app = hashed_session
+        from repro.common.ids import ObjectId
+
+        obj = testbed.ledger.objects.get(
+            ObjectId.from_hex(session.client_application)
+        )
+        assert "bytecode" not in obj.data
+        assert obj.data["bytecode_hash"] == hashlib.sha256(
+            client_app.to_wire()
+        ).digest()
+
+    def test_hash_purchase_is_much_cheaper(self):
+        """The paper: with only hashes on-chain, fees drop to ~1 cent."""
+        results = {}
+        for label, use_store in (("full", False), ("hashed", True)):
+            testbed = MarketplaceTestbed.build(2, seed=62)
+            client_app, server_app = _apps(testbed, 8751)
+            session = testbed.initiator.request_measurement(
+                client_app, server_app, (1, 2), (2, 1), duration=20.0,
+                code_store=testbed.code_store if use_store else None,
+            )
+            purchase_receipt = next(
+                r for t, r in zip(testbed.ledger.transactions, testbed.ledger.receipts)
+                if t.function.startswith("purchase_slot")
+            )
+            results[label] = purchase_receipt.gas.total_sui()
+        assert results["hashed"] < results["full"] / 2
+        # A purchase stores TWO application objects (client + server) plus
+        # manifests, so "about 1 cent per application" lands around 4-5
+        # cents per purchase at the paper's $0.94/SUI.
+        assert results["hashed"] < 0.05
+
+    def test_verifier_checks_offchain_code(self, hashed_session):
+        testbed, session, _ = hashed_session
+        verifier = ChainVerifier(
+            testbed.ledger, testbed.market, code_store=testbed.code_store
+        )
+        verified = verifier.verify_result(session.client_application)
+        assert verified.status == "completed"
+
+    def test_verifier_without_store_fails_cleanly(self, hashed_session):
+        from repro.common.errors import VerificationError
+
+        testbed, session, _ = hashed_session
+        verifier = ChainVerifier(testbed.ledger, testbed.market)
+        with pytest.raises(VerificationError, match="off-chain store"):
+            verifier.verify_result(session.client_application)
+
+    def test_agent_rejects_missing_offchain_code(self):
+        testbed = MarketplaceTestbed.build(2, seed=63)
+        client_app, server_app = _apps(testbed, 8752)
+        # Purchase with a store the agents do NOT share.
+        foreign_store = OffChainCodeStore()
+        session = testbed.initiator.request_measurement(
+            client_app, server_app, (1, 2), (2, 1), duration=20.0,
+            code_store=foreign_store,
+        )
+        testbed.chain.simulator.run(until=testbed.chain.simulator.now + 5.0)
+        assert not session.done
+        agent = testbed.agents[(1, 2)]
+        assert any(
+            "off-chain" in reason for _, reason in agent.rejected_applications
+        )

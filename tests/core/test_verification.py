@@ -1,0 +1,140 @@
+"""Third-party verification of published results."""
+
+import pytest
+
+from repro.chain.crypto import KeyPair, sha256
+from repro.common.errors import VerificationError
+from repro.core.application import DebugletApplication
+from repro.core.executor import ResultCertificate, executor_data_address
+from repro.core.verification import ChainVerifier, verify_certificate
+from repro.netsim.packet import Protocol
+from repro.sandbox.programs import echo_client, echo_server
+from repro.workloads.scenarios import MarketplaceTestbed
+
+
+def _make_certificate(result=b"data", **overrides):
+    keypair = KeyPair.deterministic("exec")
+    fields = dict(
+        asn=1,
+        interface=2,
+        code_hash=b"\x01" * 32,
+        result_hash=sha256(result),
+        started_at=1.0,
+        finished_at=2.0,
+        executor_public_key=keypair.public,
+        signature=b"",
+    )
+    fields.update(overrides)
+    certificate = ResultCertificate(**fields)
+    signature = keypair.sign(certificate.signing_payload())
+    fields["signature"] = signature
+    return ResultCertificate(**fields)
+
+
+class TestVerifyCertificate:
+    def test_valid_certificate_passes(self):
+        certificate = _make_certificate()
+        verify_certificate(certificate, result=b"data")
+
+    def test_wrong_result_bytes_fail(self):
+        certificate = _make_certificate()
+        with pytest.raises(VerificationError, match="result bytes"):
+            verify_certificate(certificate, result=b"tampered")
+
+    def test_wrong_code_hash_fails(self):
+        certificate = _make_certificate()
+        with pytest.raises(VerificationError, match="different code"):
+            verify_certificate(
+                certificate, result=b"data", expected_code_hash=b"\x02" * 32
+            )
+
+    def test_wrong_vantage_fails(self):
+        certificate = _make_certificate()
+        with pytest.raises(VerificationError, match="vantage"):
+            verify_certificate(
+                certificate, result=b"data", expected_vantage=(9, 9)
+            )
+
+    def test_forged_signature_fails(self):
+        certificate = _make_certificate()
+        forged = ResultCertificate(
+            asn=certificate.asn,
+            interface=certificate.interface,
+            code_hash=certificate.code_hash,
+            result_hash=certificate.result_hash,
+            started_at=certificate.started_at,
+            finished_at=99.0,  # changed field, stale signature
+            executor_public_key=certificate.executor_public_key,
+            signature=certificate.signature,
+        )
+        with pytest.raises(VerificationError, match="signature"):
+            verify_certificate(forged, result=b"data")
+
+
+@pytest.fixture(scope="module")
+def verified_flow():
+    testbed = MarketplaceTestbed.build(2, seed=9)
+    path = testbed.chain.registry.shortest(1, 2)
+    server_app = DebugletApplication.from_stock(
+        "srv", echo_server(Protocol.UDP, max_echoes=5, idle_timeout_us=2_000_000),
+        listen_port=8800, path=path.reversed().as_list(),
+    )
+    client_app = DebugletApplication.from_stock(
+        "cli",
+        echo_client(
+            Protocol.UDP, executor_data_address(2, 1),
+            count=5, interval_us=20_000, dst_port=8800,
+        ),
+        path=path.as_list(),
+    )
+    session = testbed.initiator.request_measurement(
+        client_app, server_app, (1, 2), (2, 1), duration=20.0
+    )
+    testbed.initiator.run_until_done(session, testbed.chain.simulator)
+    return testbed, session
+
+
+class TestChainVerifier:
+    def test_full_verification_passes(self, verified_flow):
+        testbed, session = verified_flow
+        verifier = ChainVerifier(testbed.ledger, testbed.market)
+        for application_id in (
+            session.client_application, session.server_application,
+        ):
+            verified = verifier.verify_result(application_id)
+            assert verified.status == "completed"
+            assert verified.result
+
+    def test_unpublished_result_rejected(self, verified_flow):
+        testbed, _ = verified_flow
+        verifier = ChainVerifier(testbed.ledger, testbed.market)
+        with pytest.raises(Exception):
+            verifier.verify_result("00" * 16)
+
+    def test_tampered_result_object_detected(self, verified_flow):
+        testbed, session = verified_flow
+        verifier = ChainVerifier(testbed.ledger, testbed.market)
+        from repro.common.ids import ObjectId
+
+        result_hex = testbed.market.state["results_map"][session.client_application]
+        result_obj = testbed.ledger.objects.get(ObjectId.from_hex(result_hex))
+        original = result_obj.data["result"]
+        try:
+            # Flip one hex digit of the published result bytes: the
+            # certificate's result hash no longer matches.
+            import json
+
+            payload = json.loads(original.decode("utf-8"))
+            first = payload["result"][0]
+            payload["result"] = ("0" if first != "0" else "1") + payload["result"][1:]
+            result_obj.data["result"] = json.dumps(payload, sort_keys=True).encode()
+            with pytest.raises(VerificationError):
+                verifier.verify_result(session.client_application)
+        finally:
+            result_obj.data["result"] = original
+
+    def test_vantage_reported(self, verified_flow):
+        testbed, session = verified_flow
+        verifier = ChainVerifier(testbed.ledger, testbed.market)
+        verified = verifier.verify_result(session.client_application)
+        assert verified.vantage == (1, 2)

@@ -1,0 +1,39 @@
+"""The ``python -m repro`` CLI."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestCli:
+    def test_table2(self, capsys):
+        assert main(["table2"]) == 0
+        out = capsys.readouterr().out
+        assert "0.01369" in out
+
+    def test_localize_finds_fault(self, capsys):
+        code = main(["localize", "--ases", "5", "--fault-link", "2",
+                     "--probes", "10"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "correct=True" in out
+
+    def test_localize_rejects_bad_link(self, capsys):
+        assert main(["localize", "--ases", "4", "--fault-link", "9"]) == 2
+
+    def test_quickstart(self, capsys):
+        assert main(["quickstart", "--probes", "5"]) == 0
+        assert "verification: OK" in capsys.readouterr().out
+
+    def test_table1_small(self, capsys):
+        assert main(["table1", "--probes", "60", "--interval", "0.2"]) == 0
+        out = capsys.readouterr().out
+        assert "bangalore" in out and "sydney" in out
+
+    def test_fig8_small(self, capsys):
+        assert main(["fig8", "--probes", "60"]) == 0
+        assert "D2D - A2A" in capsys.readouterr().out
+
+    def test_unknown_command_exits(self):
+        with pytest.raises(SystemExit):
+            main(["frobnicate"])

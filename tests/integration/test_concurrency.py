@@ -1,0 +1,82 @@
+"""Concurrency: many sessions, many initiators, shared executors."""
+
+import pytest
+
+from repro.core.application import DebugletApplication
+from repro.core.executor import executor_data_address
+from repro.core.marketplace import Initiator
+from repro.core.results import EchoMeasurement
+from repro.chain import KeyPair, Wallet, sui_to_mist
+from repro.netsim.packet import Protocol
+from repro.sandbox.programs import echo_client, echo_server
+from repro.workloads.scenarios import MarketplaceTestbed
+
+COUNT = 6
+
+
+def _request(testbed, initiator, client_vantage, server_vantage, port):
+    path = testbed.chain.registry.shortest(client_vantage[0], server_vantage[0])
+    server_app = DebugletApplication.from_stock(
+        f"srv-{port}",
+        echo_server(Protocol.UDP, max_echoes=COUNT, idle_timeout_us=2_000_000),
+        listen_port=port, path=path.reversed().as_list(),
+    )
+    client_app = DebugletApplication.from_stock(
+        f"cli-{port}",
+        echo_client(Protocol.UDP, executor_data_address(*server_vantage),
+                    count=COUNT, interval_us=20_000, dst_port=port),
+        path=path.as_list(),
+    )
+    return initiator.request_measurement(
+        client_app, server_app, client_vantage, server_vantage, duration=20.0
+    )
+
+
+class TestConcurrentSessions:
+    def test_parallel_sessions_on_shared_executors(self):
+        """Three measurements bought back-to-back run concurrently on the
+        same executor pair, demultiplexed by their listen ports."""
+        testbed = MarketplaceTestbed.build(3, seed=65)
+        sessions = [
+            _request(testbed, testbed.initiator, (1, 2), (3, 1), 8900 + i)
+            for i in range(3)
+        ]
+        for session in sessions:
+            testbed.initiator.run_until_done(session, testbed.chain.simulator)
+        for session in sessions:
+            echo = EchoMeasurement.from_result(
+                session.client_outcome.result, probes_sent=COUNT
+            )
+            assert echo.received == COUNT
+        # Slots were distinct: three purchases consumed three slots each
+        # side, and all escrow was paid out.
+        assert testbed.ledger.contract_balances["debuglet_market"] == 0
+        testbed.ledger.verify_chain()
+
+    def test_two_initiators_compete_for_slots(self):
+        testbed = MarketplaceTestbed.build(3, seed=66)
+        other_keypair = KeyPair.deterministic("initiator-2")
+        testbed.ledger.create_account(other_keypair, balance=sui_to_mist(100))
+        other = Initiator(testbed.ledger, Wallet(testbed.ledger, other_keypair))
+
+        session_a = _request(testbed, testbed.initiator, (1, 2), (3, 1), 8910)
+        session_b = _request(testbed, other, (1, 2), (3, 1), 8911)
+        testbed.initiator.run_until_done(session_a, testbed.chain.simulator)
+        other.run_until_done(session_b, testbed.chain.simulator)
+        # Both got service, on different windows or different slots.
+        assert session_a.done and session_b.done
+        assert (
+            session_a.client_application != session_b.client_application
+        )
+
+    def test_opposite_direction_measurements_coexist(self):
+        testbed = MarketplaceTestbed.build(3, seed=67)
+        forward = _request(testbed, testbed.initiator, (1, 2), (3, 1), 8920)
+        backward = _request(testbed, testbed.initiator, (3, 1), (1, 2), 8921)
+        testbed.initiator.run_until_done(forward, testbed.chain.simulator)
+        testbed.initiator.run_until_done(backward, testbed.chain.simulator)
+        for session in (forward, backward):
+            echo = EchoMeasurement.from_result(
+                session.client_outcome.result, probes_sent=COUNT
+            )
+            assert echo.received == COUNT

@@ -1,0 +1,52 @@
+"""Smoke tests: every shipped example runs to completion."""
+
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parents[2] / "examples"
+
+
+def _run(name: str, argv: list[str] | None = None, capsys=None) -> str:
+    old_argv = sys.argv
+    sys.argv = [str(EXAMPLES / name)] + (argv or [])
+    try:
+        runpy.run_path(str(EXAMPLES / name), run_name="__main__")
+    finally:
+        sys.argv = old_argv
+    return capsys.readouterr().out if capsys else ""
+
+
+class TestExamples:
+    def test_quickstart(self, capsys):
+        out = _run("quickstart.py", capsys=capsys)
+        assert "full chain verification: OK" in out
+
+    def test_fault_localization(self, capsys):
+        out = _run("fault_localization.py", capsys=capsys)
+        assert out.count("[correct]") == 3
+
+    def test_custom_debuglet(self, capsys):
+        out = _run("custom_debuglet.py", capsys=capsys)
+        assert "execution: completed" in out
+        assert "intra-burst RTT spread" in out
+
+    def test_verifiable_sla(self, capsys):
+        out = _run("verifiable_sla.py", capsys=capsys)
+        assert "VIOLATION" in out
+        assert "gaming suspected: True" in out
+
+    def test_decentralized_discovery(self, capsys):
+        out = _run("decentralized_discovery.py", capsys=capsys)
+        assert "certificate signature checks out (bilateral trust): True" in out
+
+    def test_historical_trend(self, capsys):
+        out = _run("historical_trend.py", capsys=capsys)
+        assert "degradation began at t=480s" in out
+
+    def test_protocol_treatment_study(self, capsys):
+        out = _run("protocol_treatment_study.py", argv=["200"], capsys=capsys)
+        assert "Table I (reproduced)" in out
+        assert "bangalore" in out

@@ -1,0 +1,75 @@
+"""Robustness: faults striking *during* a marketplace measurement."""
+
+import pytest
+
+from repro.core.application import DebugletApplication
+from repro.core.executor import executor_data_address
+from repro.core.results import EchoMeasurement
+from repro.netsim import FaultInjector, InterfaceId, Protocol
+from repro.sandbox.programs import echo_client, echo_server
+from repro.workloads.scenarios import MarketplaceTestbed
+
+COUNT = 20
+
+
+def _session(testbed, port):
+    path = testbed.chain.registry.shortest(1, 3)
+    server_app = DebugletApplication.from_stock(
+        "srv",
+        echo_server(Protocol.UDP, max_echoes=COUNT, idle_timeout_us=2_000_000),
+        listen_port=port, path=path.reversed().as_list(),
+    )
+    client_app = DebugletApplication.from_stock(
+        "cli",
+        echo_client(
+            Protocol.UDP, executor_data_address(3, 1),
+            count=COUNT, interval_us=100_000, dst_port=port,
+            timeout_us=150_000,
+        ),
+        path=path.as_list(),
+    )
+    return testbed.initiator.request_measurement(
+        client_app, server_app, (1, 2), (3, 1), duration=30.0
+    )
+
+
+class TestMidMeasurementFaults:
+    def test_loss_burst_recorded_not_fatal(self):
+        """A loss burst in the middle of the probe train shows up as loss
+        in the certified result; the session still completes and pays."""
+        testbed = MarketplaceTestbed.build(3, seed=91)
+        session = _session(testbed, 9500)
+        # The measurement window starts ~0.9 s in; blackhole the middle.
+        injector = FaultInjector(testbed.chain.topology)
+        injector.link_blackhole(
+            InterfaceId(2, 2), InterfaceId(3, 1),
+            start=session.window_start + 0.6,
+            end=session.window_start + 1.4,
+        )
+        testbed.initiator.run_until_done(session, testbed.chain.simulator)
+        echo = EchoMeasurement.from_result(
+            session.client_outcome.result, probes_sent=COUNT
+        )
+        assert 0 < echo.lost < COUNT  # partial loss, measured
+        assert session.client_outcome.status == "completed"
+        assert testbed.ledger.contract_balances["debuglet_market"] == 0
+
+    def test_total_outage_still_completes_with_full_loss(self):
+        """Even a total outage produces a (verifiable) result: 100% loss
+        on the client; the server reports zero echoes."""
+        testbed = MarketplaceTestbed.build(3, seed=92)
+        session = _session(testbed, 9501)
+        injector = FaultInjector(testbed.chain.topology)
+        injector.link_blackhole(
+            InterfaceId(1, 2), InterfaceId(2, 1),
+            start=session.window_start - 0.1,
+            end=session.window_start + 60.0,
+        )
+        testbed.initiator.run_until_done(session, testbed.chain.simulator)
+        echo = EchoMeasurement.from_result(
+            session.client_outcome.result, probes_sent=COUNT
+        )
+        assert echo.lost == COUNT
+        from repro.core.results import ServerReport
+
+        assert ServerReport.from_result(session.server_outcome.result).echoes == 0

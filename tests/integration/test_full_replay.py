@@ -1,0 +1,49 @@
+"""Replaying the whole marketplace history reproduces state (§IV-C)."""
+
+import pytest
+
+from repro.contracts.debuglet_market import DebugletMarket
+from repro.core.application import DebugletApplication
+from repro.core.executor import executor_data_address
+from repro.netsim.packet import Protocol
+from repro.sandbox.programs import echo_client, echo_server
+from repro.workloads.scenarios import MarketplaceTestbed
+
+
+class TestFullReplay:
+    def test_replay_after_complete_measurement(self):
+        """Nobody can rewrite history: re-executing every signed
+        transaction from genesis yields exactly the same state digest."""
+        testbed = MarketplaceTestbed.build(2, seed=95)
+        path = testbed.chain.registry.shortest(1, 2)
+        server_app = DebugletApplication.from_stock(
+            "srv",
+            echo_server(Protocol.UDP, max_echoes=5, idle_timeout_us=2_000_000),
+            listen_port=9700, path=path.reversed().as_list(),
+        )
+        client_app = DebugletApplication.from_stock(
+            "cli",
+            echo_client(Protocol.UDP, executor_data_address(2, 1),
+                        count=5, interval_us=20_000, dst_port=9700),
+            path=path.as_list(),
+        )
+        session = testbed.initiator.request_measurement(
+            client_app, server_app, (1, 2), (2, 1), duration=20.0
+        )
+        testbed.initiator.run_until_done(session, testbed.chain.simulator)
+
+        replica = testbed.ledger.replay({"debuglet_market": DebugletMarket})
+        assert replica.state_digest() == testbed.ledger.state_digest()
+        # The replica's contract state contains the same published result.
+        market = replica.contracts["debuglet_market"]
+        assert session.client_application in market.state["results_map"]
+
+    def test_replay_detects_a_dropped_transaction(self):
+        testbed = MarketplaceTestbed.build(2, seed=96)
+        # Drop one mid-history transaction and replay: nonces no longer
+        # line up, so the forgery is rejected outright.
+        victim = testbed.ledger._transactions.pop(2)
+        with pytest.raises(Exception):
+            testbed.ledger.replay({"debuglet_market": DebugletMarket})
+        testbed.ledger._transactions.insert(2, victim)
+        testbed.ledger.replay({"debuglet_market": DebugletMarket})

@@ -1,0 +1,61 @@
+"""Localization and pinning on an Internet-like hierarchy."""
+
+import pytest
+
+from repro.core.localization import FaultLocalizer
+from repro.core.probing import ExecutorFleet, SegmentProber
+from repro.netsim import FaultInjector, InterfaceId
+from repro.pathaware import PathPolicy, PathSelector
+from repro.workloads import build_internet_like
+
+
+@pytest.fixture
+def hierarchy():
+    scenario = build_internet_like(n_tier2=3, stubs_per_tier2=2, seed=5)
+    fleet = ExecutorFleet(scenario.network, seed=6)
+    fleet.deploy_full()
+    return scenario, fleet
+
+
+class TestHierarchy:
+    def test_multihoming_gives_multiple_paths(self, hierarchy):
+        scenario, _ = hierarchy
+        paths = scenario.registry.paths(100, 103)
+        assert len(paths) >= 2
+        tier1s_used = {asns[2] for asns in (p.asns() for p in paths) if len(asns) >= 3}
+        assert {1, 2} & tier1s_used
+
+    def test_localize_tier2_to_tier1_link_fault(self, hierarchy):
+        scenario, fleet = hierarchy
+        selector = PathSelector(scenario.registry)
+        # Pin the stub-to-stub path through tier1-a.
+        path = selector.select(100, 103, PathPolicy(require_asns=frozenset({1})))
+        injector = FaultInjector(scenario.topology)
+        # Fault on the tier2(10) <-> tier1(1) link, which is on the path.
+        fault = injector.link_delay(
+            InterfaceId(10, 1), InterfaceId(1, 10),
+            extra_delay=20e-3, start=0.0, end=1e12,
+        )
+        prober = SegmentProber(fleet, probes=12, interval_us=5000)
+        localizer = FaultLocalizer(prober)
+        report = localizer.localize(path, strategy="binary")
+        assert report.found(fault.location)
+
+    def test_fault_avoidable_via_other_tier1(self, hierarchy):
+        scenario, fleet = hierarchy
+        selector = PathSelector(scenario.registry)
+        injector = FaultInjector(scenario.topology)
+        injector.link_delay(
+            InterfaceId(10, 1), InterfaceId(1, 10),
+            extra_delay=20e-3, start=0.0, end=1e12,
+        )
+        detour = selector.select(
+            100, 103, PathPolicy(avoid_asns=frozenset({1}))
+        )
+        assert 1 not in detour.asns()
+        prober = SegmentProber(fleet, probes=12, interval_us=5000)
+        measurement = prober.measure_sync(
+            (100, 1), (103, 1),
+            detour.subsegment(100, 103),
+        )
+        assert measurement.mean_rtt_ms() < 30.0  # clean via tier1-b

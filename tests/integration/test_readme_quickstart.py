@@ -1,0 +1,18 @@
+"""The README's quickstart code block must actually run."""
+
+import re
+from pathlib import Path
+
+README = Path(__file__).resolve().parents[2] / "README.md"
+
+
+class TestReadmeQuickstart:
+    def test_quickstart_block_executes(self, capsys):
+        text = README.read_text()
+        blocks = re.findall(r"```python\n(.*?)```", text, flags=re.DOTALL)
+        assert blocks, "README lost its quickstart code block"
+        quickstart = blocks[0]
+        namespace: dict = {}
+        exec(compile(quickstart, str(README), "exec"), namespace)  # noqa: S102
+        out = capsys.readouterr().out
+        assert "mean_rtt_ms" in out  # the summary print ran

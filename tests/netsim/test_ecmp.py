@@ -1,0 +1,112 @@
+"""ECMP route selection at every hashing granularity."""
+
+import pytest
+
+from repro.netsim.ecmp import EcmpGroup, HashGranularity, Route, evenly_spread, single_route
+from repro.netsim.packet import Address, Packet, Protocol
+
+
+def _packet(seq=0, src_port=1000, dst_port=7, dst_host="b", protocol=Protocol.UDP):
+    return Packet(
+        src=Address(1, "a"),
+        dst=Address(2, dst_host),
+        protocol=protocol,
+        src_port=src_port,
+        dst_port=dst_port,
+        seq=seq,
+    )
+
+
+class TestConstruction:
+    def test_requires_routes(self):
+        with pytest.raises(ValueError):
+            EcmpGroup([])
+
+    def test_rejects_nonpositive_weights(self):
+        with pytest.raises(ValueError):
+            EcmpGroup([Route(0.0, weight=0.0)])
+
+    def test_evenly_spread_offsets(self):
+        group = evenly_spread(4, 3e-3)
+        offsets = [route.delay_offset for route in group.routes]
+        assert offsets == pytest.approx([0.0, 1e-3, 2e-3, 3e-3])
+
+    def test_single_route(self):
+        group = single_route(1e-3)
+        assert len(group) == 1
+        assert group.routes[0].delay_offset == 1e-3
+
+
+class TestGranularities:
+    def test_single_always_route_zero(self):
+        group = evenly_spread(4, 1e-3)
+        picks = {
+            group.select(_packet(seq=i), 0.0, HashGranularity.SINGLE)
+            for i in range(20)
+        }
+        assert picks == {0}
+
+    def test_per_flow_is_stable_within_a_flow(self):
+        group = evenly_spread(8, 1e-3)
+        picks = {
+            group.select(_packet(seq=i), float(i), HashGranularity.PER_FLOW)
+            for i in range(50)
+        }
+        assert len(picks) == 1
+
+    def test_per_flow_varies_across_flows(self):
+        group = evenly_spread(8, 1e-3)
+        picks = {
+            group.select(_packet(src_port=p), 0.0, HashGranularity.PER_FLOW)
+            for p in range(1000, 1050)
+        }
+        assert len(picks) > 1
+
+    def test_per_packet_sprays_within_a_flow(self):
+        group = evenly_spread(8, 1e-3)
+        picks = {
+            group.select(_packet(seq=i), 0.0, HashGranularity.PER_PACKET)
+            for i in range(100)
+        }
+        assert len(picks) >= 4
+
+    def test_per_dest_keys_on_destination_only(self):
+        group = evenly_spread(8, 1e-3)
+        same_dest = {
+            group.select(_packet(src_port=p, dst_host="x"), 0.0, HashGranularity.PER_DEST)
+            for p in range(1000, 1030)
+        }
+        assert len(same_dest) == 1
+
+    def test_per_flowlet_sticks_within_gap(self):
+        group = evenly_spread(8, 1e-3)
+        first = group.select(_packet(), 10.0, HashGranularity.PER_FLOWLET)
+        second = group.select(_packet(), 10.1, HashGranularity.PER_FLOWLET)
+        assert first == second
+
+    def test_per_flowlet_can_rehash_after_gap(self):
+        group = EcmpGroup([Route(i * 1e-3) for i in range(16)], flowlet_gap=0.1)
+        picks = set()
+        t = 0.0
+        for i in range(40):
+            t += 1.0  # always exceeds the flowlet gap
+            picks.add(group.select(_packet(), t, HashGranularity.PER_FLOWLET))
+        assert len(picks) > 1
+
+
+class TestWeights:
+    def test_weighted_selection_prefers_heavy_route(self):
+        group = EcmpGroup([Route(0.0, weight=9.0), Route(1e-3, weight=1.0)])
+        picks = [
+            group.select(_packet(seq=i), 0.0, HashGranularity.PER_PACKET)
+            for i in range(2000)
+        ]
+        heavy_fraction = picks.count(0) / len(picks)
+        assert 0.82 < heavy_fraction < 0.97
+
+    def test_salt_changes_hashing(self):
+        a = EcmpGroup([Route(i * 1e-3) for i in range(8)], salt=1)
+        b = EcmpGroup([Route(i * 1e-3) for i in range(8)], salt=2)
+        picks_a = [a.select(_packet(seq=i), 0.0, HashGranularity.PER_PACKET) for i in range(50)]
+        picks_b = [b.select(_packet(seq=i), 0.0, HashGranularity.PER_PACKET) for i in range(50)]
+        assert picks_a != picks_b

@@ -1,0 +1,101 @@
+"""Hosts, sockets, and stack-level echo."""
+
+import pytest
+
+from repro.common.errors import ConfigurationError
+from repro.netsim.packet import Address, IcmpType, Protocol
+
+
+class TestSocketBinding:
+    def test_udp_requires_port(self, two_as_network):
+        _, _, _, client, _ = two_as_network
+        with pytest.raises(ConfigurationError):
+            client.open_socket(Protocol.UDP, 0)
+
+    def test_duplicate_bind_rejected(self, two_as_network):
+        _, _, _, client, _ = two_as_network
+        client.open_udp(1000)
+        with pytest.raises(ConfigurationError):
+            client.open_udp(1000)
+
+    def test_close_releases_port(self, two_as_network):
+        _, _, _, client, _ = two_as_network
+        sock = client.open_udp(1000)
+        sock.close()
+        client.open_udp(1000)  # no error
+
+    def test_send_on_closed_socket_rejected(self, two_as_network):
+        _, _, _, client, server = two_as_network
+        sock = client.open_udp(1000)
+        sock.close()
+        from repro.common.errors import SimulationError
+
+        with pytest.raises(SimulationError):
+            sock.send(server.address, dst_port=7)
+
+
+class TestDelivery:
+    def test_udp_echo_roundtrip(self, two_as_network):
+        sim, _, _, client, server = two_as_network
+        sock = client.open_udp(1000)
+        got = []
+        sock.on_receive = lambda p, t: got.append((p.seq, t))
+        sock.send(server.address, dst_port=7, seq=42)
+        sim.run_until_idle()
+        assert len(got) == 1
+        assert got[0][0] == 42
+        assert got[0][1] > 20e-3  # two 10 ms crossings
+
+    def test_icmp_echo_handled_by_stack(self, two_as_network):
+        sim, _, _, client, server = two_as_network
+        sock = client.open_icmp()
+        got = []
+        sock.on_receive = lambda p, t: got.append(p.icmp_type)
+        sock.send(server.address, seq=1, icmp_type=IcmpType.ECHO_REQUEST)
+        sim.run_until_idle()
+        assert got == [IcmpType.ECHO_REPLY]
+
+    def test_no_echo_when_protocol_not_echoed(self, two_as_network):
+        sim, _, net, client, server = two_as_network
+        server.echo_protocols = {Protocol.ICMP}  # UDP no longer echoed
+        sock = client.open_udp(1000)
+        got = []
+        sock.on_receive = lambda p, t: got.append(p)
+        sock.send(server.address, dst_port=7, seq=1)
+        sim.run_until_idle()
+        assert got == []
+        assert server.dropped_deliveries == 1  # no bound UDP socket either
+
+    def test_unbound_delivery_counted(self, two_as_network):
+        sim, _, _, client, server = two_as_network
+        server.echo_protocols = set()
+        sock = client.open_tcp(1000)
+        sock.send(server.address, dst_port=7)
+        sim.run_until_idle()
+        assert server.dropped_deliveries == 1
+
+    def test_received_buffer_when_no_callback(self, two_as_network):
+        sim, _, _, client, server = two_as_network
+        sock = client.open_udp(1000)
+        sock.send(server.address, dst_port=7, seq=9)
+        sim.run_until_idle()
+        assert len(sock.received) == 1
+        assert sock.received[0][0].seq == 9
+
+    def test_raw_ip_socket_catch_all_port(self, two_as_network):
+        sim, _, _, client, server = two_as_network
+        sock = client.open_raw()
+        got = []
+        sock.on_receive = lambda p, t: got.append(p.seq)
+        sock.send(server.address, seq=3)
+        sim.run_until_idle()
+        assert got == [3]
+
+
+class TestAttachment:
+    def test_unattached_host_rejects_network_access(self):
+        from repro.netsim.endhost import Host
+
+        host = Host(Address(1, "x"))
+        with pytest.raises(ConfigurationError):
+            _ = host.network

@@ -1,0 +1,103 @@
+"""Discrete-event engine semantics."""
+
+import pytest
+
+from repro.common.errors import SimulationError
+from repro.netsim.engine import Simulator
+
+
+class TestScheduling:
+    def test_events_fire_in_time_order(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule_at(2.0, fired.append, "b")
+        sim.schedule_at(1.0, fired.append, "a")
+        sim.schedule_at(3.0, fired.append, "c")
+        sim.run_until_idle()
+        assert fired == ["a", "b", "c"]
+
+    def test_ties_fire_in_insertion_order(self):
+        sim = Simulator()
+        fired = []
+        for tag in ("first", "second", "third"):
+            sim.schedule_at(1.0, fired.append, tag)
+        sim.run_until_idle()
+        assert fired == ["first", "second", "third"]
+
+    def test_now_advances_to_event_time(self):
+        sim = Simulator()
+        seen = []
+        sim.schedule_at(5.5, lambda: seen.append(sim.now))
+        sim.run_until_idle()
+        assert seen == [5.5]
+
+    def test_relative_schedule(self):
+        sim = Simulator()
+        seen = []
+        sim.schedule_at(1.0, lambda: sim.schedule(0.5, lambda: seen.append(sim.now)))
+        sim.run_until_idle()
+        assert seen == [1.5]
+
+    def test_cannot_schedule_in_the_past(self):
+        sim = Simulator()
+        sim.schedule_at(1.0, lambda: None)
+        sim.run_until_idle()
+        with pytest.raises(SimulationError):
+            sim.schedule_at(0.5, lambda: None)
+
+    def test_negative_delay_rejected(self):
+        sim = Simulator()
+        with pytest.raises(SimulationError):
+            sim.schedule(-1.0, lambda: None)
+
+
+class TestCancellation:
+    def test_cancelled_event_does_not_fire(self):
+        sim = Simulator()
+        fired = []
+        handle = sim.schedule_at(1.0, fired.append, "x")
+        handle.cancel()
+        sim.run_until_idle()
+        assert fired == []
+
+    def test_cancel_is_idempotent(self):
+        sim = Simulator()
+        handle = sim.schedule_at(1.0, lambda: None)
+        handle.cancel()
+        handle.cancel()
+        sim.run_until_idle()
+
+
+class TestRunUntil:
+    def test_run_until_stops_before_later_events(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule_at(1.0, fired.append, "a")
+        sim.schedule_at(5.0, fired.append, "b")
+        sim.run(until=2.0)
+        assert fired == ["a"]
+        assert sim.now == 2.0
+
+    def test_run_until_advances_clock_even_without_events(self):
+        sim = Simulator()
+        sim.run(until=10.0)
+        assert sim.now == 10.0
+
+    def test_remaining_events_fire_on_next_run(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule_at(5.0, fired.append, "late")
+        sim.run(until=1.0)
+        sim.run_until_idle()
+        assert fired == ["late"]
+
+    def test_step_returns_false_when_idle(self):
+        sim = Simulator()
+        assert sim.step() is False
+
+    def test_events_processed_counter(self):
+        sim = Simulator()
+        for i in range(3):
+            sim.schedule_at(float(i), lambda: None)
+        sim.run_until_idle()
+        assert sim.events_processed == 3

@@ -1,0 +1,101 @@
+"""Fault injection and ground truth."""
+
+import pytest
+
+from repro.netsim import FaultInjector, FaultKind, FaultLocation, InterfaceId, Protocol
+from repro.netsim.packet import Address, Packet
+
+
+def _probe(seq=0):
+    return Packet(
+        src=Address(1, "a"), dst=Address(3, "b"), protocol=Protocol.UDP,
+        src_port=1, dst_port=2, seq=seq,
+    )
+
+
+class TestLinkFaults:
+    def test_blackhole_affects_both_directions(self, three_as_network):
+        _, topo, _, _, _ = three_as_network
+        injector = FaultInjector(topo)
+        injector.link_blackhole(
+            InterfaceId(1, 2), InterfaceId(2, 1), start=0.0, end=100.0
+        )
+        fwd = topo.channel_between(InterfaceId(1, 2), InterfaceId(2, 1))
+        rev = topo.channel_between(InterfaceId(2, 1), InterfaceId(1, 2))
+        assert not fwd.transit(_probe(), 1.0).delivered
+        assert not rev.transit(_probe(), 1.0).delivered
+
+    def test_directional_fault(self, three_as_network):
+        _, topo, _, _, _ = three_as_network
+        injector = FaultInjector(topo)
+        injector.link_loss(
+            InterfaceId(1, 2), InterfaceId(2, 1),
+            loss=1.0, start=0.0, end=100.0, directions="forward",
+        )
+        fwd = topo.channel_between(InterfaceId(1, 2), InterfaceId(2, 1))
+        rev = topo.channel_between(InterfaceId(2, 1), InterfaceId(1, 2))
+        assert not fwd.transit(_probe(), 1.0).delivered
+        assert rev.transit(_probe(), 1.0).delivered
+
+    def test_delay_fault_records_ground_truth(self, three_as_network):
+        _, topo, _, _, _ = three_as_network
+        injector = FaultInjector(topo)
+        fault = injector.link_delay(
+            InterfaceId(2, 2), InterfaceId(3, 1),
+            extra_delay=30e-3, start=5.0, end=50.0,
+        )
+        assert fault.kind is FaultKind.DELAY
+        assert fault.location.link == (InterfaceId(2, 2), InterfaceId(3, 1))
+        assert fault.start == 5.0 and fault.end == 50.0
+        assert fault.magnitude == 30e-3
+
+    def test_fault_inactive_outside_window(self, three_as_network):
+        _, topo, _, _, _ = three_as_network
+        injector = FaultInjector(topo)
+        injector.link_blackhole(
+            InterfaceId(1, 2), InterfaceId(2, 1), start=10.0, end=20.0
+        )
+        fwd = topo.channel_between(InterfaceId(1, 2), InterfaceId(2, 1))
+        assert fwd.transit(_probe(), 5.0).delivered
+        assert not fwd.transit(_probe(), 15.0).delivered
+        assert fwd.transit(_probe(), 25.0).delivered
+
+
+class TestInteriorFaults:
+    def test_internal_delay_hits_transit_traffic(self, three_as_network):
+        sim, topo, net, client, server = three_as_network
+        injector = FaultInjector(topo)
+        injector.as_internal_delay(2, extra_delay=40e-3, start=0.0, end=1e9)
+        sock = client.open_udp(1000)
+        arrivals = []
+        sock.on_receive = lambda p, t: arrivals.append(t)
+        sock.send(server.address, dst_port=7)
+        sim.run_until_idle()
+        # Both directions traverse AS2's interior: +80 ms total.
+        assert arrivals and arrivals[0] > 100e-3
+
+    def test_interior_location_string(self):
+        location = FaultLocation(asn=7)
+        assert "AS 7" in str(location)
+
+
+class TestRevocation:
+    def test_revoke_restores_channel(self, three_as_network):
+        _, topo, _, _, _ = three_as_network
+        injector = FaultInjector(topo)
+        fault = injector.link_blackhole(
+            InterfaceId(1, 2), InterfaceId(2, 1), start=0.0, end=1e9
+        )
+        fault.revoke()
+        fwd = topo.channel_between(InterfaceId(1, 2), InterfaceId(2, 1))
+        assert fwd.transit(_probe(), 1.0).delivered
+
+    def test_revoke_all(self, three_as_network):
+        _, topo, _, _, _ = three_as_network
+        injector = FaultInjector(topo)
+        injector.link_blackhole(InterfaceId(1, 2), InterfaceId(2, 1), start=0.0, end=1e9)
+        injector.as_internal_loss(2, loss=1.0, start=0.0, end=1e9)
+        injector.revoke_all()
+        assert injector.injected == []
+        fwd = topo.channel_between(InterfaceId(1, 2), InterfaceId(2, 1))
+        assert fwd.transit(_probe(), 1.0).delivered

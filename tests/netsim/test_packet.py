@@ -1,0 +1,65 @@
+"""Packets, protocols, and flow keys."""
+
+import pytest
+
+from repro.netsim.packet import Address, IcmpType, Packet, Protocol
+
+
+class TestProtocol:
+    def test_wire_numbers_match_the_paper(self):
+        assert Protocol.UDP.wire_number == 17
+        assert Protocol.TCP.wire_number == 6
+        assert Protocol.ICMP.wire_number == 1
+        assert Protocol.RAW_IP.wire_number == 201  # unassigned number
+
+
+class TestPacket:
+    def _packet(self, **kwargs) -> Packet:
+        defaults = dict(
+            src=Address(1, "a"),
+            dst=Address(2, "b"),
+            protocol=Protocol.UDP,
+            src_port=1000,
+            dst_port=7,
+            seq=5,
+        )
+        defaults.update(kwargs)
+        return Packet(**defaults)
+
+    def test_positive_size_required(self):
+        with pytest.raises(ValueError):
+            self._packet(size=0)
+
+    def test_icmp_defaults_to_echo_request(self):
+        packet = self._packet(protocol=Protocol.ICMP)
+        assert packet.icmp_type is IcmpType.ECHO_REQUEST
+
+    def test_flow_key_includes_ports_for_udp_tcp(self):
+        a = self._packet(src_port=1, dst_port=2)
+        b = self._packet(src_port=1, dst_port=3)
+        assert a.flow_key() != b.flow_key()
+
+    def test_flow_key_ignores_ports_for_icmp(self):
+        a = self._packet(protocol=Protocol.ICMP, src_port=1)
+        b = self._packet(protocol=Protocol.ICMP, src_port=9)
+        assert a.flow_key() == b.flow_key()
+
+    def test_packet_ids_are_unique(self):
+        assert self._packet().packet_id != self._packet().packet_id
+
+    def test_reply_swaps_endpoints_and_ports(self):
+        packet = self._packet()
+        reply = packet.reply_to()
+        assert reply.src == packet.dst
+        assert reply.dst == packet.src
+        assert reply.src_port == packet.dst_port
+        assert reply.dst_port == packet.src_port
+        assert reply.seq == packet.seq
+
+    def test_reply_to_icmp_echo_is_echo_reply(self):
+        packet = self._packet(protocol=Protocol.ICMP)
+        assert packet.reply_to().icmp_type is IcmpType.ECHO_REPLY
+
+    def test_reply_keeps_size_by_default(self):
+        packet = self._packet(size=128)
+        assert packet.reply_to().size == 128

@@ -1,0 +1,66 @@
+"""Poisson background traffic and host-op table sanity."""
+
+import pytest
+
+from repro.common.errors import SandboxError
+from repro.netsim import PoissonTraffic, Protocol
+from repro.sandbox.hostops import (
+    BLOCKING_OPS,
+    HOST_OPS,
+    arity_of,
+    protocol_from_number,
+)
+
+
+class TestPoissonTraffic:
+    def test_generates_roughly_rate_times_duration(self, two_as_network):
+        sim, _, net, client, server = two_as_network
+        sock = client.open_udp(2222)
+        traffic = PoissonTraffic(
+            client_socket=sock, server=server.address, rate=50.0,
+            duration=10.0, seed=3,
+        )
+        traffic.launch()
+        sim.run_until_idle()
+        assert 350 < traffic.sent < 650  # ~500 expected
+
+    def test_deterministic_per_seed(self, two_as_network):
+        sim, _, net, client, server = two_as_network
+        first = PoissonTraffic(
+            client_socket=client.open_udp(2223), server=server.address,
+            rate=20.0, duration=5.0, seed=9,
+        )
+        second = PoissonTraffic(
+            client_socket=client.open_udp(2224), server=server.address,
+            rate=20.0, duration=5.0, seed=9,
+        )
+        first.launch()
+        second.launch()
+        sim.run_until_idle()
+        # Same seed and host: identical inter-arrival draws? The RNG is
+        # derived from the host name, shared here, so both see the same
+        # schedule length.
+        assert first.sent == second.sent
+
+
+class TestHostOps:
+    def test_every_op_has_sane_signature(self):
+        for name, (n_args, n_results) in HOST_OPS.items():
+            assert 0 <= n_args <= 8, name
+            assert n_results == 1, name  # the VM pushes exactly one result
+
+    def test_arity_lookup(self):
+        assert arity_of("net_send") == 5
+        assert arity_of("now_us") == 0
+        with pytest.raises(SandboxError):
+            arity_of("no_such_op")
+
+    def test_blocking_ops_subset(self):
+        assert BLOCKING_OPS <= set(HOST_OPS)
+        assert "net_recv" in BLOCKING_OPS
+
+    def test_protocol_mapping(self):
+        assert protocol_from_number(17) is Protocol.UDP
+        assert protocol_from_number(201) is Protocol.RAW_IP
+        with pytest.raises(SandboxError):
+            protocol_from_number(99)

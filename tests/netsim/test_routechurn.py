@@ -1,0 +1,52 @@
+"""Route churn schedules."""
+
+from repro.netsim.packet import Protocol
+from repro.netsim.routechurn import RouteChurnProcess, RouteShift, no_churn
+
+
+class TestRouteShift:
+    def test_applies_within_interval(self):
+        shift = RouteShift(10.0, 20.0, 5e-3)
+        assert shift.applies(10.0, Protocol.UDP)
+        assert shift.applies(19.999, Protocol.TCP)
+        assert not shift.applies(20.0, Protocol.UDP)
+        assert not shift.applies(9.999, Protocol.UDP)
+
+    def test_protocol_restriction(self):
+        shift = RouteShift(0.0, 10.0, 5e-3, frozenset({Protocol.UDP}))
+        assert shift.applies(5.0, Protocol.UDP)
+        assert not shift.applies(5.0, Protocol.ICMP)
+
+
+class TestChurnProcess:
+    def test_no_churn_offset_zero(self):
+        assert no_churn().offset(100.0, Protocol.UDP) == 0.0
+
+    def test_offsets_accumulate(self):
+        churn = RouteChurnProcess(
+            [RouteShift(0.0, 10.0, 2e-3), RouteShift(5.0, 15.0, 3e-3)]
+        )
+        assert churn.offset(7.0, Protocol.UDP) == 5e-3
+        assert churn.offset(2.0, Protocol.UDP) == 2e-3
+        assert churn.offset(12.0, Protocol.UDP) == 3e-3
+
+    def test_random_is_deterministic_per_seed(self):
+        a = RouteChurnProcess.random(seed=3, horizon=86400.0, rate=1.0 / 3600.0)
+        b = RouteChurnProcess.random(seed=3, horizon=86400.0, rate=1.0 / 3600.0)
+        assert [s.start for s in a.shifts] == [s.start for s in b.shifts]
+
+    def test_random_respects_horizon(self):
+        churn = RouteChurnProcess.random(seed=1, horizon=1000.0, rate=1.0 / 100.0)
+        assert all(shift.start < 1000.0 for shift in churn.shifts)
+
+    def test_random_protocol_restriction_propagates(self):
+        churn = RouteChurnProcess.random(
+            seed=2,
+            horizon=86400.0,
+            rate=1.0 / 3600.0,
+            protocols=frozenset({Protocol.TCP}),
+        )
+        assert churn.shifts, "expected some shifts in a day"
+        t = churn.shifts[0].start
+        assert churn.offset(t, Protocol.TCP) > 0
+        assert churn.offset(t, Protocol.UDP) == 0.0

@@ -1,0 +1,135 @@
+"""AS topology: interfaces, links, paths."""
+
+import pytest
+
+from repro.common.errors import ConfigurationError, SimulationError
+from repro.netsim.conduit import Link
+from repro.netsim.topology import (
+    AutonomousSystem,
+    BorderRouter,
+    InterfaceId,
+    PathHop,
+    Topology,
+)
+
+
+def _line(n: int) -> Topology:
+    topo = Topology()
+    for asn in range(1, n + 1):
+        topo.make_as(asn)
+    for asn in range(1, n):
+        topo.connect(asn, 2, asn + 1, 1, Link.symmetric(f"{asn}", base_delay=1e-3))
+    return topo
+
+
+class TestAutonomousSystem:
+    def test_positive_asn_required(self):
+        with pytest.raises(ConfigurationError):
+            AutonomousSystem(0)
+
+    def test_duplicate_interface_rejected(self):
+        asys = AutonomousSystem(1)
+        asys.add_interface(1)
+        with pytest.raises(ConfigurationError):
+            asys.add_interface(1)
+
+    def test_internal_channels_are_memoized(self):
+        asys = AutonomousSystem(1)
+        a = asys.internal_channel("interior", "if1")
+        b = asys.internal_channel("interior", "if1")
+        assert a is b
+
+    def test_internal_channel_directions_distinct(self):
+        asys = AutonomousSystem(1)
+        assert asys.internal_channel("a", "b") is not asys.internal_channel("b", "a")
+
+    def test_same_attachment_zero_base_delay(self):
+        asys = AutonomousSystem(1, internal_delay=2e-3)
+        assert asys.internal_channel("if1", "if1").base_delay == 0.0
+
+
+class TestBorderRouterRateLimit:
+    def test_tokens_deplete_and_refill(self):
+        router = BorderRouter(InterfaceId(1, 1), icmp_rate_limit=1.0)
+        assert router.allow_icmp_generation(0.0)
+        assert not router.allow_icmp_generation(0.01)
+        assert router.allow_icmp_generation(1.5)  # refilled
+
+    def test_disabled_router_never_answers(self):
+        router = BorderRouter(InterfaceId(1, 1), ttl_exceeded_enabled=False)
+        assert not router.allow_icmp_generation(0.0)
+
+
+class TestTopology:
+    def test_duplicate_as_rejected(self):
+        topo = Topology()
+        topo.make_as(1)
+        with pytest.raises(ConfigurationError):
+            topo.make_as(1)
+
+    def test_connect_creates_interfaces(self):
+        topo = _line(2)
+        assert 2 in topo.autonomous_system(1).routers
+        assert 1 in topo.autonomous_system(2).routers
+
+    def test_interface_cannot_be_double_linked(self):
+        topo = _line(2)
+        topo.make_as(3)
+        with pytest.raises(ConfigurationError):
+            topo.connect(1, 2, 3, 1, Link.symmetric("dup", base_delay=1e-3))
+
+    def test_channel_between_orientation(self):
+        topo = Topology()
+        topo.make_as(1)
+        topo.make_as(2)
+        link = Link.symmetric("1-2", base_delay=1e-3)
+        topo.connect(1, 1, 2, 1, link)
+        assert topo.channel_between(InterfaceId(1, 1), InterfaceId(2, 1)) is link.forward
+        assert topo.channel_between(InterfaceId(2, 1), InterfaceId(1, 1)) is link.reverse
+
+    def test_channel_between_wrong_peer_rejected(self):
+        topo = _line(3)
+        with pytest.raises(SimulationError):
+            topo.channel_between(InterfaceId(1, 2), InterfaceId(3, 1))
+
+    def test_neighbors_sorted_by_interface(self):
+        topo = _line(3)
+        assert topo.neighbors(2) == [(1, 1, 2), (2, 3, 1)]
+
+
+class TestShortestPath:
+    def test_same_as_single_hop(self):
+        topo = _line(2)
+        assert topo.shortest_path(1, 1) == [PathHop(1, None, None)]
+
+    def test_line_path_interfaces(self):
+        topo = _line(3)
+        path = topo.shortest_path(1, 3)
+        assert path == [
+            PathHop(1, None, 2),
+            PathHop(2, 1, 2),
+            PathHop(3, 1, None),
+        ]
+
+    def test_no_path_raises(self):
+        topo = Topology()
+        topo.make_as(1)
+        topo.make_as(2)
+        with pytest.raises(SimulationError):
+            topo.shortest_path(1, 2)
+
+    def test_prefers_shorter_route(self):
+        # Triangle: 1-2, 2-3, 1-3. Path 1->3 must be direct.
+        topo = _line(3)
+        topo.connect(1, 9, 3, 9, Link.symmetric("direct", base_delay=1e-3))
+        path = topo.shortest_path(1, 3)
+        assert [hop.asn for hop in path] == [1, 3]
+
+    def test_interface_pairs_on_path(self):
+        topo = _line(3)
+        path = topo.shortest_path(1, 3)
+        pairs = topo.interface_pairs_on_path(path)
+        assert pairs == [
+            (InterfaceId(1, 2), InterfaceId(2, 1)),
+            (InterfaceId(2, 2), InterfaceId(3, 1)),
+        ]

@@ -1,0 +1,63 @@
+"""Measurement traces and their statistics."""
+
+import numpy as np
+import pytest
+
+from repro.netsim.packet import Protocol
+from repro.netsim.trace import MeasurementTrace, ProbeRecord
+
+
+def _trace_with(rtts, lost=0):
+    trace = MeasurementTrace(Protocol.UDP, label="t")
+    seq = 0
+    for rtt in rtts:
+        seq += 1
+        trace.add(ProbeRecord(seq=seq, send_time=float(seq), rtt=rtt))
+    for _ in range(lost):
+        seq += 1
+        trace.add(ProbeRecord(seq=seq, send_time=float(seq)))
+    return trace
+
+
+class TestCounting:
+    def test_sent_received_lost(self):
+        trace = _trace_with([0.01, 0.02], lost=3)
+        assert trace.sent == 5
+        assert trace.received == 2
+        assert trace.lost == 3
+
+    def test_loss_rates(self):
+        trace = _trace_with([0.01] * 9, lost=1)
+        assert trace.loss_rate() == pytest.approx(0.1)
+        assert trace.loss_per_mille() == pytest.approx(100.0)
+
+    def test_empty_trace(self):
+        trace = MeasurementTrace(Protocol.TCP)
+        assert trace.loss_rate() == 0.0
+        assert np.isnan(trace.mean_rtt_ms())
+
+
+class TestStatistics:
+    def test_mean_and_std_in_ms(self):
+        trace = _trace_with([0.010, 0.020, 0.030])
+        assert trace.mean_rtt_ms() == pytest.approx(20.0)
+        assert trace.std_rtt_ms() == pytest.approx(10.0)
+
+    def test_single_sample_std_is_zero(self):
+        assert _trace_with([0.01]).std_rtt_ms() == 0.0
+
+    def test_percentile(self):
+        trace = _trace_with([0.01 * i for i in range(1, 101)])
+        assert trace.percentile_ms(50) == pytest.approx(505.0, rel=0.01)
+
+    def test_time_series_excludes_losses(self):
+        trace = _trace_with([0.01, 0.02], lost=2)
+        times, rtts = trace.time_series()
+        assert len(times) == 2
+        assert list(rtts) == pytest.approx([10.0, 20.0])
+
+    def test_summary_fields(self):
+        summary = _trace_with([0.01], lost=1).summary()
+        assert summary["protocol"] == "UDP"
+        assert summary["sent"] == 2
+        assert summary["loss_per_mille"] == pytest.approx(500.0)

@@ -1,0 +1,47 @@
+"""Protocol-differential treatment profiles."""
+
+import pytest
+
+from repro.netsim.ecmp import HashGranularity
+from repro.netsim.packet import Protocol
+from repro.netsim.treatment import ProtocolTreatment, TreatmentProfile
+
+
+class TestProtocolTreatment:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ProtocolTreatment(drop_multiplier=-1.0)
+        with pytest.raises(ValueError):
+            ProtocolTreatment(base_drop=1.5)
+
+
+class TestTreatmentProfile:
+    def test_uniform_treats_all_alike(self):
+        profile = TreatmentProfile.uniform()
+        treatments = {profile.for_protocol(p) for p in Protocol}
+        assert len(treatments) == 1
+
+    def test_typical_internet_matches_paper_hypotheses(self):
+        profile = TreatmentProfile.typical_internet()
+        icmp = profile.for_protocol(Protocol.ICMP)
+        udp = profile.for_protocol(Protocol.UDP)
+        tcp = profile.for_protocol(Protocol.TCP)
+        raw = profile.for_protocol(Protocol.RAW_IP)
+        assert icmp.priority  # routers treat ICMP specially
+        assert udp.ecmp_granularity is HashGranularity.PER_PACKET
+        assert tcp.drop_multiplier > udp.drop_multiplier  # TCP deprioritized
+        assert raw.priority
+
+    def test_fallback_to_default(self):
+        custom = ProtocolTreatment(extra_delay=1e-3)
+        profile = TreatmentProfile(default=custom)
+        assert profile.for_protocol(Protocol.TCP) is custom
+
+    def test_with_treatment_returns_new_profile(self):
+        profile = TreatmentProfile.uniform()
+        updated = profile.with_treatment(
+            Protocol.UDP, ProtocolTreatment(extra_delay=2e-3)
+        )
+        assert updated is not profile
+        assert updated.for_protocol(Protocol.UDP).extra_delay == 2e-3
+        assert profile.for_protocol(Protocol.UDP).extra_delay == 0.0

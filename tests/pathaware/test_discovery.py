@@ -1,0 +1,93 @@
+"""Path registry: enumeration, caching, beacon metadata."""
+
+import pytest
+
+from repro.common.errors import ConfigurationError
+from repro.netsim import Link, Topology
+from repro.pathaware.discovery import BeaconMetadata, PathRegistry
+
+
+def _diamond() -> Topology:
+    """1 -> {2, 3} -> 4 diamond plus a direct long-way 1-4 link."""
+    topo = Topology()
+    for asn in (1, 2, 3, 4):
+        topo.make_as(asn)
+    topo.connect(1, 1, 2, 1, Link.symmetric("a", base_delay=1e-3))
+    topo.connect(1, 2, 3, 1, Link.symmetric("b", base_delay=1e-3))
+    topo.connect(2, 2, 4, 1, Link.symmetric("c", base_delay=1e-3))
+    topo.connect(3, 2, 4, 2, Link.symmetric("d", base_delay=1e-3))
+    return topo
+
+
+class TestEnumeration:
+    def test_finds_both_diamond_paths(self):
+        registry = PathRegistry(_diamond())
+        paths = registry.paths(1, 4)
+        assert len(paths) == 2
+        assert {tuple(p.asns()) for p in paths} == {(1, 2, 4), (1, 3, 4)}
+
+    def test_sorted_shortest_first(self):
+        topo = _diamond()
+        topo.connect(2, 3, 3, 3, Link.symmetric("e", base_delay=1e-3))
+        registry = PathRegistry(topo)
+        paths = registry.paths(1, 4)
+        lengths = [p.length for p in paths]
+        assert lengths == sorted(lengths)
+
+    def test_deterministic_order(self):
+        a = PathRegistry(_diamond()).paths(1, 4)
+        b = PathRegistry(_diamond()).paths(1, 4)
+        assert [p.key() for p in a] == [p.key() for p in b]
+
+    def test_max_paths_bound(self):
+        registry = PathRegistry(_diamond(), max_paths=1)
+        assert len(registry.paths(1, 4)) == 1
+
+    def test_max_length_bound(self):
+        topo = _diamond()
+        registry = PathRegistry(topo, max_path_length=1)
+        assert registry.paths(1, 4) == []
+
+    def test_same_as_trivial_path(self):
+        registry = PathRegistry(_diamond())
+        paths = registry.paths(2, 2)
+        assert len(paths) == 1
+        assert paths[0].asns() == [2]
+
+    def test_shortest_raises_when_unreachable(self):
+        topo = Topology()
+        topo.make_as(1)
+        topo.make_as(2)
+        registry = PathRegistry(topo)
+        with pytest.raises(ConfigurationError):
+            registry.shortest(1, 2)
+
+    def test_cache_invalidation(self):
+        topo = _diamond()
+        registry = PathRegistry(topo)
+        assert len(registry.paths(1, 4)) == 2
+        topo.connect(1, 3, 4, 3, Link.symmetric("new", base_delay=1e-3))
+        registry.invalidate()
+        assert len(registry.paths(1, 4)) == 3
+
+
+class TestBeaconMetadata:
+    def test_announce_and_query(self):
+        registry = PathRegistry(_diamond())
+        metadata = BeaconMetadata(asn=2, kind="x", payload=(("k", 1),))
+        registry.announce(metadata)
+        assert registry.metadata_from(2, kind="x") == [metadata]
+        assert registry.metadata_from(3, kind="x") == []
+
+    def test_withdraw(self):
+        registry = PathRegistry(_diamond())
+        metadata = BeaconMetadata(asn=2, kind="x", payload=())
+        registry.announce(metadata)
+        registry.withdraw(metadata)
+        assert registry.all_metadata() == []
+
+    def test_kind_filter(self):
+        registry = PathRegistry(_diamond())
+        registry.announce(BeaconMetadata(asn=2, kind="a", payload=()))
+        registry.announce(BeaconMetadata(asn=2, kind="b", payload=()))
+        assert len(registry.all_metadata(kind="a")) == 1

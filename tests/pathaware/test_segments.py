@@ -1,0 +1,102 @@
+"""Path segments: reversal, sub-segments, link queries."""
+
+import pytest
+
+from repro.common.errors import ConfigurationError
+from repro.netsim.topology import InterfaceId, PathHop
+from repro.pathaware.segments import PathSegment
+
+
+def _line_segment() -> PathSegment:
+    return PathSegment.from_hops(
+        [PathHop(1, None, 2), PathHop(2, 1, 2), PathHop(3, 1, None)]
+    )
+
+
+class TestConstruction:
+    def test_needs_hops(self):
+        with pytest.raises(ConfigurationError):
+            PathSegment(())
+
+    def test_interior_hop_in_middle_rejected(self):
+        with pytest.raises(ConfigurationError):
+            PathSegment.from_hops(
+                [PathHop(1, None, 1), PathHop(2, None, 1), PathHop(3, 1, None)]
+            )
+
+    def test_endpoints_and_length(self):
+        segment = _line_segment()
+        assert segment.src_asn == 1
+        assert segment.dst_asn == 3
+        assert segment.length == 2
+        assert segment.asns() == [1, 2, 3]
+
+
+class TestInterfaces:
+    def test_interfaces_in_order(self):
+        segment = _line_segment()
+        assert segment.interfaces() == [
+            InterfaceId(1, 2),
+            InterfaceId(2, 1),
+            InterfaceId(2, 2),
+            InterfaceId(3, 1),
+        ]
+
+    def test_inter_domain_links(self):
+        segment = _line_segment()
+        assert segment.inter_domain_links() == [
+            (InterfaceId(1, 2), InterfaceId(2, 1)),
+            (InterfaceId(2, 2), InterfaceId(3, 1)),
+        ]
+
+    def test_contains_link_either_orientation(self):
+        segment = _line_segment()
+        assert segment.contains_link(InterfaceId(1, 2), InterfaceId(2, 1))
+        assert segment.contains_link(InterfaceId(2, 1), InterfaceId(1, 2))
+        assert not segment.contains_link(InterfaceId(1, 2), InterfaceId(3, 1))
+
+
+class TestReversal:
+    def test_reversed_swaps_direction(self):
+        reverse = _line_segment().reversed()
+        assert reverse.src_asn == 3
+        assert reverse.dst_asn == 1
+        assert reverse.hops[0] == PathHop(3, None, 1)
+        assert reverse.hops[1] == PathHop(2, 2, 1)
+        assert reverse.hops[2] == PathHop(1, 2, None)
+
+    def test_double_reversal_is_identity(self):
+        segment = _line_segment()
+        assert segment.reversed().reversed() == segment
+
+
+class TestSubsegment:
+    def test_full_subsegment_is_identity_shape(self):
+        segment = _line_segment()
+        sub = segment.subsegment(1, 3)
+        assert sub.asns() == [1, 2, 3]
+
+    def test_prefix_trims_egress(self):
+        sub = _line_segment().subsegment(1, 2)
+        assert sub.asns() == [1, 2]
+        assert sub.hops[-1].egress is None  # terminates at AS2
+
+    def test_suffix_trims_ingress(self):
+        sub = _line_segment().subsegment(2, 3)
+        assert sub.hops[0].ingress is None  # originates at AS2
+
+    def test_wrong_order_rejected(self):
+        with pytest.raises(ConfigurationError):
+            _line_segment().subsegment(3, 1)
+
+    def test_off_path_as_rejected(self):
+        with pytest.raises(ConfigurationError):
+            _line_segment().subsegment(1, 9)
+
+
+class TestKey:
+    def test_key_is_hashable_identity(self):
+        a = _line_segment()
+        b = _line_segment()
+        assert a.key() == b.key()
+        assert {a.key(): 1}[b.key()] == 1

@@ -1,0 +1,58 @@
+"""Path selection under policy."""
+
+import pytest
+
+from repro.common.errors import ConfigurationError
+from repro.netsim import Link, Topology
+from repro.netsim.topology import InterfaceId
+from repro.pathaware.discovery import PathRegistry
+from repro.pathaware.selection import PathPolicy, PathSelector
+
+
+def _diamond_selector() -> PathSelector:
+    topo = Topology()
+    for asn in (1, 2, 3, 4):
+        topo.make_as(asn)
+    topo.connect(1, 1, 2, 1, Link.symmetric("a", base_delay=1e-3))
+    topo.connect(1, 2, 3, 1, Link.symmetric("b", base_delay=1e-3))
+    topo.connect(2, 2, 4, 1, Link.symmetric("c", base_delay=1e-3))
+    topo.connect(3, 2, 4, 2, Link.symmetric("d", base_delay=1e-3))
+    return PathSelector(PathRegistry(topo))
+
+
+class TestPolicy:
+    def test_avoid_asn(self):
+        selector = _diamond_selector()
+        policy = PathPolicy(avoid_asns=frozenset({2}))
+        path = selector.select(1, 4, policy)
+        assert 2 not in path.asns()
+
+    def test_require_asn(self):
+        selector = _diamond_selector()
+        policy = PathPolicy(require_asns=frozenset({3}))
+        path = selector.select(1, 4, policy)
+        assert 3 in path.asns()
+
+    def test_require_link(self):
+        selector = _diamond_selector()
+        policy = PathPolicy(
+            require_links=((InterfaceId(2, 2), InterfaceId(4, 1)),)
+        )
+        path = selector.select(1, 4, policy)
+        assert path.contains_link(InterfaceId(2, 2), InterfaceId(4, 1))
+
+    def test_max_length(self):
+        selector = _diamond_selector()
+        policy = PathPolicy(max_length=1)
+        assert selector.candidates(1, 4, policy) == []
+
+    def test_unsatisfiable_policy_raises(self):
+        selector = _diamond_selector()
+        policy = PathPolicy(avoid_asns=frozenset({2, 3}))
+        with pytest.raises(ConfigurationError):
+            selector.select(1, 4, policy)
+
+    def test_no_policy_returns_shortest(self):
+        selector = _diamond_selector()
+        path = selector.select(1, 4)
+        assert path.length == 2

@@ -1,0 +1,70 @@
+"""Property tests: event ordering and ECMP invariants."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.netsim.ecmp import EcmpGroup, HashGranularity, Route
+from repro.netsim.engine import Simulator
+from repro.netsim.packet import Address, Packet, Protocol
+
+
+class TestEngineOrdering:
+    @given(st.lists(st.floats(min_value=0.0, max_value=1e6), min_size=1, max_size=50))
+    @settings(max_examples=60)
+    def test_events_fire_in_nondecreasing_time_order(self, times):
+        sim = Simulator()
+        fired = []
+        for t in times:
+            sim.schedule_at(t, lambda t=t: fired.append(sim.now))
+        sim.run_until_idle()
+        assert fired == sorted(fired)
+        assert len(fired) == len(times)
+
+    @given(st.lists(st.floats(min_value=0.0, max_value=100.0), min_size=1, max_size=30))
+    @settings(max_examples=40)
+    def test_clock_never_goes_backward(self, times):
+        sim = Simulator()
+        observed = []
+        for t in times:
+            sim.schedule_at(t, lambda: observed.append(sim.now))
+        previous = [0.0]
+
+        sim.run_until_idle()
+        for value in observed:
+            assert value >= previous[0]
+            previous[0] = value
+
+
+def _packet(seq, port):
+    return Packet(
+        src=Address(1, "a"), dst=Address(2, "b"), protocol=Protocol.UDP,
+        src_port=port, dst_port=7, seq=seq,
+    )
+
+
+class TestEcmpProperties:
+    @given(
+        st.integers(min_value=1, max_value=12),
+        st.integers(min_value=0, max_value=2**31),
+        st.lists(st.integers(min_value=0, max_value=10_000), min_size=1, max_size=40),
+    )
+    @settings(max_examples=60)
+    def test_selection_always_in_range(self, n_routes, salt, seqs):
+        group = EcmpGroup([Route(i * 1e-3) for i in range(n_routes)], salt=salt)
+        for granularity in HashGranularity:
+            for seq in seqs:
+                index = group.select(_packet(seq, 1000), float(seq), granularity)
+                assert 0 <= index < n_routes
+
+    @given(
+        st.integers(min_value=2, max_value=8),
+        st.integers(min_value=1000, max_value=2000),
+    )
+    @settings(max_examples=40)
+    def test_per_flow_deterministic_per_flow(self, n_routes, port):
+        group = EcmpGroup([Route(i * 1e-3) for i in range(n_routes)])
+        picks = {
+            group.select(_packet(seq, port), float(seq), HashGranularity.PER_FLOW)
+            for seq in range(20)
+        }
+        assert len(picks) == 1

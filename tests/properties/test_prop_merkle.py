@@ -1,0 +1,30 @@
+"""Property tests: Merkle inclusion proofs."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.chain.merkle import MerkleTree, verify_inclusion
+
+leaves_strategy = st.lists(st.binary(min_size=0, max_size=40), min_size=1, max_size=40)
+
+
+class TestMerkleProperties:
+    @given(leaves_strategy)
+    @settings(max_examples=50)
+    def test_every_proof_verifies(self, leaves):
+        tree = MerkleTree(leaves)
+        for index, leaf in enumerate(leaves):
+            assert verify_inclusion(leaf, tree.proof(index), tree.root)
+
+    @given(leaves_strategy, st.binary(min_size=1, max_size=40))
+    @settings(max_examples=50)
+    def test_foreign_leaf_never_verifies_at_position(self, leaves, foreign):
+        tree = MerkleTree(leaves)
+        for index, leaf in enumerate(leaves):
+            if foreign != leaf:
+                assert not verify_inclusion(foreign, tree.proof(index), tree.root)
+
+    @given(leaves_strategy)
+    @settings(max_examples=30)
+    def test_root_deterministic(self, leaves):
+        assert MerkleTree(leaves).root == MerkleTree(leaves).root

@@ -1,0 +1,44 @@
+"""Property tests: canonical serialization."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.common.serialize import canonical_encode, stable_hash
+
+scalars = st.one_of(
+    st.none(),
+    st.booleans(),
+    st.integers(min_value=-(2**80), max_value=2**80),
+    st.floats(allow_nan=False),
+    st.text(max_size=30),
+    st.binary(max_size=30),
+)
+
+values = st.recursive(
+    scalars,
+    lambda children: st.one_of(
+        st.lists(children, max_size=5),
+        st.dictionaries(st.text(max_size=8), children, max_size=5),
+    ),
+    max_leaves=20,
+)
+
+
+class TestCanonicalEncodeProperties:
+    @given(values)
+    def test_deterministic(self, value):
+        assert canonical_encode(value) == canonical_encode(value)
+
+    @given(st.dictionaries(st.text(max_size=8), scalars, max_size=6))
+    def test_dict_insertion_order_irrelevant(self, mapping):
+        reversed_mapping = dict(reversed(list(mapping.items())))
+        assert canonical_encode(mapping) == canonical_encode(reversed_mapping)
+
+    @given(values, values)
+    def test_distinct_values_distinct_encodings(self, a, b):
+        if a != b:
+            assert canonical_encode(a) != canonical_encode(b)
+
+    @given(values)
+    def test_hash_is_32_bytes(self, value):
+        assert len(stable_hash(value)) == 32

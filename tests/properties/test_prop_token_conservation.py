@@ -1,0 +1,105 @@
+"""Property test: token conservation across arbitrary ledger activity.
+
+Invariant: at every point,
+
+    genesis grants == account balances + contract escrow
+                      + burned gas + storage fund
+
+No contract call — success, revert, escrow, payout, object creation or
+freeing — may mint or destroy tokens.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.chain.contract import Contract, ExecutionContext, entry
+from repro.chain.crypto import KeyPair
+from repro.chain.ledger import Ledger, Wallet
+from repro.common.errors import ChainError, InsufficientTokens
+
+
+class Vault(Contract):
+    name = "vault"
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.state = {"objects": []}
+
+    @entry
+    def deposit(self, ctx: ExecutionContext) -> int:
+        return ctx.value
+
+    @entry
+    def withdraw(self, ctx: ExecutionContext, to: str, amount: int) -> int:
+        ctx.transfer_from_contract(to, amount)
+        return amount
+
+    @entry
+    def store(self, ctx: ExecutionContext, size: int) -> str:
+        object_id = ctx.create_object("blob", {"data": b"\x00" * size})
+        self.state["objects"].append(object_id.hex())
+        return object_id.hex()
+
+    @entry
+    def free_latest(self, ctx: ExecutionContext) -> None:
+        from repro.common.ids import ObjectId
+
+        ctx.require(bool(self.state["objects"]), "nothing stored")
+        ctx.free_object(ObjectId.from_hex(self.state["objects"].pop()))
+
+    @entry
+    def blow_up(self, ctx: ExecutionContext) -> None:
+        ctx.create_object("junk", {"j": 1})
+        ctx.abort("boom")
+
+
+OPERATIONS = st.lists(
+    st.one_of(
+        st.tuples(st.just("deposit"), st.integers(min_value=0, max_value=10**8)),
+        st.tuples(st.just("withdraw"), st.integers(min_value=0, max_value=10**8)),
+        st.tuples(st.just("store"), st.integers(min_value=0, max_value=5000)),
+        st.tuples(st.just("free"), st.just(0)),
+        st.tuples(st.just("blow_up"), st.just(0)),
+    ),
+    max_size=12,
+)
+
+GENESIS = 10**12
+
+
+def _total(ledger: Ledger) -> int:
+    return (
+        sum(account.balance for account in ledger.accounts.values())
+        + sum(ledger.contract_balances.values())
+        + ledger.gas_burned
+        + ledger.storage_fund
+    )
+
+
+class TestTokenConservation:
+    @given(OPERATIONS)
+    @settings(max_examples=40, deadline=None)
+    def test_invariant_holds_through_arbitrary_activity(self, operations):
+        ledger = Ledger(require_signatures=False)
+        ledger.register_contract(Vault())
+        keypair = KeyPair.deterministic("holder")
+        ledger.create_account(keypair, balance=GENESIS)
+        wallet = Wallet(ledger, keypair)
+        beneficiary = KeyPair.deterministic("beneficiary").address
+
+        assert _total(ledger) == GENESIS
+        for op, amount in operations:
+            try:
+                if op == "deposit":
+                    wallet.call("vault", "deposit", value=amount)
+                elif op == "withdraw":
+                    wallet.call("vault", "withdraw", beneficiary, amount)
+                elif op == "store":
+                    wallet.call("vault", "store", amount)
+                elif op == "free":
+                    wallet.call("vault", "free_latest")
+                else:
+                    wallet.call("vault", "blow_up")
+            except (ChainError, InsufficientTokens):
+                pass  # rejected outright: no state change expected
+            assert _total(ledger) == GENESIS

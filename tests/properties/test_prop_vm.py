@@ -1,0 +1,87 @@
+"""Property tests: the VM computes what Python computes.
+
+Random arithmetic expression trees are compiled to stack code and the
+VM's result is compared against direct evaluation with 64-bit wrapping
+semantics.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sandbox.assembler import assemble
+from repro.sandbox.vm import VM, Done
+
+_MASK = (1 << 64) - 1
+
+
+def _signed(value: int) -> int:
+    value &= _MASK
+    return value - (1 << 64) if value >> 63 else value
+
+
+class Leaf:
+    def __init__(self, value: int):
+        self.value = value
+
+    def compile(self) -> list[str]:
+        return [f"push {self.value}"]
+
+    def evaluate(self) -> int:
+        return _signed(self.value)
+
+
+class Node:
+    OPS = {
+        "add": lambda a, b: a + b,
+        "sub": lambda a, b: a - b,
+        "mul": lambda a, b: a * b,
+        "and": lambda a, b: (a & _MASK) & (b & _MASK),
+        "or": lambda a, b: (a & _MASK) | (b & _MASK),
+        "xor": lambda a, b: (a & _MASK) ^ (b & _MASK),
+    }
+
+    def __init__(self, op: str, left, right):
+        self.op = op
+        self.left = left
+        self.right = right
+
+    def compile(self) -> list[str]:
+        return self.left.compile() + self.right.compile() + [self.op]
+
+    def evaluate(self) -> int:
+        return _signed(self.OPS[self.op](self.left.evaluate(), self.right.evaluate()))
+
+
+expression = st.recursive(
+    st.integers(min_value=-(2**40), max_value=2**40).map(Leaf),
+    lambda children: st.tuples(
+        st.sampled_from(sorted(Node.OPS)), children, children
+    ).map(lambda t: Node(*t)),
+    max_leaves=24,
+)
+
+
+class TestVmArithmeticProperties:
+    @given(expression)
+    @settings(max_examples=150, deadline=None)
+    def test_matches_python_semantics(self, tree):
+        body = "\n".join(tree.compile())
+        source = f".memory 4096\n.func run_debuglet 0 0\n{body}\nret\n.end"
+        vm = VM(assemble(source), fuel_limit=1_000_000)
+        assert vm.start([]) == Done(tree.evaluate())
+
+    @given(st.lists(st.integers(min_value=0, max_value=2**63 - 1),
+                    min_size=1, max_size=8))
+    @settings(max_examples=60, deadline=None)
+    def test_memory_roundtrip(self, values):
+        stores = "\n".join(
+            f"push {i * 8}\npush {v}\nstore64" for i, v in enumerate(values)
+        )
+        loads = "\n".join(f"push {i * 8}\nload64\nadd" for i in range(len(values)))
+        source = (
+            f".memory 4096\n.func run_debuglet 0 0\n{stores}\npush 0\n"
+            f"{loads}\nret\n.end"
+        )
+        vm = VM(assemble(source), fuel_limit=1_000_000)
+        expected = _signed(sum(values))
+        assert vm.start([]) == Done(expected)

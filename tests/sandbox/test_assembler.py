@@ -1,0 +1,147 @@
+"""Assembler: parsing, labels, directives, errors."""
+
+import pytest
+
+from repro.sandbox.assembler import AssemblyError, assemble
+from repro.sandbox.isa import Op
+
+
+class TestDirectives:
+    def test_memory_and_buffers(self):
+        module = assemble(
+            ".memory 8192\n"
+            ".buffer send_buffer 0 1024\n"
+            ".buffer recv_buffer 1024 2048\n"
+            ".func run_debuglet 0 0\npush 0\nret\n.end"
+        )
+        assert module.memory_size == 8192
+        assert module.buffers["send_buffer"].offset == 0
+        assert module.buffers["recv_buffer"].size == 2048
+
+    def test_globals(self):
+        module = assemble(
+            ".memory 4096\n.global g0 -5\n"
+            ".func run_debuglet 0 0\nglobal_get g0\nret\n.end"
+        )
+        assert module.globals["g0"] == -5
+
+    def test_hex_immediates(self):
+        module = assemble(
+            ".memory 0x1000\n.func run_debuglet 0 0\npush 0xff\nret\n.end"
+        )
+        assert module.memory_size == 4096
+        assert module.functions["run_debuglet"].code[0].arg == 255
+
+    def test_comments_ignored(self):
+        module = assemble(
+            "; leading comment\n.memory 4096\n"
+            ".func run_debuglet 0 0 ; trailing\n  push 1 ; why not\n  ret\n.end"
+        )
+        assert len(module.functions["run_debuglet"].code) == 2
+
+
+class TestLabels:
+    def test_forward_and_backward_labels(self):
+        module = assemble(
+            ".memory 4096\n.func run_debuglet 0 1\n"
+            "start:\n  local_get 0\n  jnz end\n  push 1\n  local_set 0\n"
+            "  jmp start\nend:\n  push 7\n  ret\n.end"
+        )
+        code = module.functions["run_debuglet"].code
+        jnz = next(i for i in code if i.op is Op.JNZ)
+        assert code[jnz.arg].op is Op.PUSH and code[jnz.arg].arg == 7
+
+    def test_undefined_label(self):
+        with pytest.raises(AssemblyError, match="undefined label"):
+            assemble(".memory 4096\n.func run_debuglet 0 0\njmp nowhere\nret\n.end")
+
+    def test_duplicate_label(self):
+        with pytest.raises(AssemblyError, match="duplicate label"):
+            assemble(
+                ".memory 4096\n.func run_debuglet 0 0\nx:\nx:\npush 0\nret\n.end"
+            )
+
+
+class TestErrors:
+    def test_unknown_instruction(self):
+        with pytest.raises(AssemblyError, match="unknown instruction"):
+            assemble(".memory 4096\n.func run_debuglet 0 0\nfrobnicate\n.end")
+
+    def test_instruction_outside_function(self):
+        with pytest.raises(AssemblyError, match="outside a function"):
+            assemble("push 1\n")
+
+    def test_unterminated_function(self):
+        with pytest.raises(AssemblyError, match="unterminated"):
+            assemble(".func run_debuglet 0 0\npush 0\nret\n")
+
+    def test_nested_function(self):
+        with pytest.raises(AssemblyError, match="nested"):
+            assemble(".func a 0 0\n.func b 0 0\n.end\n.end")
+
+    def test_duplicate_function(self):
+        with pytest.raises(AssemblyError, match="duplicate function"):
+            assemble(
+                ".func run_debuglet 0 0\nret\n.end\n.func run_debuglet 0 0\nret\n.end"
+            )
+
+    def test_bad_integer(self):
+        with pytest.raises(AssemblyError, match="expected integer"):
+            assemble(".memory lots\n")
+
+    def test_arg_arity_checked(self):
+        with pytest.raises(AssemblyError):
+            assemble(".func run_debuglet 0 0\npush\nret\n.end")
+        with pytest.raises(AssemblyError):
+            assemble(".func run_debuglet 0 0\nadd 3\nret\n.end")
+
+    def test_error_carries_line_number(self):
+        with pytest.raises(AssemblyError) as exc_info:
+            assemble("\n\n.memory bad\n")
+        assert exc_info.value.line_no == 3
+
+
+class TestModuleValidation:
+    def test_missing_entry_point(self):
+        with pytest.raises(Exception, match="entry point"):
+            assemble(".memory 4096\n.func other 0 0\npush 0\nret\n.end")
+
+    def test_buffer_exceeding_memory(self):
+        with pytest.raises(Exception, match="exceeds memory"):
+            assemble(
+                ".memory 1024\n.buffer big 0 2048\n"
+                ".func run_debuglet 0 0\npush 0\nret\n.end"
+            )
+
+    def test_call_to_unknown_function(self):
+        with pytest.raises(Exception, match="unknown function"):
+            assemble(".memory 4096\n.func run_debuglet 0 0\ncall ghost\nret\n.end")
+
+    def test_unknown_global_rejected(self):
+        with pytest.raises(Exception, match="unknown global"):
+            assemble(
+                ".memory 4096\n.func run_debuglet 0 0\nglobal_get ghost\nret\n.end"
+            )
+
+
+class TestEncoding:
+    def test_code_hash_stable(self):
+        src = ".memory 4096\n.func run_debuglet 0 0\npush 1\nret\n.end"
+        assert assemble(src).code_hash() == assemble(src).code_hash()
+
+    def test_code_hash_ignores_comments(self):
+        a = assemble(".memory 4096\n.func run_debuglet 0 0\npush 1\nret\n.end")
+        b = assemble(
+            "; different comment\n.memory 4096\n"
+            ".func run_debuglet 0 0\npush 1\nret\n.end"
+        )
+        assert a.code_hash() == b.code_hash()
+
+    def test_code_hash_sensitive_to_instructions(self):
+        a = assemble(".memory 4096\n.func run_debuglet 0 0\npush 1\nret\n.end")
+        b = assemble(".memory 4096\n.func run_debuglet 0 0\npush 2\nret\n.end")
+        assert a.code_hash() != b.code_hash()
+
+    def test_size_bytes_positive(self):
+        module = assemble(".memory 4096\n.func run_debuglet 0 0\npush 1\nret\n.end")
+        assert module.size_bytes > 0

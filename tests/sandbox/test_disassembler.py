@@ -1,0 +1,52 @@
+"""Disassembler: assembly -> module -> assembly roundtrips."""
+
+import pytest
+
+from repro.netsim.packet import Address, Protocol
+from repro.sandbox import assemble, disassemble
+from repro.sandbox.programs import (
+    echo_client,
+    echo_server,
+    oneway_receiver,
+    oneway_sender,
+)
+
+
+class TestDisassembler:
+    @pytest.mark.parametrize("protocol", list(Protocol))
+    def test_stock_programs_roundtrip(self, protocol):
+        for stock in (
+            echo_client(protocol, Address(2, "x"), count=3),
+            echo_server(protocol, max_echoes=3),
+            oneway_sender(protocol, Address(2, "x"), count=3),
+            oneway_receiver(protocol, max_probes=3),
+        ):
+            text = disassemble(stock.module)
+            clone = assemble(text)
+            assert clone.code_hash() == stock.module.code_hash()
+
+    def test_globals_and_buffers_preserved(self):
+        source = (
+            ".memory 8192\n.buffer b1 0 64\n.buffer b2 64 32\n.global g 7\n"
+            ".func run_debuglet 0 0\nglobal_get g\nret\n.end"
+        )
+        module = assemble(source)
+        clone = assemble(disassemble(module))
+        assert clone.memory_size == 8192
+        assert clone.buffers.keys() == module.buffers.keys()
+        assert clone.globals == {"g": 7}
+        assert clone.code_hash() == module.code_hash()
+
+    def test_jump_targets_render_as_labels(self):
+        source = (
+            ".memory 4096\n.func run_debuglet 0 1\n"
+            "loop:\nlocal_get 0\njnz done\npush 1\nlocal_set 0\njmp loop\n"
+            "done:\npush 42\nret\n.end"
+        )
+        module = assemble(source)
+        text = disassemble(module)
+        assert "jnz L" in text and "jmp L" in text
+        clone = assemble(text)
+        from repro.sandbox.vm import VM, Done
+
+        assert VM(clone).start([]) == Done(42)

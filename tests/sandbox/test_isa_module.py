@@ -1,0 +1,82 @@
+"""ISA validation and module structure."""
+
+import pytest
+
+from repro.common.errors import SandboxError
+from repro.sandbox.isa import FUEL_COST, Instruction, Op, validate_instruction
+from repro.sandbox.module import BufferSpec, Function, Module
+
+
+class TestInstructionValidation:
+    def test_int_arg_ops(self):
+        validate_instruction(Instruction(Op.PUSH, 5))
+        with pytest.raises(ValueError):
+            validate_instruction(Instruction(Op.PUSH, "x"))
+        with pytest.raises(ValueError):
+            validate_instruction(Instruction(Op.PUSH, None))
+
+    def test_name_arg_ops(self):
+        validate_instruction(Instruction(Op.HOST, "now_us"))
+        with pytest.raises(ValueError):
+            validate_instruction(Instruction(Op.CALL, 3))
+
+    def test_no_arg_ops(self):
+        validate_instruction(Instruction(Op.ADD))
+        with pytest.raises(ValueError):
+            validate_instruction(Instruction(Op.ADD, 1))
+
+    def test_every_op_has_fuel_cost(self):
+        assert set(FUEL_COST) == set(Op)
+        assert FUEL_COST[Op.HOST] > FUEL_COST[Op.ADD]
+
+
+class TestBufferSpec:
+    def test_invalid_geometry_rejected(self):
+        with pytest.raises(SandboxError):
+            BufferSpec("b", -1, 10)
+        with pytest.raises(SandboxError):
+            BufferSpec("b", 0, 0)
+
+    def test_end(self):
+        assert BufferSpec("b", 16, 64).end == 80
+
+
+class TestModule:
+    def _module(self, **kwargs):
+        function = Function(
+            "run_debuglet", 0, 0, [Instruction(Op.PUSH, 0), Instruction(Op.RET)]
+        )
+        defaults = dict(functions={"run_debuglet": function}, memory_size=4096)
+        defaults.update(kwargs)
+        return Module(**defaults)
+
+    def test_valid_module_passes(self):
+        self._module().validate()
+
+    def test_jump_target_bounds_checked(self):
+        function = Function("run_debuglet", 0, 0, [Instruction(Op.JMP, 99)])
+        with pytest.raises(SandboxError, match="out of range"):
+            Module(functions={"run_debuglet": function}).validate()
+
+    def test_memory_ceiling(self):
+        with pytest.raises(SandboxError, match="memory size"):
+            self._module(memory_size=10**9).validate()
+
+    def test_buffer_lookup_preference_order(self):
+        module = self._module(
+            buffers={
+                "udp_send_buffer": BufferSpec("udp_send_buffer", 0, 64),
+                "send_buffer": BufferSpec("send_buffer", 64, 64),
+            }
+        )
+        chosen = module.buffer("udp_send_buffer", "send_buffer")
+        assert chosen.name == "udp_send_buffer"
+        fallback = module.buffer("tcp_send_buffer", "send_buffer")
+        assert fallback.name == "send_buffer"
+
+    def test_missing_buffer_raises(self):
+        with pytest.raises(SandboxError):
+            self._module().buffer("nope")
+
+    def test_instruction_count(self):
+        assert self._module().instruction_count() == 2

@@ -1,0 +1,248 @@
+"""VM semantics: arithmetic, control flow, memory safety, fuel, resume."""
+
+import pytest
+
+from repro.common.errors import FuelExhausted, MemoryFault, SandboxError
+from repro.sandbox.assembler import assemble
+from repro.sandbox.vm import VM, Done, HostCall
+
+
+def _run(body: str, *, fuel: int = 100_000, args=None, memory: int = 4096):
+    module = assemble(f".memory {memory}\n.func run_debuglet {len(args or [])} 4\n{body}\n.end")
+    vm = VM(module, fuel_limit=fuel)
+    return vm.start(list(args or []))
+
+
+class TestArithmetic:
+    @pytest.mark.parametrize(
+        "body,expected",
+        [
+            ("push 2\npush 3\nadd\nret", 5),
+            ("push 2\npush 3\nsub\nret", -1),
+            ("push 6\npush 7\nmul\nret", 42),
+            ("push 7\npush 2\ndivs\nret", 3),
+            ("push -7\npush 2\ndivs\nret", -3),  # truncated toward zero
+            ("push 7\npush 3\nrems\nret", 1),
+            ("push -7\npush 3\nrems\nret", -1),
+            ("push 12\npush 10\nand\nret", 8),
+            ("push 12\npush 10\nor\nret", 14),
+            ("push 12\npush 10\nxor\nret", 6),
+            ("push 1\npush 4\nshl\nret", 16),
+            ("push 16\npush 4\nshru\nret", 1),
+        ],
+    )
+    def test_binops(self, body, expected):
+        assert _run(body) == Done(expected)
+
+    @pytest.mark.parametrize(
+        "body,expected",
+        [
+            ("push 2\npush 2\neq\nret", 1),
+            ("push 2\npush 3\nne\nret", 1),
+            ("push -1\npush 1\nlts\nret", 1),  # signed comparison
+            ("push 1\npush -1\ngts\nret", 1),
+            ("push 2\npush 2\nles\nret", 1),
+            ("push 2\npush 2\nges\nret", 1),
+            ("push 0\neqz\nret", 1),
+            ("push 5\neqz\nret", 0),
+        ],
+    )
+    def test_comparisons(self, body, expected):
+        assert _run(body) == Done(expected)
+
+    def test_division_by_zero_traps(self):
+        with pytest.raises(SandboxError):
+            _run("push 1\npush 0\ndivs\nret")
+
+    def test_wraparound_64bit(self):
+        # max u64 + 1 wraps to 0.
+        assert _run("push -1\npush 1\nadd\nret") == Done(0)
+
+
+class TestControlFlow:
+    def test_loop_sum(self):
+        body = """
+            push 0
+            local_set 0
+            push 0
+            local_set 1
+        loop:
+            local_get 0
+            push 10
+            ges
+            jnz done
+            local_get 0
+            push 1
+            add
+            dup
+            local_set 0
+            local_get 1
+            add
+            local_set 1
+            jmp loop
+        done:
+            local_get 1
+            ret
+        """
+        assert _run(body) == Done(55)
+
+    def test_function_call(self):
+        source = """
+        .memory 4096
+        .func double 1 0
+            local_get 0
+            push 2
+            mul
+            ret
+        .end
+        .func run_debuglet 0 0
+            push 21
+            call double
+            ret
+        .end
+        """
+        vm = VM(assemble(source))
+        assert vm.start([]) == Done(42)
+
+    def test_arguments_become_locals(self):
+        assert _run("local_get 0\nlocal_get 1\nadd\nret", args=[30, 12]) == Done(42)
+
+    def test_falling_off_end_returns_zero(self):
+        assert _run("push 5\ndrop") == Done(0)
+
+    def test_recursion_depth_limit(self):
+        source = """
+        .memory 4096
+        .func rec 0 0
+            call rec
+            ret
+        .end
+        .func run_debuglet 0 0
+            call rec
+            ret
+        .end
+        """
+        vm = VM(assemble(source), fuel_limit=10**9)
+        with pytest.raises(SandboxError, match="call stack"):
+            vm.start([])
+
+    def test_stack_underflow_trapped(self):
+        with pytest.raises(SandboxError, match="underflow"):
+            _run("drop")
+
+    def test_callee_cannot_pop_callers_stack(self):
+        source = """
+        .memory 4096
+        .func thief 0 0
+            drop
+            push 0
+            ret
+        .end
+        .func run_debuglet 0 0
+            push 99
+            call thief
+            ret
+        .end
+        """
+        vm = VM(assemble(source))
+        with pytest.raises(SandboxError, match="underflow"):
+            vm.start([])
+
+
+class TestMemorySafety:
+    def test_load_store_roundtrip(self):
+        assert _run("push 8\npush 123456\nstore64\npush 8\nload64\nret") == Done(123456)
+
+    def test_byte_access(self):
+        assert _run("push 0\npush 300\nstore8\npush 0\nload8\nret") == Done(300 & 0xFF)
+
+    def test_out_of_bounds_load_traps(self):
+        with pytest.raises(MemoryFault):
+            _run("push 100000\nload64\nret")
+
+    def test_negative_address_traps(self):
+        with pytest.raises(MemoryFault):
+            _run("push -8\nload64\nret")
+
+    def test_boundary_load_traps(self):
+        # Address memory-1 with an 8-byte load crosses the boundary.
+        with pytest.raises(MemoryFault):
+            _run("push 4095\nload64\nret", memory=4096)
+
+    def test_embedder_memory_access_checked(self):
+        module = assemble(".memory 4096\n.func run_debuglet 0 0\npush 0\nret\n.end")
+        vm = VM(module)
+        with pytest.raises(MemoryFault):
+            vm.read_memory(4090, 100)
+
+
+class TestFuel:
+    def test_fuel_exhaustion_stops_infinite_loop(self):
+        with pytest.raises(FuelExhausted):
+            _run("loop:\njmp loop", fuel=1000)
+
+    def test_fuel_accounts_all_instructions(self):
+        module = assemble(".memory 4096\n.func run_debuglet 0 0\npush 1\nret\n.end")
+        vm = VM(module)
+        vm.start([])
+        assert vm.fuel_used == 2
+
+    def test_host_calls_cost_more(self):
+        module = assemble(
+            ".memory 4096\n.func run_debuglet 0 0\nhost now_us\nret\n.end"
+        )
+        vm = VM(module)
+        vm.start([])
+        assert vm.fuel_used >= 16
+
+
+class TestHostCalls:
+    def test_host_call_suspends_with_args(self):
+        module = assemble(
+            ".memory 4096\n.func run_debuglet 0 0\n"
+            "push 17\npush 2000000\nhost net_recv\nret\n.end"
+        )
+        vm = VM(module)
+        step = vm.start([])
+        assert step == HostCall("net_recv", (17, 2000000))
+        assert vm.resume([-1]) == Done(-1)
+
+    def test_resume_without_pending_call_rejected(self):
+        module = assemble(".memory 4096\n.func run_debuglet 0 0\npush 0\nret\n.end")
+        vm = VM(module)
+        vm.start([])
+        with pytest.raises(SandboxError):
+            vm.resume([0])
+
+    def test_unknown_host_op_traps(self):
+        module = assemble(
+            ".memory 4096\n.func run_debuglet 0 0\nhost bogus_op\nret\n.end"
+        )
+        vm = VM(module)
+        with pytest.raises(SandboxError):
+            vm.start([])
+
+    def test_cannot_start_twice(self):
+        module = assemble(".memory 4096\n.func run_debuglet 0 0\npush 0\nret\n.end")
+        vm = VM(module)
+        vm.start([])
+        with pytest.raises(SandboxError):
+            vm.start([])
+
+
+class TestGlobals:
+    def test_global_get_set(self):
+        source = """
+        .memory 4096
+        .global counter 10
+        .func run_debuglet 0 0
+            global_get counter
+            push 1
+            add
+            global_set counter
+            global_get counter
+            ret
+        .end
+        """
+        vm = VM(assemble(source))
+        assert vm.start([]) == Done(11)

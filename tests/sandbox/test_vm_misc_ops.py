@@ -1,0 +1,59 @@
+"""Remaining VM opcodes: stack shuffles, tee, nop."""
+
+import pytest
+
+from repro.sandbox.assembler import assemble
+from repro.sandbox.vm import VM, Done
+
+
+def _run(body: str, args=None):
+    n_params = len(args or [])
+    module = assemble(
+        f".memory 4096\n.func run_debuglet {n_params} 4\n{body}\n.end"
+    )
+    return VM(module).start(list(args or []))
+
+
+class TestStackOps:
+    def test_dup(self):
+        assert _run("push 21\ndup\nadd\nret") == Done(42)
+
+    def test_swap(self):
+        assert _run("push 10\npush 3\nswap\nsub\nret") == Done(-7)
+
+    def test_drop(self):
+        assert _run("push 1\npush 2\ndrop\nret") == Done(1)
+
+    def test_local_tee_keeps_value_on_stack(self):
+        assert _run("push 5\nlocal_tee 0\nlocal_get 0\nadd\nret") == Done(10)
+
+    def test_nop_is_inert(self):
+        assert _run("nop\npush 3\nnop\nret") == Done(3)
+
+    def test_local_index_bounds_checked(self):
+        from repro.common.errors import SandboxError
+
+        with pytest.raises(SandboxError, match="local index"):
+            _run("local_get 99\nret")
+
+
+class TestShifts:
+    def test_shift_amount_masked_to_63(self):
+        # Shifting by 64 behaves like shifting by 0 (wasm semantics).
+        assert _run("push 5\npush 64\nshl\nret") == Done(5)
+        assert _run("push 5\npush 64\nshru\nret") == Done(5)
+
+    def test_logical_shift_of_negative(self):
+        # -1 is all ones; shifting right by 63 leaves 1.
+        assert _run("push -1\npush 63\nshru\nret") == Done(1)
+
+
+class TestReturnConventions:
+    def test_explicit_ret_value(self):
+        assert _run("push 9\nret") == Done(9)
+
+    def test_implicit_zero_with_clean_stack(self):
+        assert _run("push 4\ndrop") == Done(0)
+
+    def test_leftover_stack_value_is_the_result(self):
+        assert _run("push 4\npush 8") == Done(8)

@@ -1,0 +1,74 @@
+"""The 7-city WAN: structure and Table I shape (scaled down)."""
+
+import pytest
+
+from repro.common.errors import ConfigurationError
+from repro.netsim.packet import Protocol
+from repro.workloads.wan import CITY_SPECS, WanScenario
+
+
+class TestBuild:
+    def test_all_cities_linked_to_london(self):
+        scenario = WanScenario.build(seed=1)
+        assert len(scenario.city_hosts) == 6
+        for name in CITY_SPECS:
+            assert scenario.topology.shortest_path(
+                CITY_SPECS[name].asn, 1
+            )[-1].asn == 1
+
+    def test_subset_of_cities(self):
+        scenario = WanScenario.build(seed=1, cities=["frankfurt"])
+        assert list(scenario.city_hosts) == ["frankfurt"]
+
+    def test_unknown_city_rejected(self):
+        with pytest.raises(ConfigurationError):
+            WanScenario.build(cities=["atlantis"])
+
+    def test_deterministic_given_seed(self):
+        def run():
+            scenario = WanScenario.build(seed=3, cities=["frankfurt"])
+            traces = scenario.run_protocol_study(
+                probes_per_protocol=50, interval=0.2
+            )
+            return [
+                traces["frankfurt"][p].mean_rtt_ms() for p in Protocol
+            ]
+
+        assert run() == run()
+
+
+class TestTableIShape:
+    """Scaled-down §II study: check the paper's qualitative structure."""
+
+    @pytest.fixture(scope="class")
+    def traces(self):
+        scenario = WanScenario.build(seed=7)
+        return scenario.run_protocol_study(probes_per_protocol=400, interval=0.5)
+
+    def test_means_land_near_paper_targets(self, traces):
+        for city, by_proto in traces.items():
+            for protocol, trace in by_proto.items():
+                target = CITY_SPECS[city].protocols[protocol].mean_ms
+                assert trace.mean_rtt_ms() == pytest.approx(target, rel=0.05), (
+                    city, protocol,
+                )
+
+    def test_icmp_more_stable_than_udp(self, traces):
+        # Paper: "ICMP's and raw IP's RTT demonstrate greater stability
+        # compared to UDP and TCP" — strongest for UDP's route spraying.
+        for city, by_proto in traces.items():
+            assert (
+                by_proto[Protocol.ICMP].std_rtt_ms()
+                < by_proto[Protocol.UDP].std_rtt_ms() * 1.2
+            ), city
+
+    def test_frankfurt_icmp_fastest(self, traces):
+        frankfurt = traces["frankfurt"]
+        icmp = frankfurt[Protocol.ICMP].mean_rtt_ms()
+        for protocol in (Protocol.UDP, Protocol.TCP, Protocol.RAW_IP):
+            assert icmp < frankfurt[protocol].mean_rtt_ms()
+
+    def test_newyork_udp_tcp_faster_than_icmp(self, traces):
+        newyork = traces["newyork"]
+        assert newyork[Protocol.UDP].mean_rtt_ms() < newyork[Protocol.ICMP].mean_rtt_ms()
+        assert newyork[Protocol.TCP].mean_rtt_ms() < newyork[Protocol.ICMP].mean_rtt_ms()
