@@ -5,9 +5,18 @@ identical layer-3 lengths. Here: scaled probe counts by default
 (``DEBUGLET_FULL=1`` for the original scale). The harness prints the same
 rows the paper tabulates — mean/std RTT in ms per protocol, loss in ‰ —
 and asserts the qualitative structure the paper reports.
+
+Both simulation paths run: the event-driven reference and the vectorized
+fast path (``fast=True``), which must reproduce the same qualitative
+structure at least 5x faster. Wall-clock numbers for each are appended to
+``BENCH_table1.json`` keyed by git SHA.
 """
 
-from benchmarks.conftest import FULL_SCALE
+import time
+
+import pytest
+
+from benchmarks.conftest import FULL_SCALE, record_bench
 from repro.analysis import format_table1_row, table_row
 from repro.netsim.packet import Protocol
 from repro.workloads.wan import CITY_SPECS, WanScenario
@@ -15,29 +24,35 @@ from repro.workloads.wan import CITY_SPECS, WanScenario
 PROBES = 86_400 if FULL_SCALE else 3_000
 INTERVAL = 1.0 if FULL_SCALE else 1.0
 
+# The event-driven run's wall-clock, shared with the fast-path test below
+# so the study is simulated (expensively) only once per session.
+_TIMINGS: dict[str, float] = {}
 
-def _run_table1():
+
+def _run_table1(*, fast: bool = False):
     scenario = WanScenario.build(seed=7)
+    started = time.perf_counter()
     traces = scenario.run_protocol_study(
-        probes_per_protocol=PROBES, interval=INTERVAL
+        probes_per_protocol=PROBES, interval=INTERVAL, fast=fast
     )
-    return {
-        city: {proto: trace for proto, trace in by_proto.items()}
-        for city, by_proto in traces.items()
-    }
+    elapsed = time.perf_counter() - started
+    key = "fast" if fast else "event"
+    _TIMINGS[key] = elapsed
+    record_bench(
+        f"table1-{key}", elapsed, probes_per_cell=PROBES, cells=len(traces) * 4
+    )
+    return traces
 
 
-def test_bench_table1(once):
-    traces = once(_run_table1)
-    from repro.analysis import maybe_export_summary
-
-    maybe_export_summary("table1", traces)
-
-    print("\n=== Table I: RTT (ms) and loss (per-mille), vs London ===")
+def _print_table(traces, *, path: str) -> None:
+    print(f"\n=== Table I: RTT (ms) and loss (per-mille), vs London [{path}] ===")
     print(f"    probes per cell: {PROBES} (paper: 86400)")
     for city, by_proto in traces.items():
         print(format_table1_row(city, table_row(by_proto)))
 
+
+def _assert_table1_shape(traces) -> None:
+    """The paper's quantitative calibration and qualitative claims."""
     for city, by_proto in traces.items():
         spec = CITY_SPECS[city]
         for protocol, trace in by_proto.items():
@@ -81,4 +96,36 @@ def test_bench_table1(once):
     # ... and suffers by far the worst TCP loss in the table.
     assert newyork[Protocol.TCP].loss_per_mille() == max(
         by_proto[Protocol.TCP].loss_per_mille() for by_proto in traces.values()
+    )
+
+
+def test_bench_table1(once):
+    traces = once(_run_table1)
+    from repro.analysis import maybe_export_summary
+
+    maybe_export_summary("table1", traces)
+    _print_table(traces, path="event-driven")
+    _assert_table1_shape(traces)
+
+
+@pytest.mark.perf_smoke
+def test_bench_table1_fast(once):
+    traces = once(lambda: _run_table1(fast=True))
+    _print_table(traces, path="fast")
+    # The fast path must satisfy the exact same shape assertions...
+    _assert_table1_shape(traces)
+    # ...and deliver the speedup that justifies its existence.
+    event_seconds = _TIMINGS.get("event")
+    if event_seconds is None:  # fast test ran alone: time the reference now
+        _run_table1(fast=False)
+        event_seconds = _TIMINGS["event"]
+    fast_seconds = _TIMINGS["fast"]
+    speedup = event_seconds / fast_seconds
+    print(
+        f"\nevent-driven {event_seconds:.3f}s vs fast {fast_seconds:.3f}s "
+        f"-> {speedup:.1f}x"
+    )
+    assert speedup >= 5.0, (
+        f"fast path only {speedup:.1f}x faster "
+        f"({fast_seconds:.3f}s vs {event_seconds:.3f}s)"
     )

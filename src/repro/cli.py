@@ -19,11 +19,27 @@ def _cmd_table1(args: argparse.Namespace) -> int:
     from repro.analysis import format_table1_row, table_row
     from repro.workloads import WanScenario
 
-    scenario = WanScenario.build(seed=args.seed)
-    traces = scenario.run_protocol_study(
-        probes_per_protocol=args.probes, interval=args.interval
-    )
-    print(f"Table I ({args.probes} probes per cell, seed {args.seed}):")
+    def run() -> dict:
+        scenario = WanScenario.build(seed=args.seed)
+        return scenario.run_protocol_study(
+            probes_per_protocol=args.probes,
+            interval=args.interval,
+            fast=args.fast,
+            workers=args.workers,
+        )
+
+    if args.profile:
+        import cProfile
+        import pstats
+
+        profiler = cProfile.Profile()
+        traces = profiler.runcall(run)
+        stats = pstats.Stats(profiler)
+        stats.sort_stats("cumulative").print_stats(20)
+    else:
+        traces = run()
+    path = "fast" if args.fast else "event-driven"
+    print(f"Table I ({args.probes} probes per cell, seed {args.seed}, {path}):")
     for city, by_protocol in traces.items():
         print(format_table1_row(city, table_row(by_protocol)))
     return 0
@@ -211,6 +227,12 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--probes", type=int, default=2000)
     p.add_argument("--interval", type=float, default=1.0)
     p.add_argument("--seed", type=int, default=7)
+    p.add_argument("--fast", action="store_true",
+                   help="use the vectorized fast path (see DESIGN.md)")
+    p.add_argument("--workers", type=int, default=None,
+                   help="fan fast-path cells over N processes (-1 = all cores)")
+    p.add_argument("--profile", action="store_true",
+                   help="print cProfile top-20 (by cumulative time) for the run")
     p.set_defaults(func=_cmd_table1)
 
     p = sub.add_parser("fig8", help="Fig 8: sandbox overhead (D2D/A2D/D2A/A2A)")

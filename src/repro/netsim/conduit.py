@@ -17,7 +17,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
 
-from repro.common.rng import RngStream, derive_rng
+from repro.common.rng import BufferedRng, derive_rng
 from repro.netsim.congestion import CongestionProcess, calm_congestion
 from repro.netsim.ecmp import EcmpGroup, single_route
 from repro.netsim.packet import Packet, Protocol
@@ -89,6 +89,10 @@ class DirectedChannel:
         self.base_delay = base_delay
         self.bandwidth_bps = bandwidth_bps
         self.jitter_std = jitter_std
+        # Per-protocol caches, invalidated by the ``treatment`` setter and
+        # kept out of the priority-address rewrite path.
+        self._treatment_cache: dict[Protocol, object] = {}
+        self._ecmp_cache: dict[Protocol, EcmpGroup] = {}
         self.treatment = treatment or TreatmentProfile.uniform()
         self.congestion = congestion or calm_congestion(seed, f"{name}/congestion")
         # ECMP groups may differ per protocol (different protocols really
@@ -105,11 +109,23 @@ class DirectedChannel:
         # Addresses whose packets get priority treatment regardless of
         # protocol — the §VI-E "ISP prioritizes executor traffic" attack.
         self.priority_addresses: set = set()
-        self._rng: RngStream = derive_rng(seed, "channel", name)
+        # BufferedRng preserves the bare generator's draw sequence exactly
+        # (see common.rng), so seeded traces are identical with or without
+        # the buffering layer.
+        self._rng = BufferedRng(derive_rng(seed, "channel", name))
         # Lindley recursion state: when the serializer frees up, per class.
         self._busy_until = {True: 0.0, False: 0.0}  # keyed by priority flag
         self.packets_in = 0
         self.packets_dropped = 0
+
+    @property
+    def treatment(self) -> TreatmentProfile:
+        return self._treatment
+
+    @treatment.setter
+    def treatment(self, value: TreatmentProfile) -> None:
+        self._treatment = value
+        self._treatment_cache = {}
 
     def add_overlay(self, overlay: FaultOverlay) -> None:
         self.overlays.append(overlay)
@@ -122,10 +138,15 @@ class DirectedChannel:
 
     def ecmp_for(self, protocol: Protocol) -> EcmpGroup:
         """The route set ``protocol`` is balanced over on this channel."""
-        group = self._ecmp_by_protocol.get(protocol)
+        group = self._ecmp_cache.get(protocol)
         if group is None:
-            group = self._ecmp_by_protocol.get(None)
-        return group if group is not None else self._default_route
+            group = self._ecmp_by_protocol.get(protocol)
+            if group is None:
+                group = self._ecmp_by_protocol.get(None)
+            if group is None:
+                group = self._default_route
+            self._ecmp_cache[protocol] = group
+        return group
 
     def transit(self, packet: Packet, t: float) -> TransitOutcome:
         """Push ``packet`` into the channel at time ``t``.
@@ -134,24 +155,32 @@ class DirectedChannel:
         time until the packet exits the far end.
         """
         self.packets_in += 1
-        treatment = self.treatment.for_protocol(packet.protocol)
+        treatment = self._treatment_cache.get(packet.protocol)
+        if treatment is None:
+            treatment = self._treatment.for_protocol(packet.protocol)
+            self._treatment_cache[packet.protocol] = treatment
         if self.priority_addresses and (
             packet.src in self.priority_addresses
             or packet.dst in self.priority_addresses
         ):
             treatment = replace(treatment, priority=True, drop_multiplier=0.0)
-        active = [o for o in self.overlays if o.applies(t, packet.protocol)]
-
-        if any(overlay.blackhole for overlay in active):
-            self.packets_dropped += 1
-            return TransitOutcome.dropped("blackhole")
+        # Overlays are empty in the common case: skip the per-packet list
+        # build and both aggregation passes entirely.
+        if self.overlays:
+            active = [o for o in self.overlays if o.applies(t, packet.protocol)]
+        else:
+            active = ()
 
         # Drop decision: protocol floor + congestion loss + fault overlays.
         drop_probability = treatment.base_drop
         drop_probability += self.congestion.drop_probability(
             t, multiplier=treatment.drop_multiplier
         )
-        drop_probability += sum(overlay.extra_loss for overlay in active)
+        if active:
+            if any(overlay.blackhole for overlay in active):
+                self.packets_dropped += 1
+                return TransitOutcome.dropped("blackhole")
+            drop_probability += sum(overlay.extra_loss for overlay in active)
         if drop_probability > 0 and self._rng.random() < min(drop_probability, 1.0):
             self.packets_dropped += 1
             return TransitOutcome.dropped("loss")
@@ -177,14 +206,15 @@ class DirectedChannel:
             + self_queue
             + cross_queue
             + route.delay_offset
-            + self.churn.offset(t, packet.protocol)
+            + (self.churn.offset(t, packet.protocol) if self.churn.shifts else 0.0)
             + treatment.extra_delay
             + jitter
-            + sum(overlay.extra_delay for overlay in active)
         )
-        for overlay in active:
-            if overlay.extra_jitter:
-                delay += abs(float(self._rng.normal(0.0, overlay.extra_jitter)))
+        if active:
+            delay += sum(overlay.extra_delay for overlay in active)
+            for overlay in active:
+                if overlay.extra_jitter:
+                    delay += abs(float(self._rng.normal(0.0, overlay.extra_jitter)))
         return TransitOutcome(delivered=True, delay=delay, route_index=route_index)
 
     @property

@@ -14,7 +14,7 @@ import bisect
 import math
 from dataclasses import dataclass, field
 
-from repro.common.rng import RngStream, derive_rng
+from repro.common.rng import RngStream, derive_buffered_rng
 
 DAY = 86400.0
 
@@ -83,7 +83,15 @@ class CongestionProcess:
         self._bursts: list[Burst] = []
         self._burst_starts: list[float] = []
         self._extra: list[Burst] = []  # fault-injected bursts, kept separate
-        rng = derive_rng(seed, label, "bursts")
+        # Memo for the last-queried instant: transit() asks for the drop
+        # probability and the queue mean at the same ``t``, so the second
+        # lookup is free. NaN compares unequal to everything, including
+        # itself, so the memo starts (and can be reset to) always-miss.
+        self._memo_t = float("nan")
+        self._memo_u = 0.0
+        # The buffered stream serves the identical draw sequence as a bare
+        # generator (see common.rng), so burst schedules are unchanged.
+        rng = derive_buffered_rng(seed, label, "bursts")
         self._generate_bursts(rng)
 
     def _generate_bursts(self, rng: RngStream) -> None:
@@ -105,14 +113,18 @@ class CongestionProcess:
         """Add a fault-injected congestion episode (used by fault injection)."""
         burst = Burst(start, duration, magnitude)
         self._extra.append(burst)
+        self._memo_t = float("nan")
         return burst
 
     def clear_injected(self) -> None:
         """Remove all fault-injected bursts."""
         self._extra.clear()
+        self._memo_t = float("nan")
 
     def utilization(self, t: float) -> float:
         """Utilization in [0, 0.99] at simulated time ``t``."""
+        if t == self._memo_t:
+            return self._memo_u
         config = self.config
         value = config.base_utilization
         if config.diurnal_amplitude:
@@ -127,7 +139,10 @@ class CongestionProcess:
         for burst in self._extra:
             if burst.start <= t < burst.end:
                 value += burst.magnitude
-        return min(max(value, 0.0), 0.99)
+        value = min(max(value, 0.0), 0.99)
+        self._memo_t = t
+        self._memo_u = value
+        return value
 
     def mean_queue_delay(self, t: float, *, priority: bool = False) -> float:
         """Expected queueing delay at ``t`` for the given service class.

@@ -3,6 +3,13 @@
 A :class:`Simulator` owns a priority queue of timestamped events. Components
 schedule callbacks; the run loop pops them in time order. Ties are broken by
 insertion order, which keeps runs fully deterministic.
+
+Two scheduling paths exist. :meth:`Simulator.schedule_at` returns an
+:class:`EventHandle` that can be cancelled. :meth:`Simulator.post` is the
+hot path for fire-and-forget events (packet hops, probe sends): it stores
+the callback directly in the heap entry tuple, skipping the handle
+allocation entirely. Cancelled handles are counted live and the queue is
+compacted lazily once more than half of it is dead.
 """
 
 from __future__ import annotations
@@ -13,21 +20,39 @@ from typing import Any, Callable
 
 from repro.common.errors import SimulationError
 
+#: Queue compaction triggers only past this many live-cancelled entries, so
+#: small simulations never pay the rebuild cost.
+_COMPACT_MIN_CANCELLED = 64
+
 
 class EventHandle:
     """A scheduled event that can be cancelled before it fires."""
 
-    __slots__ = ("time", "callback", "args", "cancelled")
+    __slots__ = ("time", "callback", "args", "cancelled", "_sim")
 
-    def __init__(self, time: float, callback: Callable[..., None], args: tuple):
+    def __init__(
+        self,
+        time: float,
+        callback: Callable[..., None],
+        args: tuple,
+        sim: "Simulator | None" = None,
+    ):
         self.time = time
         self.callback = callback
         self.args = args
         self.cancelled = False
+        self._sim = sim
 
     def cancel(self) -> None:
-        """Prevent the event from firing. Safe to call more than once."""
+        """Prevent the event from firing. Safe to call more than once,
+        including after the event already fired (then it is a no-op)."""
+        if self.cancelled:
+            return
         self.cancelled = True
+        sim = self._sim
+        self._sim = None
+        if sim is not None:
+            sim._note_cancelled()
 
 
 class Simulator:
@@ -38,11 +63,16 @@ class Simulator:
     """
 
     def __init__(self) -> None:
-        self._queue: list[tuple[float, int, EventHandle]] = []
+        # Heap entries are either ``(time, seq, handle)`` for cancellable
+        # events or ``(time, seq, None, callback, args)`` for events posted
+        # on the fast path. ``(time, seq)`` is a unique prefix, so the
+        # mixed tuple shapes never get compared beyond it.
+        self._queue: list[tuple] = []
         self._sequence = count()
         self._now = 0.0
         self._running = False
         self._events_processed = 0
+        self._cancelled = 0
 
     @property
     def now(self) -> float:
@@ -56,8 +86,13 @@ class Simulator:
 
     @property
     def pending_events(self) -> int:
-        """Number of events still queued (including cancelled ones)."""
-        return len(self._queue)
+        """Number of events still queued and able to fire.
+
+        Cancelled-but-unpopped events are excluded: a live count is kept,
+        incremented by :meth:`EventHandle.cancel` and decremented when a
+        dead entry is popped or compacted away.
+        """
+        return len(self._queue) - self._cancelled
 
     def schedule_at(
         self, time: float, callback: Callable[..., None], *args: Any
@@ -67,7 +102,7 @@ class Simulator:
             raise SimulationError(
                 f"cannot schedule event at {time} before current time {self._now}"
             )
-        handle = EventHandle(time, callback, args)
+        handle = EventHandle(time, callback, args, self)
         heapq.heappush(self._queue, (time, next(self._sequence), handle))
         return handle
 
@@ -79,13 +114,61 @@ class Simulator:
             raise SimulationError(f"negative delay: {delay}")
         return self.schedule_at(self._now + delay, callback, *args)
 
+    def post(self, time: float, callback: Callable[..., None], *args: Any) -> None:
+        """Schedule a fire-and-forget event at absolute ``time``.
+
+        The hot-path twin of :meth:`schedule_at`: the callback and args
+        ride in the heap tuple itself, with no :class:`EventHandle`
+        allocated. Use for events that are never cancelled (packet hops,
+        probe sends); behaviour and ordering are otherwise identical.
+        """
+        if time < self._now:
+            raise SimulationError(
+                f"cannot schedule event at {time} before current time {self._now}"
+            )
+        heapq.heappush(
+            self._queue, (time, next(self._sequence), None, callback, args)
+        )
+
+    # ------------------------------------------------------- cancellation
+
+    def _note_cancelled(self) -> None:
+        """Called by :meth:`EventHandle.cancel` while the entry is queued."""
+        self._cancelled += 1
+        if (
+            self._cancelled >= _COMPACT_MIN_CANCELLED
+            and self._cancelled * 2 > len(self._queue)
+        ):
+            self._compact()
+
+    def _compact(self) -> None:
+        """Drop cancelled entries and re-heapify (lazy compaction hook)."""
+        # In-place so aliases held by a running loop stay valid.
+        self._queue[:] = [
+            entry
+            for entry in self._queue
+            if entry[2] is None or not entry[2].cancelled
+        ]
+        heapq.heapify(self._queue)
+        self._cancelled = 0
+
+    # ---------------------------------------------------------- execution
+
     def step(self) -> bool:
         """Fire the next non-cancelled event. Returns False when idle."""
         while self._queue:
-            time, _, handle = heapq.heappop(self._queue)
+            entry = heapq.heappop(self._queue)
+            handle = entry[2]
+            if handle is None:
+                self._now = entry[0]
+                self._events_processed += 1
+                entry[3](*entry[4])
+                return True
             if handle.cancelled:
+                self._cancelled -= 1
                 continue
-            self._now = time
+            handle._sim = None
+            self._now = entry[0]
             self._events_processed += 1
             handle.callback(*handle.args)
             return True
@@ -101,15 +184,23 @@ class Simulator:
         if self._running:
             raise SimulationError("simulator is already running (reentrant run)")
         self._running = True
+        queue = self._queue
         try:
-            while self._queue:
-                time, _, handle = self._queue[0]
-                if until is not None and time > until:
+            while queue:
+                if until is not None and queue[0][0] > until:
                     break
-                heapq.heappop(self._queue)
-                if handle.cancelled:
+                entry = heapq.heappop(queue)
+                handle = entry[2]
+                if handle is None:
+                    self._now = entry[0]
+                    self._events_processed += 1
+                    entry[3](*entry[4])
                     continue
-                self._now = time
+                if handle.cancelled:
+                    self._cancelled -= 1
+                    continue
+                handle._sim = None
+                self._now = entry[0]
                 self._events_processed += 1
                 handle.callback(*handle.args)
             if until is not None and until > self._now:

@@ -16,7 +16,7 @@ from dataclasses import dataclass, field
 from typing import Callable
 
 from repro.common.errors import SimulationError
-from repro.common.rng import derive_rng
+from repro.common.rng import derive_buffered_rng
 from repro.netsim.conduit import DirectedChannel
 from repro.netsim.endhost import Host
 from repro.netsim.engine import Simulator
@@ -60,7 +60,12 @@ class Network:
         self.hosts: dict[Address, Host] = {}
         self.stats = NetworkStats()
         self.on_drop: DropCallback | None = None
-        self._rng = derive_rng(seed, "network")
+        # This stream only ever draws slow-path jitter normals, so the
+        # buffered façade serves it from blocks (sequence-identical).
+        self._rng = derive_buffered_rng(seed, "network")
+        # Default-route trails are pure functions of (src, dst) over a
+        # static topology; memoize them. Invalidated when hosts appear.
+        self._trail_cache: dict[tuple[Address, Address], list[_Segment]] = {}
 
     # ------------------------------------------------------------- hosts
 
@@ -72,6 +77,7 @@ class Network:
             raise SimulationError(f"host AS {host.address.asn} not in topology")
         self.hosts[host.address] = host
         host.attach(self)
+        self.invalidate_routes()
         return host
 
     def make_host(self, asn: int, name: str, *, attachment: str = "interior", **kwargs) -> Host:
@@ -81,15 +87,30 @@ class Network:
 
     # ------------------------------------------------------------ sending
 
+    def invalidate_routes(self) -> None:
+        """Flush memoized trails (topology or host set changed)."""
+        self._trail_cache.clear()
+
     def send(self, packet: Packet, *, path: list[PathHop] | None = None) -> None:
         """Transmit ``packet`` now, along ``path`` or the shortest AS path."""
         self.stats.packets_sent += 1
         packet.send_time = self.simulator.now
-        try:
-            trail = self._build_trail(packet, path)
-        except SimulationError:
-            self._drop(packet, "unroutable")
-            return
+        if path is None:
+            key = (packet.src, packet.dst)
+            trail = self._trail_cache.get(key)
+            if trail is None:
+                try:
+                    trail = self._build_trail(packet, None)
+                except SimulationError:
+                    self._drop(packet, "unroutable")
+                    return
+                self._trail_cache[key] = trail
+        else:
+            try:
+                trail = self._build_trail(packet, path)
+            except SimulationError:
+                self._drop(packet, "unroutable")
+                return
         self._advance(packet, trail, 0, self.simulator.now)
 
     def _build_trail(self, packet: Packet, path: list[PathHop] | None) -> list[_Segment]:
@@ -165,9 +186,8 @@ class Network:
             self._drop(packet, outcome.drop_reason or "loss")
             return
         arrival = t + outcome.delay
-        self.simulator.schedule_at(
-            arrival, self._arrive, packet, trail, index, arrival
-        )
+        # Hop events are never cancelled: use the handle-free fast path.
+        self.simulator.post(arrival, self._arrive, packet, trail, index, arrival)
 
     def _arrive(self, packet: Packet, trail: list[_Segment], index: int, t: float) -> None:
         segment = trail[index]
@@ -207,7 +227,7 @@ class Network:
         delay = router.slow_path_delay
         if router.slow_path_jitter:
             delay += abs(float(self._rng.normal(0.0, router.slow_path_jitter)))
-        self.simulator.schedule(delay, self.send, reply)
+        self.simulator.post(self.simulator.now + delay, self.send, reply)
 
     def _deliver(self, packet: Packet, t: float) -> None:
         host = self.hosts.get(packet.dst)

@@ -39,6 +39,34 @@ class MeasurementTrace:
     def add(self, record: ProbeRecord) -> None:
         self.records.append(record)
 
+    @classmethod
+    def from_arrays(
+        cls,
+        protocol: Protocol,
+        send_times: np.ndarray,
+        rtts: np.ndarray,
+        *,
+        label: str = "",
+    ) -> "MeasurementTrace":
+        """Build a trace from vectorized results (``NaN`` rtt = lost).
+
+        Probes are numbered 1..N in array order, matching what a
+        :class:`~repro.netsim.traffic.ProbeTrain` would have produced for
+        the same schedule.
+        """
+        records = [
+            ProbeRecord(
+                seq=index + 1,
+                send_time=float(send),
+                rtt=None if lost else float(rtt),
+                receive_time=None if lost else float(send + rtt),
+            )
+            for index, (send, rtt, lost) in enumerate(
+                zip(send_times, rtts, np.isnan(rtts))
+            )
+        ]
+        return cls(protocol, label=label, records=records)
+
     def __len__(self) -> int:
         return len(self.records)
 

@@ -81,10 +81,9 @@ class ProbeTrain:
         return self.client.network
 
     def _schedule_all(self) -> None:
+        post = self.network.simulator.post
         for i in range(self.count):
-            self.network.simulator.schedule_at(
-                self.start + i * self.interval, self._send_one
-            )
+            post(self.start + i * self.interval, self._send_one)
 
     def _send_one(self) -> None:
         seq = self._next_seq
@@ -210,7 +209,7 @@ class OneWayProbeTrain:
         self._records: dict[int, ProbeRecord] = {}
         self._server_socket.on_receive = self._on_arrival
         for i in range(count):
-            client.network.simulator.schedule_at(
+            client.network.simulator.post(
                 self.start + i * interval, self._send_one, i + 1
             )
 
@@ -253,16 +252,20 @@ class PoissonTraffic:
     sent: int = field(default=0, init=False)
 
     def launch(self) -> None:
-        from repro.common.rng import derive_rng
+        from repro.common.rng import derive_buffered_rng
 
-        rng = derive_rng(self.seed, "poisson", self.client_socket.host.address.host)
+        # Single-distribution stream: the buffered façade serves it from
+        # blocks while preserving the exact draw sequence.
+        rng = derive_buffered_rng(
+            self.seed, "poisson", self.client_socket.host.address.host
+        )
         t = self.start
         network = self.client_socket.host.network
         while True:
             t += float(rng.exponential(1.0 / self.rate))
             if t >= self.start + self.duration:
                 break
-            network.simulator.schedule_at(t, self._send_one)
+            network.simulator.post(t, self._send_one)
 
     def _send_one(self) -> None:
         self.sent += 1

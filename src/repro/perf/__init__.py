@@ -1,0 +1,5 @@
+"""Performance tooling: parallel cell execution for the fast path."""
+
+from repro.perf.parallel import map_cells
+
+__all__ = ["map_cells"]

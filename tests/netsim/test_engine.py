@@ -68,6 +68,89 @@ class TestCancellation:
         sim.run_until_idle()
 
 
+class TestPendingEvents:
+    def test_pending_counts_scheduled_events(self):
+        sim = Simulator()
+        for i in range(5):
+            sim.schedule_at(float(i), lambda: None)
+        assert sim.pending_events == 5
+
+    def test_cancel_decrements_pending_immediately(self):
+        sim = Simulator()
+        handles = [sim.schedule_at(float(i), lambda: None) for i in range(5)]
+        handles[2].cancel()
+        assert sim.pending_events == 4
+        handles[2].cancel()  # idempotent: no double decrement
+        assert sim.pending_events == 4
+
+    def test_cancel_after_fire_does_not_corrupt_count(self):
+        sim = Simulator()
+        handle = sim.schedule_at(1.0, lambda: None)
+        sim.schedule_at(2.0, lambda: None)
+        sim.step()  # fires handle's event
+        handle.cancel()  # no-op: the event already fired
+        assert sim.pending_events == 1
+
+    def test_post_counts_as_pending(self):
+        sim = Simulator()
+        sim.post(1.0, lambda: None)
+        sim.post(2.0, lambda: None)
+        assert sim.pending_events == 2
+        sim.run_until_idle()
+        assert sim.pending_events == 0
+
+    def test_compaction_drops_dead_entries(self):
+        from repro.netsim.engine import _COMPACT_MIN_CANCELLED
+
+        sim = Simulator()
+        n = 4 * _COMPACT_MIN_CANCELLED
+        fired = []
+        handles = [sim.schedule_at(float(i), fired.append, i) for i in range(n)]
+        for handle in handles[: n - 5]:
+            handle.cancel()
+        # Cancelling a majority triggered at least one compaction, so the
+        # queue physically shrank below the dead-entry count...
+        assert len(sim._queue) < n - 5
+        # ...while the live count stayed exact throughout.
+        assert sim.pending_events == 5
+        sim.run_until_idle()
+        assert fired == list(range(n - 5, n))
+        assert sim.pending_events == 0
+
+
+class TestPost:
+    def test_post_fires_in_time_order_with_scheduled(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule_at(2.0, fired.append, "handle")
+        sim.post(1.0, fired.append, "posted")
+        sim.post(2.0, fired.append, "tie-later")
+        sim.run_until_idle()
+        assert fired == ["posted", "handle", "tie-later"]
+
+    def test_post_rejects_past_times(self):
+        sim = Simulator()
+        sim.schedule_at(1.0, lambda: None)
+        sim.run_until_idle()
+        with pytest.raises(SimulationError):
+            sim.post(0.5, lambda: None)
+
+    def test_post_passes_args_and_counts(self):
+        sim = Simulator()
+        seen = []
+        sim.post(1.0, lambda a, b: seen.append((a, b, sim.now)), "x", 2)
+        sim.run_until_idle()
+        assert seen == [("x", 2, 1.0)]
+        assert sim.events_processed == 1
+
+    def test_step_pops_posted_events(self):
+        sim = Simulator()
+        fired = []
+        sim.post(1.0, fired.append, "a")
+        assert sim.step() is True
+        assert fired == ["a"]
+
+
 class TestRunUntil:
     def test_run_until_stops_before_later_events(self):
         sim = Simulator()

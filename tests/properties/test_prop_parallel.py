@@ -1,0 +1,82 @@
+"""Property tests: process-parallel cell execution equals serial exactly.
+
+Each :class:`ProbeCell` carries its own derived seed, so ``simulate_cell``
+is a pure function of the cell and fanning cells over worker processes is
+purely a wall-clock decision — the traces must be bit-identical to a
+serial run, in input order, for any worker count.
+"""
+
+import pytest
+
+from repro.netsim.fastpath import cell_seed, extract_probe_cell
+from repro.netsim.packet import Protocol
+from repro.perf.parallel import map_cells
+from repro.workloads.wan import WanScenario
+
+
+def _fingerprint(traces):
+    return [
+        (
+            trace.label,
+            trace.protocol.name,
+            tuple((r.seq, r.send_time, r.rtt) for r in trace.records),
+        )
+        for trace in traces
+    ]
+
+
+def _make_cells(count=300):
+    scenario = WanScenario.build(seed=7, cities=["frankfurt", "newyork"])
+    cells = []
+    for name, host in scenario.city_hosts.items():
+        for index, protocol in enumerate(
+            (Protocol.ICMP, Protocol.RAW_IP, Protocol.UDP, Protocol.TCP)
+        ):
+            in_band = protocol in (Protocol.UDP, Protocol.TCP)
+            cells.append(
+                extract_probe_cell(
+                    scenario.network,
+                    host,
+                    scenario.london.address,
+                    protocol,
+                    count=count,
+                    interval=1.0,
+                    start=index * 0.01,
+                    src_port=40000 + index if in_band else 0,
+                    dst_port=7 if in_band else 0,
+                    seed=cell_seed(7, name, protocol.name),
+                    label=f"{name}/{protocol.name}",
+                )
+            )
+    return cells
+
+
+@pytest.mark.parametrize("workers", [2, 4])
+def test_parallel_is_bit_identical_to_serial(workers):
+    cells = _make_cells()
+    serial = map_cells(cells)
+    parallel = map_cells(cells, workers=workers)
+    assert _fingerprint(serial) == _fingerprint(parallel)
+
+
+def test_cell_results_are_order_independent():
+    cells = _make_cells(count=150)
+    forward = map_cells(cells)
+    backward = map_cells(list(reversed(cells)))
+    assert _fingerprint(forward) == _fingerprint(list(reversed(backward)))
+
+
+def test_scenario_level_parallel_matches_serial():
+    scenario = WanScenario.build(seed=7, cities=["frankfurt"])
+    serial = scenario.run_protocol_study(
+        probes_per_protocol=400, fast=True
+    )
+    parallel = scenario.run_protocol_study(
+        probes_per_protocol=400, fast=True, workers=2
+    )
+    for protocol in Protocol:
+        a = serial["frankfurt"][protocol].records
+        b = parallel["frankfurt"][protocol].records
+        assert [(r.seq, r.send_time, r.rtt) for r in a] == [
+            (r.seq, r.send_time, r.rtt) for r in b
+        ]

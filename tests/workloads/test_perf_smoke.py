@@ -1,0 +1,50 @@
+"""Perf smoke checks: quick sanity that the fast path stays fast.
+
+These are not benchmarks (see ``benchmarks/test_bench_table1_protocol_rtt``
+for the real >=5x assertion at default scale); they are cheap guards that
+run inside the tier-1 suite and can be selected with ``-m perf_smoke``.
+"""
+
+import time
+
+import pytest
+
+from repro.netsim.packet import Protocol
+from repro.workloads.wan import WanScenario
+
+
+@pytest.mark.perf_smoke
+def test_fast_path_beats_event_driven_on_small_study():
+    probes = 2000
+    scenario = WanScenario.build(seed=7, cities=["frankfurt"])
+    started = time.perf_counter()
+    event = scenario.run_protocol_study(probes_per_protocol=probes)
+    event_seconds = time.perf_counter() - started
+
+    scenario = WanScenario.build(seed=7, cities=["frankfurt"])
+    started = time.perf_counter()
+    fast = scenario.run_protocol_study(probes_per_protocol=probes, fast=True)
+    fast_seconds = time.perf_counter() - started
+
+    # Loose smoke bound: the real bench asserts >=5x at full default
+    # scale; here 2x guards against the fast path quietly regressing to
+    # per-probe work while staying robust to CI timer noise.
+    assert fast_seconds * 2 < event_seconds, (fast_seconds, event_seconds)
+    for protocol in Protocol:
+        assert fast["frankfurt"][protocol].sent == probes
+        assert event["frankfurt"][protocol].sent == probes
+
+
+@pytest.mark.perf_smoke
+def test_engine_compaction_keeps_queue_bounded():
+    from repro.netsim.engine import Simulator
+
+    sim = Simulator()
+    live = sim.schedule_at(1e6, lambda: None)
+    for i in range(20_000):
+        sim.schedule_at(float(i), lambda: None).cancel()
+    # Lazy compaction must keep the queue near the live population rather
+    # than letting dead entries accumulate linearly.
+    assert len(sim._queue) < 1000
+    assert sim.pending_events == 1
+    live.cancel()
