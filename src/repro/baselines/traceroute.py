@@ -13,7 +13,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.netsim.endhost import Host
-from repro.netsim.packet import Address, IcmpType, Packet, Protocol
+from repro.netsim.packet import Address, IcmpType, Packet
 from repro.netsim.topology import PathHop
 
 

@@ -38,4 +38,5 @@ __all__ = [
     "sha256",
     "sui_to_mist",
     "verify_inclusion",
+    "verify_signature",
 ]

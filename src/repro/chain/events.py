@@ -8,7 +8,7 @@ and on attribute equality — e.g. an executor subscribes to
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Callable
 
 

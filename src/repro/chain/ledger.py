@@ -20,7 +20,7 @@ Debuglet's control plane relies on (§IV-C, §V-B):
 from __future__ import annotations
 
 import hashlib
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Callable
 
 from repro.chain.contract import Contract, ExecutionContext

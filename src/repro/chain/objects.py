@@ -8,7 +8,7 @@ encoded size; freeing an object earns the storage rebate (Table II).
 from __future__ import annotations
 
 import copy
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any
 
 from repro.common.errors import ChainError

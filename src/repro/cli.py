@@ -7,6 +7,7 @@ Examples::
     python -m repro table2
     python -m repro localize --ases 10 --strategy binary
     python -m repro quickstart
+    python -m repro verify program.dasm --manifest manifest.json
 """
 
 from __future__ import annotations
@@ -174,6 +175,42 @@ def _cmd_localize(args: argparse.Namespace) -> int:
     return 0 if report.found(fault.location) else 1
 
 
+def _cmd_verify(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.sandbox.assembler import assemble
+    from repro.sandbox.manifest import Manifest
+    from repro.sandbox.verifier import verify_module
+
+    try:
+        source = open(args.file, "r", encoding="utf-8").read()
+    except OSError as exc:
+        print(f"cannot read {args.file}: {exc}", file=sys.stderr)
+        return 2
+    manifest = None
+    if args.manifest is not None:
+        try:
+            with open(args.manifest, "r", encoding="utf-8") as handle:
+                manifest = Manifest.from_dict(json.load(handle))
+        except Exception as exc:
+            print(f"cannot load manifest {args.manifest}: {exc}", file=sys.stderr)
+            return 2
+    try:
+        module = assemble(source)
+    except Exception as exc:
+        if args.json:
+            print(json.dumps({"ok": False, "assembly_error": str(exc)}, indent=2))
+        else:
+            print(f"assembly failed: {exc}", file=sys.stderr)
+        return 1
+    report = verify_module(module, manifest)
+    if args.json:
+        print(json.dumps(report.as_dict(), indent=2))
+    else:
+        print(report.render())
+    return 0 if report.ok else 1
+
+
 def _cmd_quickstart(args: argparse.Namespace) -> int:
     from repro.core import ChainVerifier, DebugletApplication, EchoMeasurement
     from repro.core.executor import executor_data_address
@@ -256,6 +293,18 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--probes", type=int, default=30)
     p.add_argument("--seed", type=int, default=1)
     p.set_defaults(func=_cmd_quickstart)
+
+    p = sub.add_parser(
+        "verify",
+        help="statically verify a Debuglet assembly file (exit 1 on rejection)",
+    )
+    p.add_argument("file", help="path to a .dasm assembly source file")
+    p.add_argument("--manifest", default=None,
+                   help="JSON manifest to check fuel bounds and capabilities "
+                        "against (Manifest.as_dict format)")
+    p.add_argument("--json", action="store_true",
+                   help="emit the structured report as JSON")
+    p.set_defaults(func=_cmd_verify)
 
     return parser
 

@@ -17,6 +17,7 @@ out to the executor by ``result_ready`` — enforcement by code, not trust.
 
 from __future__ import annotations
 
+import json
 from dataclasses import dataclass
 
 from repro.chain.contract import Contract, ExecutionContext, entry
@@ -236,7 +237,14 @@ class DebugletMarket(Contract):
         embedded in the two application objects and paid to each executor
         on ``result_ready``. Excess value is refunded. Emits one
         ``ApplicationSubmitted`` event per executor.
+
+        Both applications are statically verified against their manifests
+        *before* any slot is consumed or token escrowed: a Debuglet that
+        fails verification reverts the whole purchase, so bad bytecode
+        never ties up money or marketplace inventory.
         """
+        _verify_application_wire(ctx, client_bytecode, "client")
+        _verify_application_wire(ctx, server_bytecode, "server")
         return self._do_purchase(
             ctx,
             asn_c, intf_c, asn_s, intf_s,
@@ -458,3 +466,39 @@ def store_bytecode(bytecode: bytes) -> bytes:
     """Identity today; the §V-B off-chain optimization can swap this for
     ``sha256(bytecode)`` storage with the code shipped out of band."""
     return bytecode
+
+
+def _verify_application_wire(ctx: ExecutionContext, wire: bytes, label: str) -> None:
+    """Statically verify one shipped application; revert when it fails.
+
+    Runs before any slot is consumed, so a rejected Debuglet costs the
+    buyer nothing but gas. ``purchase_slot_hashed`` cannot do this — only
+    the 32-byte hash is on-chain — so there the executor-side
+    re-verification (``Executor.admit``) is the sole static gate.
+
+    Imports are deliberately local and limited to the sandbox layer: the
+    contract decodes the wire itself rather than pulling in
+    ``repro.core.application``, which would create an import cycle.
+    """
+    from repro.sandbox.assembler import assemble
+    from repro.sandbox.manifest import Manifest
+    from repro.sandbox.verifier import verify_module
+
+    try:
+        payload = json.loads(wire.decode("utf-8"))
+        source = payload["source"]
+        manifest = Manifest.from_dict(payload["manifest"])
+    except Exception as exc:
+        ctx.require(False, f"{label} application wire is malformed: {exc}")
+        return
+    try:
+        module = assemble(source)
+    except Exception as exc:
+        ctx.require(False, f"{label} bytecode does not assemble: {exc}")
+        return
+    report = verify_module(module, manifest)
+    ctx.require(
+        report.ok,
+        f"{label} bytecode failed verification: "
+        + "; ".join(diag.render() for diag in report.errors),
+    )

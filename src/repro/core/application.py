@@ -11,7 +11,7 @@ local baselines (Fig 8) and do not serialize.
 from __future__ import annotations
 
 import json
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable
 
 from repro.common.errors import ConfigurationError, ManifestError

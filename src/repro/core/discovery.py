@@ -11,7 +11,7 @@ executor's key out of band can check.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable
 
 from repro.common.errors import ConfigurationError, DebugletError

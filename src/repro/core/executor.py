@@ -27,20 +27,20 @@ from typing import Callable
 
 from repro.common.errors import (
     ConfigurationError,
-    DebugletError,
     PolicyViolation,
     SandboxError,
 )
 from repro.common.rng import derive_rng
-from repro.common.serialize import canonical_encode, stable_hash
+from repro.common.serialize import canonical_encode
 from repro.chain.crypto import KeyPair, sha256
 from repro.core.application import DebugletApplication
-from repro.netsim.endhost import Host, Socket
+from repro.netsim.endhost import Socket
 from repro.netsim.engine import EventHandle
 from repro.netsim.network import Network
 from repro.netsim.packet import Address, IcmpType, Packet, Protocol
 from repro.sandbox.hostops import protocol_from_number
 from repro.sandbox.manifest import ExecutorPolicy
+from repro.sandbox.verifier import verify_module
 from repro.sandbox.program import (
     ProgramCall,
     ProgramDone,
@@ -197,10 +197,27 @@ class Executor:
     # ---------------------------------------------------------- admission
 
     def admit(self, application: DebugletApplication) -> None:
-        """Policy + manifest admission (raises on rejection)."""
+        """Policy + manifest admission (raises on rejection).
+
+        Sandboxed bytecode is additionally re-verified ahead of time —
+        the executor never trusts that the marketplace (or anyone else)
+        already ran the verifier. In ``strict`` mode any verification
+        error is a :class:`PolicyViolation`; in ``warn`` mode the module
+        is admitted and the VM's runtime traps are the backstop; ``off``
+        skips the verifier entirely.
+        """
         self.policy.admit(application.manifest)
         if application.module is not None:
             application.manifest.validate_module(application.module)
+            if self.policy.verification != "off":
+                report = verify_module(
+                    application.module, application.manifest, self.policy
+                )
+                if not report.ok and self.policy.verification == "strict":
+                    raise PolicyViolation(
+                        "bytecode failed ahead-of-time verification: "
+                        + "; ".join(diag.render() for diag in report.errors)
+                    )
 
     # ---------------------------------------------------------- execution
 

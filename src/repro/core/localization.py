@@ -27,7 +27,7 @@ from repro.common.errors import ConfigurationError
 from repro.core.probing import SegmentMeasurement, SegmentProber, Vantage
 from repro.netsim.faults import FaultLocation
 from repro.netsim.packet import Protocol
-from repro.netsim.topology import InterfaceId, Topology
+from repro.netsim.topology import Topology
 from repro.pathaware.segments import PathSegment
 
 

@@ -26,7 +26,7 @@ from typing import Callable
 
 from repro.chain.events import Event
 from repro.chain.ledger import Ledger, Wallet
-from repro.common.errors import ChainError, ConfigurationError, DebugletError
+from repro.common.errors import ChainError, DebugletError
 from repro.common.ids import ObjectId
 from repro.contracts.debuglet_market import APPLICATION_KIND, ExecutionSlot
 from repro.core.application import DebugletApplication

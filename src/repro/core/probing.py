@@ -10,7 +10,7 @@ asynchronously (callback) or synchronously (pumping the simulator).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable
 
 from repro.common.errors import ConfigurationError, SimulationError
@@ -20,7 +20,6 @@ from repro.core.results import EchoMeasurement, ServerReport
 from repro.netsim.network import Network
 from repro.netsim.packet import Protocol
 from repro.pathaware.segments import PathSegment
-from repro.sandbox.manifest import ExecutorPolicy
 from repro.sandbox.programs import echo_client, echo_server
 
 Vantage = tuple[int, int]  # (ASN, interface)

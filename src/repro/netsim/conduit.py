@@ -15,7 +15,7 @@ larger parameters, for aggregate Internet paths between distant cities
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, replace
 
 from repro.common.rng import BufferedRng, derive_rng
 from repro.netsim.congestion import CongestionProcess, calm_congestion

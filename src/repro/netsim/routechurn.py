@@ -10,7 +10,7 @@ parallel routes a load balancer uses).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.common.rng import derive_rng
 from repro.netsim.packet import Protocol

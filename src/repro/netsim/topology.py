@@ -12,7 +12,7 @@ interface of every on-path AS — the same granularity SCION exposes.
 from __future__ import annotations
 
 from collections import deque
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.common.errors import ConfigurationError, SimulationError
 from repro.netsim.conduit import DirectedChannel, Link

@@ -11,7 +11,7 @@ channel for advertising Debuglet executors in routing messages.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any
 
 from repro.common.errors import ConfigurationError

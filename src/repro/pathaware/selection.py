@@ -8,7 +8,7 @@ points.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.common.errors import ConfigurationError
 from repro.netsim.topology import InterfaceId

@@ -39,16 +39,26 @@ from repro.sandbox.programs_native import (
     native_oneway_receiver,
     native_oneway_sender,
 )
+from repro.sandbox.verifier import (
+    Diagnostic,
+    FuelVerdict,
+    Severity,
+    VerificationReport,
+    infer_capabilities,
+    verify_module,
+)
 from repro.sandbox.vm import VM, Done, HostCall
 
 __all__ = [
     "AssemblyError",
     "BLOCKING_OPS",
     "BufferSpec",
+    "Diagnostic",
     "Done",
     "ENTRY_POINT",
     "ExecutorPolicy",
     "FUEL_COST",
+    "FuelVerdict",
     "Function",
     "HOST_OPS",
     "HostCall",
@@ -63,14 +73,17 @@ __all__ = [
     "RECV_HEADER_SIZE",
     "ReceivedData",
     "RunnableProgram",
+    "Severity",
     "StockProgram",
     "VM",
     "VMProgram",
+    "VerificationReport",
     "assemble",
     "decode_result_pairs",
     "disassemble",
     "echo_client",
     "echo_server",
+    "infer_capabilities",
     "native_echo_client",
     "native_echo_server",
     "native_oneway_receiver",
@@ -78,4 +91,5 @@ __all__ = [
     "oneway_receiver",
     "oneway_sender",
     "protocol_from_number",
+    "verify_module",
 ]

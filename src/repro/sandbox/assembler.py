@@ -32,6 +32,7 @@ indices. ``host`` and ``call`` take symbolic names kept as strings.
 from __future__ import annotations
 
 from repro.common.errors import SandboxError
+from repro.sandbox.hostops import HOST_OPS
 from repro.sandbox.isa import Instruction, Op
 from repro.sandbox.module import BufferSpec, Function, Module
 
@@ -66,6 +67,7 @@ def assemble(source: str) -> Module:
     current: Function | None = None
     labels: dict[str, int] = {}
     fixups: list[tuple[int, str, int]] = []  # (code index, label, line)
+    call_sites: list[tuple[str, int, str, int]] = []  # (func, index, callee, line)
 
     for line_no, raw_line in enumerate(source.splitlines(), start=1):
         line = raw_line.split(";", 1)[0].strip()
@@ -116,8 +118,16 @@ def assemble(source: str) -> Module:
             for index, label, fixup_line in fixups:
                 if label not in labels:
                     raise AssemblyError(fixup_line, f"undefined label {label!r}")
+                target = labels[label]
+                if target >= len(current.code):
+                    raise AssemblyError(
+                        fixup_line,
+                        f"label {label!r} points past the end of "
+                        f"{current.name!r} (target {target}, "
+                        f"{len(current.code)} instruction(s))",
+                    )
                 old = current.code[index]
-                current.code[index] = Instruction(old.op, labels[label])
+                current.code[index] = Instruction(old.op, target)
             functions[current.name] = current
             current = None
             continue
@@ -143,11 +153,31 @@ def assemble(source: str) -> Module:
         elif op in _NAME_OPS:
             if len(tokens) != 2:
                 raise AssemblyError(line_no, f"{head} takes a name")
-            current.code.append(Instruction(op, tokens[1]))
+            name = tokens[1]
+            if op is Op.HOST and name not in HOST_OPS:
+                raise AssemblyError(
+                    line_no,
+                    f"unknown host operation {name!r} "
+                    f"(instruction {len(current.code)} of {current.name!r})",
+                )
+            if op is Op.CALL:
+                # Callees may be defined later; checked after the last .end.
+                call_sites.append((current.name, len(current.code), name, line_no))
+            current.code.append(Instruction(op, name))
         elif op in _INT_OPS:
             if len(tokens) != 2:
                 raise AssemblyError(line_no, f"{head} takes an integer")
-            current.code.append(Instruction(op, _parse_int(tokens[1], line_no)))
+            value = _parse_int(tokens[1], line_no)
+            if op is not Op.PUSH:
+                n_slots = current.n_params + current.n_locals
+                if not 0 <= value < n_slots:
+                    raise AssemblyError(
+                        line_no,
+                        f"local index {value} out of range — {current.name!r} "
+                        f"has {n_slots} slot(s) "
+                        f"(instruction {len(current.code)})",
+                    )
+            current.code.append(Instruction(op, value))
         else:
             if len(tokens) != 1:
                 raise AssemblyError(line_no, f"{head} takes no argument")
@@ -155,6 +185,14 @@ def assemble(source: str) -> Module:
 
     if current is not None:
         raise AssemblyError(len(source.splitlines()), "unterminated .func")
+
+    for func_name, index, callee, site_line in call_sites:
+        if callee not in functions:
+            raise AssemblyError(
+                site_line,
+                f"call to unknown function {callee!r} "
+                f"(instruction {index} of {func_name!r})",
+            )
 
     module = Module(
         functions=functions,

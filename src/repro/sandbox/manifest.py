@@ -8,7 +8,7 @@ manifest *before* running anything; at run time the executor enforces it.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.common.errors import ManifestError
 from repro.netsim.packet import Address, Protocol
@@ -52,12 +52,29 @@ class Manifest:
         return protocol.name.lower() in self.capabilities
 
     def validate_module(self, module: Module) -> None:
-        """Static admission check of a module against this manifest."""
+        """Static admission check of a module against this manifest.
+
+        Besides the memory ceiling, the manifest's declared capabilities
+        must cover every network protocol the bytecode can statically be
+        shown to use — a Debuglet cannot under-declare its way past an
+        executor's capability policy. When a protocol argument is not
+        statically derivable the check is left to runtime enforcement.
+        """
         if module.memory_size > self.max_memory_bytes:
             raise ManifestError(
                 f"module memory {module.memory_size} exceeds declared "
                 f"{self.max_memory_bytes}"
             )
+        from repro.sandbox.verifier import infer_capabilities
+
+        used, derivable = infer_capabilities(module)
+        if derivable:
+            undeclared = used - set(self.capabilities)
+            if undeclared:
+                raise ManifestError(
+                    f"module uses capabilities not declared in the "
+                    f"manifest: {sorted(undeclared)}"
+                )
 
     def as_dict(self) -> dict:
         """Serializable form (stored alongside the application on-chain)."""
@@ -96,6 +113,11 @@ class ExecutorPolicy:
 
     A manifest is admitted only if every declared requirement fits under
     the policy's ceilings and every requested capability is offered.
+
+    ``verification`` selects how the executor treats the ahead-of-time
+    bytecode verifier's verdict: ``"strict"`` (default) refuses modules
+    with any verification error, ``"warn"`` admits them but relies on
+    the runtime traps, ``"off"`` skips static verification entirely.
     """
 
     max_instructions: int = 100_000_000
@@ -106,6 +128,14 @@ class ExecutorPolicy:
     max_result_bytes: int = 1024 * 1024
     offered_capabilities: tuple[str, ...] = KNOWN_CAPABILITIES
     blocked_asns: frozenset[int] = frozenset()
+    verification: str = "strict"
+
+    def __post_init__(self) -> None:
+        if self.verification not in ("strict", "warn", "off"):
+            raise ManifestError(
+                f"verification mode {self.verification!r} is not one of "
+                "'strict', 'warn', 'off'"
+            )
 
     def admit(self, manifest: Manifest) -> None:
         """Raise :class:`ManifestError` when the manifest is inadmissible."""

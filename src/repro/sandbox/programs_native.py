@@ -9,7 +9,6 @@ ops, but run unmetered and without sandbox host-switch overhead.
 
 from __future__ import annotations
 
-from typing import Callable
 
 from repro.netsim.packet import Protocol
 from repro.sandbox.program import NativeBody, NativeProgram

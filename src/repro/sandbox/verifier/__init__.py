@@ -1,0 +1,24 @@
+"""Ahead-of-time static verification of Debuglet bytecode.
+
+The verifier proves, before a Debuglet is bought or run, that a module is
+structurally sound, stack-safe, memory-safe where derivable, fuel-bounded
+under its manifest, and exercises only declared capabilities. See
+:func:`verify_module` for the pipeline and DESIGN.md for the rationale.
+"""
+
+from repro.sandbox.verifier.diagnostics import Diagnostic, Severity
+from repro.sandbox.verifier.fuel import FuelVerdict
+from repro.sandbox.verifier.verifier import (
+    VerificationReport,
+    infer_capabilities,
+    verify_module,
+)
+
+__all__ = [
+    "Diagnostic",
+    "FuelVerdict",
+    "Severity",
+    "VerificationReport",
+    "infer_capabilities",
+    "verify_module",
+]

@@ -1,0 +1,277 @@
+"""Constant-propagating abstract interpretation of Debuglet bytecode.
+
+A classic two-level lattice per value — ``Const(k)`` or ``Top`` (any
+value) — propagated through a per-instruction abstract stack and abstract
+locals, joined at control-flow merges. The lattice has height 2, so the
+fixpoint converges in a couple of sweeps with no widening machinery.
+
+Two analyses consume the result:
+
+- **memory**: ``LOAD*/STORE*`` (and ``HOST result_bytes``) whose address
+  operand is a constant are proven in-bounds against the module's linear
+  memory; a constant address that falls outside is a certain
+  :class:`~repro.common.errors.MemoryFault` and is rejected ahead of
+  time. Non-constant addresses stay runtime-checked (reported as info).
+- **capabilities**: the protocol argument of every reachable
+  ``net_send/net_recv/net_reply`` host call is extracted where constant,
+  which is what lets the verifier infer the exact capability set a
+  program can exercise (cross-checked against its manifest).
+
+Constant arithmetic follows the VM bit-for-bit (64-bit wrapping, signed
+comparisons); a constant divisor of zero is reported as a provable trap.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.sandbox.hostops import HOST_OPS
+from repro.sandbox.isa import Op
+from repro.sandbox.module import Function, Module
+from repro.sandbox.verifier import diagnostics as d
+from repro.sandbox.verifier.cfg import FunctionCFG
+from repro.sandbox.vm import _signed, _wrap
+
+#: Abstract value: an ``int`` constant (wrapped to 64 bits) or TOP.
+TOP = None
+
+_NET_OPS = ("net_send", "net_recv", "net_reply")
+
+#: width of each memory access op
+_ACCESS_WIDTH = {Op.LOAD8: 1, Op.STORE8: 1, Op.LOAD64: 8, Op.STORE64: 8}
+_STORE_OPS = (Op.STORE8, Op.STORE64)
+
+
+@dataclass(frozen=True)
+class HostSite:
+    """One reachable ``HOST`` instruction with its derived protocol."""
+
+    function: str
+    instruction: int
+    op: str
+    #: wire protocol number when statically constant, else None
+    protocol: int | None = None
+
+
+@dataclass
+class FunctionAbstract:
+    """Outcome of abstractly interpreting one function."""
+
+    diagnostics: list[d.Diagnostic] = field(default_factory=list)
+    host_sites: list[HostSite] = field(default_factory=list)
+
+
+def _join(a, b):
+    return a if a == b else TOP
+
+
+def _join_state(a: tuple, b: tuple) -> tuple:
+    return tuple(_join(x, y) for x, y in zip(a, b))
+
+
+def _binary(op: Op, lhs: int, rhs: int) -> int | None:
+    """Constant-fold one binary op with VM semantics; None on trap."""
+    if op is Op.ADD:
+        return _wrap(lhs + rhs)
+    if op is Op.SUB:
+        return _wrap(lhs - rhs)
+    if op is Op.MUL:
+        return _wrap(lhs * rhs)
+    if op in (Op.DIVS, Op.REMS):
+        a, b = _signed(lhs), _signed(rhs)
+        if b == 0:
+            return None
+        if op is Op.DIVS:
+            quotient = abs(a) // abs(b)
+            return _wrap(-quotient if (a < 0) != (b < 0) else quotient)
+        remainder = abs(a) % abs(b)
+        return _wrap(-remainder if a < 0 else remainder)
+    if op is Op.AND:
+        return lhs & rhs
+    if op is Op.OR:
+        return lhs | rhs
+    if op is Op.XOR:
+        return lhs ^ rhs
+    if op is Op.SHL:
+        return _wrap(lhs << (rhs & 63))
+    if op is Op.SHRU:
+        return _wrap(lhs) >> (rhs & 63)
+    a, b = _signed(lhs), _signed(rhs)
+    return {
+        Op.EQ: int(a == b), Op.NE: int(a != b), Op.LTS: int(a < b),
+        Op.GTS: int(a > b), Op.LES: int(a <= b), Op.GES: int(a >= b),
+    }[op]
+
+
+def mutable_global_names(module: Module) -> frozenset[str]:
+    """Globals written anywhere in the module (their reads are TOP)."""
+    written = set()
+    for function in module.functions.values():
+        for instruction in function.code:
+            if instruction.op is Op.GLOBAL_SET:
+                written.add(instruction.arg)
+    return frozenset(written)
+
+
+def analyze_function(
+    module: Module, function: Function, cfg: FunctionCFG
+) -> FunctionAbstract:
+    """Run the constant analysis; requires a stack-valid function."""
+    result = FunctionAbstract()
+    if not function.code:
+        return result
+    mutable_globals = mutable_global_names(module)
+    n_slots = function.n_params + function.n_locals
+
+    # state = (stack tuple, locals tuple); params unknown, locals zeroed.
+    initial_locals = (TOP,) * function.n_params + (0,) * function.n_locals
+    states: dict[int, tuple[tuple, tuple]] = {0: ((), initial_locals)}
+    worklist = [0]
+    sweeps = 0
+    flagged: set[tuple[int, str]] = set()
+
+    def flag(index: int, diagnostic: d.Diagnostic) -> None:
+        key = (index, diagnostic.code)
+        if key not in flagged:
+            flagged.add(key)
+            result.diagnostics.append(diagnostic)
+
+    host_protocols: dict[int, tuple[str, int | None]] = {}
+
+    while worklist:
+        index = worklist.pop()
+        sweeps += 1
+        if sweeps > 64 * (len(function.code) + 1):  # safety valve
+            break
+        stack, locals_ = states[index]
+        instruction = function.code[index]
+        op, arg = instruction.op, instruction.arg
+        stack = list(stack)
+
+        if op is Op.PUSH:
+            stack.append(_wrap(arg))
+        elif op is Op.DROP:
+            stack.pop()
+        elif op is Op.DUP:
+            stack.append(stack[-1])
+        elif op is Op.SWAP:
+            stack[-1], stack[-2] = stack[-2], stack[-1]
+        elif op in (Op.JZ, Op.JNZ):
+            stack.pop()
+        elif op is Op.EQZ:
+            value = stack.pop()
+            stack.append(TOP if value is TOP else int(value == 0))
+        elif op in (Op.LOCAL_GET, Op.LOCAL_SET, Op.LOCAL_TEE):
+            if not 0 <= arg < n_slots:
+                flag(index, d.error(
+                    d.BAD_LOCAL_INDEX,
+                    f"local index {arg} out of range (function has {n_slots})",
+                    function.name, index,
+                ))
+                continue
+            if op is Op.LOCAL_GET:
+                stack.append(locals_[arg])
+            elif op is Op.LOCAL_SET:
+                locals_ = locals_[:arg] + (stack.pop(),) + locals_[arg + 1:]
+            else:
+                locals_ = locals_[:arg] + (stack[-1],) + locals_[arg + 1:]
+        elif op is Op.GLOBAL_GET:
+            value = module.globals.get(arg)
+            stack.append(
+                TOP if arg in mutable_globals or value is None else _wrap(value)
+            )
+        elif op is Op.GLOBAL_SET:
+            stack.pop()
+        elif op in _ACCESS_WIDTH:
+            width = _ACCESS_WIDTH[op]
+            if op in _STORE_OPS:
+                stack.pop()  # stored value
+                address = stack.pop()
+            else:
+                address = stack.pop()
+                stack.append(TOP)
+            _check_access(module, function, index, address, width, flag)
+        elif op is Op.CALL:
+            callee = module.functions[arg]
+            del stack[len(stack) - callee.n_params:]
+            stack.append(TOP)
+        elif op is Op.HOST:
+            n_args, n_results = HOST_OPS[arg]
+            args = stack[len(stack) - n_args:] if n_args else []
+            del stack[len(stack) - n_args:]
+            stack.extend([TOP] * n_results)
+            if arg in _NET_OPS:
+                protocol = args[0] if args and args[0] is not TOP else None
+                known = host_protocols.get(index)
+                if known is None:
+                    host_protocols[index] = (arg, protocol)
+                elif known[1] != protocol:
+                    host_protocols[index] = (arg, None)
+            else:
+                host_protocols.setdefault(index, (arg, None))
+            if arg == "result_bytes" and len(args) == 2:
+                offset, length = args
+                if offset is not TOP and length is not TOP:
+                    off, ln = _signed(offset), _signed(length)
+                    if off < 0 or ln < 0 or off + ln > module.memory_size:
+                        flag(index, d.error(
+                            d.MEMORY_OUT_OF_BOUNDS,
+                            f"result_bytes [{off}, {off + ln}) outside memory "
+                            f"of {module.memory_size} bytes",
+                            function.name, index,
+                        ))
+        elif op in (Op.DIVS, Op.REMS, Op.ADD, Op.SUB, Op.MUL, Op.AND, Op.OR,
+                    Op.XOR, Op.SHL, Op.SHRU, Op.EQ, Op.NE, Op.LTS, Op.GTS,
+                    Op.LES, Op.GES):
+            rhs, lhs = stack.pop(), stack.pop()
+            if op in (Op.DIVS, Op.REMS) and rhs == 0:
+                flag(index, d.warning(
+                    d.DIVISION_BY_ZERO,
+                    f"{op.value} with a constant zero divisor always traps",
+                    function.name, index,
+                ))
+            if lhs is TOP or rhs is TOP:
+                stack.append(TOP)
+            else:
+                stack.append(_binary(op, lhs, rhs))
+        # JMP, RET, NOP: no stack change beyond the checker's model.
+
+        out_state = (tuple(stack), locals_)
+        for successor in cfg.successors[index]:
+            known = states.get(successor)
+            if known is None:
+                states[successor] = out_state
+                worklist.append(successor)
+            else:
+                joined = (
+                    _join_state(known[0], out_state[0]),
+                    _join_state(known[1], out_state[1]),
+                )
+                if joined != known:
+                    states[successor] = joined
+                    worklist.append(successor)
+
+    result.host_sites = [
+        HostSite(function.name, index, op_name, protocol)
+        for index, (op_name, protocol) in sorted(host_protocols.items())
+    ]
+    return result
+
+
+def _check_access(module, function, index, address, width, flag) -> None:
+    if address is TOP:
+        flag(index, d.info(
+            d.MEMORY_NOT_DERIVABLE,
+            f"{width}-byte access address not statically derivable "
+            "(bounds-checked at run time)",
+            function.name, index,
+        ))
+        return
+    addr = _signed(address)
+    if addr < 0 or addr + width > module.memory_size:
+        flag(index, d.error(
+            d.MEMORY_OUT_OF_BOUNDS,
+            f"{width}-byte access at {addr} outside memory of "
+            f"{module.memory_size} bytes",
+            function.name, index,
+        ))

@@ -1,0 +1,216 @@
+"""Instruction-level control-flow graphs over Debuglet bytecode.
+
+The instruction set has no structured control flow, so the CFG is built
+per instruction: each instruction is a node, edges follow fallthrough and
+explicit jump targets, and function exit (``RET`` or falling off the end)
+is an implicit sink. On top of the raw graph this module computes
+
+- reachability from the entry instruction (dead-code detection),
+- exit-reachability (instructions from which the function can still
+  terminate — a reachable instruction outside this set proves the
+  program can loop forever),
+- cyclic strongly connected components (Tarjan), the unit the fuel
+  analysis bounds loop trip counts over.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.sandbox.isa import Instruction, Op
+from repro.sandbox.module import Function
+
+_BRANCH_OPS = (Op.JZ, Op.JNZ)
+
+
+@dataclass
+class FunctionCFG:
+    """The control-flow graph of one function."""
+
+    function: Function
+    successors: list[tuple[int, ...]]
+    predecessors: list[list[int]]
+    #: instructions whose execution may leave the function (RET / fall-off)
+    exits: frozenset[int]
+    reachable: frozenset[int]
+    exit_reachable: frozenset[int]
+    #: cyclic SCCs only (size > 1, or a self-loop), restricted to reachable code
+    cyclic_sccs: list[frozenset[int]] = field(default_factory=list)
+    #: instruction index -> position in :attr:`cyclic_sccs` (cyclic only)
+    scc_of: dict[int, int] = field(default_factory=dict)
+
+    def is_linear_run(self, start: int, length: int) -> bool:
+        """True when ``start..start+length`` always executes as one unit:
+        each interior instruction is reached only by fallthrough from its
+        predecessor. Pattern matchers use this to rule out jumps landing
+        mid-pattern."""
+        if start < 0 or start + length > len(self.function.code):
+            return False
+        for index in range(start + 1, start + length):
+            if self.predecessors[index] != [index - 1]:
+                return False
+            if self.function.code[index - 1].op in (Op.JMP, Op.RET):
+                return False
+        return True
+
+
+def instruction_successors(code: list[Instruction], index: int) -> tuple[int, ...]:
+    """In-range successor indices of ``code[index]`` (exit edges omitted)."""
+    instruction = code[index]
+    op = instruction.op
+    if op is Op.RET:
+        return ()
+    if op is Op.JMP:
+        target = int(instruction.arg)
+        return (target,) if 0 <= target < len(code) else ()
+    successors: list[int] = []
+    if op in _BRANCH_OPS:
+        target = int(instruction.arg)
+        if 0 <= target < len(code):
+            successors.append(target)
+    if index + 1 < len(code):
+        successors.append(index + 1)
+    # A branch whose target equals the fallthrough yields one edge.
+    return tuple(dict.fromkeys(successors))
+
+
+def build_cfg(function: Function) -> FunctionCFG:
+    """Construct the CFG with reachability and SCC annotations."""
+    code = function.code
+    n = len(code)
+    successors = [instruction_successors(code, i) for i in range(n)]
+    predecessors: list[list[int]] = [[] for _ in range(n)]
+    exits: set[int] = set()
+    for index in range(n):
+        for successor in successors[index]:
+            predecessors[successor].append(index)
+        op = code[index].op
+        if op is Op.RET:
+            exits.add(index)
+        elif index == n - 1 and op is not Op.JMP:
+            exits.add(index)  # falling off the end returns 0
+        elif op in _BRANCH_OPS and index + 1 >= n:
+            exits.add(index)
+
+    reachable = _forward_reachable(successors, 0) if n else frozenset()
+    exit_reachable = _backward_reachable(predecessors, exits & set(range(n))) if n else frozenset()
+
+    cfg = FunctionCFG(
+        function=function,
+        successors=successors,
+        predecessors=predecessors,
+        exits=frozenset(exits),
+        reachable=frozenset(reachable),
+        exit_reachable=frozenset(exit_reachable),
+    )
+    for scc in tarjan_sccs(successors, reachable):
+        if len(scc) > 1 or next(iter(scc)) in successors[next(iter(scc))]:
+            position = len(cfg.cyclic_sccs)
+            cfg.cyclic_sccs.append(frozenset(scc))
+            for node in scc:
+                cfg.scc_of[node] = position
+    return cfg
+
+
+def _forward_reachable(successors: list[tuple[int, ...]], start: int) -> set[int]:
+    seen = {start}
+    stack = [start]
+    while stack:
+        node = stack.pop()
+        for successor in successors[node]:
+            if successor not in seen:
+                seen.add(successor)
+                stack.append(successor)
+    return seen
+
+
+def _backward_reachable(predecessors: list[list[int]], roots: set[int]) -> set[int]:
+    seen = set(roots)
+    stack = list(roots)
+    while stack:
+        node = stack.pop()
+        for predecessor in predecessors[node]:
+            if predecessor not in seen:
+                seen.add(predecessor)
+                stack.append(predecessor)
+    return seen
+
+
+def tarjan_sccs(
+    successors: list[tuple[int, ...]], nodes: set[int] | frozenset[int]
+) -> list[set[int]]:
+    """Iterative Tarjan over the subgraph induced by ``nodes``."""
+    index_of: dict[int, int] = {}
+    lowlink: dict[int, int] = {}
+    on_stack: set[int] = set()
+    stack: list[int] = []
+    sccs: list[set[int]] = []
+    counter = 0
+
+    for root in sorted(nodes):
+        if root in index_of:
+            continue
+        work: list[tuple[int, int]] = [(root, 0)]
+        while work:
+            node, child_pos = work[-1]
+            if child_pos == 0:
+                index_of[node] = lowlink[node] = counter
+                counter += 1
+                stack.append(node)
+                on_stack.add(node)
+            recurse = False
+            children = [s for s in successors[node] if s in nodes]
+            for position in range(child_pos, len(children)):
+                child = children[position]
+                if child not in index_of:
+                    work[-1] = (node, position + 1)
+                    work.append((child, 0))
+                    recurse = True
+                    break
+                if child in on_stack:
+                    lowlink[node] = min(lowlink[node], index_of[child])
+            if recurse:
+                continue
+            work.pop()
+            if lowlink[node] == index_of[node]:
+                scc: set[int] = set()
+                while True:
+                    member = stack.pop()
+                    on_stack.discard(member)
+                    scc.add(member)
+                    if member == node:
+                        break
+                sccs.append(scc)
+            if work:
+                parent = work[-1][0]
+                lowlink[parent] = min(lowlink[parent], lowlink[node])
+    return sccs
+
+
+def has_cycle(successors: list[tuple[int, ...]], nodes: set[int]) -> bool:
+    """Does the subgraph induced by ``nodes`` contain a cycle?"""
+    WHITE, GRAY, BLACK = 0, 1, 2
+    color = {node: WHITE for node in nodes}
+    for root in nodes:
+        if color[root] != WHITE:
+            continue
+        stack: list[tuple[int, int]] = [(root, 0)]
+        color[root] = GRAY
+        while stack:
+            node, child_pos = stack[-1]
+            children = [s for s in successors[node] if s in nodes]
+            advanced = False
+            for position in range(child_pos, len(children)):
+                child = children[position]
+                if color[child] == GRAY:
+                    return True
+                if color[child] == WHITE:
+                    stack[-1] = (node, position + 1)
+                    color[child] = GRAY
+                    stack.append((child, 0))
+                    advanced = True
+                    break
+            if not advanced:
+                color[node] = BLACK
+                stack.pop()
+    return False

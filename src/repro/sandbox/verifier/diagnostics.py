@@ -1,0 +1,101 @@
+"""Diagnostics emitted by the ahead-of-time bytecode verifier.
+
+Every finding carries a stable code (``V1xx`` structure, ``V2xx`` stack,
+``V3xx`` fuel, ``V4xx`` memory, ``V5xx`` capabilities), a severity, and —
+where it concerns one instruction — the function name and instruction
+index, so tooling (the ``repro verify`` CLI, the marketplace contract,
+executors) can render or match findings precisely.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+# --------------------------------------------------------------- structure
+JUMP_OUT_OF_RANGE = "V100"
+UNKNOWN_CALL = "V101"
+UNREACHABLE_CODE = "V102"
+RECURSIVE_CALL = "V103"
+CALL_DEPTH_EXCEEDED = "V104"
+UNKNOWN_HOST_OP = "V105"
+MISSING_ENTRY_POINT = "V106"
+BAD_LOCAL_INDEX = "V107"
+UNKNOWN_GLOBAL = "V108"
+MALFORMED_INSTRUCTION = "V109"
+
+# ------------------------------------------------------------------- stack
+STACK_UNDERFLOW = "V200"
+STACK_OVERFLOW = "V201"
+STACK_DEPTH_MISMATCH = "V202"
+
+# -------------------------------------------------------------------- fuel
+FUEL_EXCEEDS_LIMIT = "V300"
+FUEL_UNBOUNDED = "V301"
+FUEL_NO_EXIT = "V302"
+
+# ------------------------------------------------------------------ memory
+MEMORY_OUT_OF_BOUNDS = "V400"
+MEMORY_NOT_DERIVABLE = "V401"
+DIVISION_BY_ZERO = "V402"
+
+# ------------------------------------------------------------ capabilities
+CAPABILITY_UNDECLARED = "V500"
+CAPABILITY_NOT_OFFERED = "V501"
+UNSUPPORTED_PROTOCOL = "V502"
+PROTOCOL_NOT_DERIVABLE = "V503"
+CAPABILITY_UNUSED = "V504"
+
+
+class Severity(enum.Enum):
+    """How a diagnostic affects the verdict: only errors fail verification."""
+
+    ERROR = "error"
+    WARNING = "warning"
+    INFO = "info"
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One verifier finding, locatable to an instruction when applicable."""
+
+    code: str
+    severity: Severity
+    message: str
+    function: str | None = None
+    instruction: int | None = None
+
+    @property
+    def location(self) -> str:
+        if self.function is None:
+            return "<module>"
+        if self.instruction is None:
+            return self.function
+        return f"{self.function}@{self.instruction}"
+
+    def render(self) -> str:
+        return f"[{self.code}] {self.severity.value} {self.location}: {self.message}"
+
+    def as_dict(self) -> dict:
+        return {
+            "code": self.code,
+            "severity": self.severity.value,
+            "message": self.message,
+            "function": self.function,
+            "instruction": self.instruction,
+        }
+
+
+def error(code: str, message: str, function: str | None = None,
+          instruction: int | None = None) -> Diagnostic:
+    return Diagnostic(code, Severity.ERROR, message, function, instruction)
+
+
+def warning(code: str, message: str, function: str | None = None,
+            instruction: int | None = None) -> Diagnostic:
+    return Diagnostic(code, Severity.WARNING, message, function, instruction)
+
+
+def info(code: str, message: str, function: str | None = None,
+         instruction: int | None = None) -> Diagnostic:
+    return Diagnostic(code, Severity.INFO, message, function, instruction)

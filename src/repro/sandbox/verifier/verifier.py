@@ -1,0 +1,402 @@
+"""Ahead-of-time verification of Debuglet bytecode modules.
+
+``verify_module`` is the single entry point. It runs, in order:
+
+1. **structure** — entry point present, every instruction well-formed,
+   every jump in range, every ``CALL``/``HOST``/global/local name or
+   index resolvable (V10x);
+2. **control flow** — per-function CFGs, dead-code detection (V102),
+   call-graph recursion (V103) and static call-depth vs the VM frame
+   ceiling (V104);
+3. **stack** — abstract interpretation of operand-stack depth, the Wasm
+   validation analogue (V20x);
+4. **constants & memory** — constant propagation proving memory accesses
+   in-bounds where addresses are derivable (V40x) and recovering the
+   protocol argument of network host calls;
+5. **fuel** — worst-case fuel bounds per function and for the module,
+   checked against the manifest's ``max_instructions`` (V30x);
+6. **capabilities** — the set of network protocols the code can actually
+   exercise, cross-checked against the manifest's declared capabilities
+   and, when given, an executor policy's offered ones (V50x).
+
+Later passes assume the invariants earlier passes establish, so a failed
+pass suppresses the ones after it (a module that underflows the stack
+has no meaningful fuel bound). The report's ``ok`` is True iff no
+diagnostic has ERROR severity; warnings and infos never block admission.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+from repro.sandbox.hostops import HOST_OPS, protocol_from_number
+from repro.sandbox.isa import Op, validate_instruction
+from repro.sandbox.module import ENTRY_POINT, MAX_MEMORY_BYTES, Module
+from repro.sandbox.verifier import diagnostics as d
+from repro.sandbox.verifier.absint import HostSite, analyze_function
+from repro.sandbox.verifier.cfg import build_cfg, tarjan_sccs
+from repro.sandbox.verifier.fuel import FuelVerdict, estimate_module_fuel
+from repro.sandbox.verifier.stackcheck import check_stack
+from repro.sandbox.vm import VM
+
+if TYPE_CHECKING:  # pragma: no cover - typing only, avoids import cycles
+    from repro.sandbox.manifest import ExecutorPolicy, Manifest
+
+_NET_OPS = ("net_send", "net_recv", "net_reply")
+_LOCAL_OPS = (Op.LOCAL_GET, Op.LOCAL_SET, Op.LOCAL_TEE)
+
+
+@dataclass
+class VerificationReport:
+    """Everything the verifier learned about one module."""
+
+    diagnostics: list[d.Diagnostic] = field(default_factory=list)
+    #: worst-case fuel for the entry point; None when analysis was suppressed
+    fuel: FuelVerdict | None = None
+    function_fuel: dict[str, FuelVerdict] = field(default_factory=dict)
+    #: host operations reachable from the entry point
+    host_ops: frozenset[str] = frozenset()
+    #: network capabilities the code can exercise (protocol names)
+    capabilities: frozenset[str] = frozenset()
+    #: False when some network call's protocol was not statically derivable
+    capabilities_derivable: bool = True
+
+    @property
+    def ok(self) -> bool:
+        return not any(
+            diag.severity is d.Severity.ERROR for diag in self.diagnostics
+        )
+
+    @property
+    def errors(self) -> list[d.Diagnostic]:
+        return [x for x in self.diagnostics if x.severity is d.Severity.ERROR]
+
+    @property
+    def warnings(self) -> list[d.Diagnostic]:
+        return [x for x in self.diagnostics if x.severity is d.Severity.WARNING]
+
+    def render(self) -> str:
+        lines = [f"verdict: {'ok' if self.ok else 'rejected'}"]
+        if self.fuel is not None:
+            lines.append(f"fuel: {self.fuel.render()}")
+        if self.host_ops:
+            lines.append(f"host ops: {', '.join(sorted(self.host_ops))}")
+        caps = ", ".join(sorted(self.capabilities)) or "none"
+        suffix = "" if self.capabilities_derivable else " (partially derived)"
+        lines.append(f"capabilities: {caps}{suffix}")
+        lines.extend(diag.render() for diag in self.diagnostics)
+        return "\n".join(lines)
+
+    def as_dict(self) -> dict:
+        return {
+            "ok": self.ok,
+            "fuel": None if self.fuel is None else {
+                "kind": self.fuel.kind,
+                "bound": self.fuel.bound,
+            },
+            "function_fuel": {
+                name: {"kind": verdict.kind, "bound": verdict.bound}
+                for name, verdict in sorted(self.function_fuel.items())
+            },
+            "host_ops": sorted(self.host_ops),
+            "capabilities": sorted(self.capabilities),
+            "capabilities_derivable": self.capabilities_derivable,
+            "diagnostics": [diag.as_dict() for diag in self.diagnostics],
+        }
+
+
+def verify_module(
+    module: Module,
+    manifest: "Manifest | None" = None,
+    policy: "ExecutorPolicy | None" = None,
+) -> VerificationReport:
+    """Statically verify ``module``; admission-grade when a manifest is given.
+
+    Without a manifest the verdict covers only intrinsic properties
+    (structure, stack, memory, termination shape); with one, fuel bounds
+    and capabilities are additionally checked against its declarations,
+    and with a policy, against the executor's offer.
+    """
+    report = VerificationReport()
+
+    structural_ok = _check_structure(module, report)
+    if not structural_ok:
+        return report
+
+    cfgs = {
+        name: build_cfg(function)
+        for name, function in module.functions.items()
+    }
+    for name, cfg in sorted(cfgs.items()):
+        dead = set(range(len(cfg.function.code))) - cfg.reachable
+        if dead:
+            report.diagnostics.append(d.warning(
+                d.UNREACHABLE_CODE,
+                f"{len(dead)} unreachable instruction(s) starting at "
+                f"index {min(dead)}",
+                name, min(dead),
+            ))
+
+    _check_call_graph(module, report)
+
+    stack_ok = True
+    for name in sorted(module.functions):
+        diags, _ = check_stack(module, module.functions[name], cfgs[name])
+        report.diagnostics.extend(diags)
+        if any(x.severity is d.Severity.ERROR for x in diags):
+            stack_ok = False
+    if not stack_ok or not report.ok:
+        return report
+
+    host_sites: list[HostSite] = []
+    for name in _reachable_functions(module):
+        outcome = analyze_function(module, module.functions[name], cfgs[name])
+        report.diagnostics.extend(outcome.diagnostics)
+        host_sites.extend(outcome.host_sites)
+
+    estimate = estimate_module_fuel(
+        module,
+        cfgs,
+        max_instructions=None if manifest is None else manifest.max_instructions,
+        max_packets_received=(
+            None if manifest is None else manifest.max_packets_received
+        ),
+    )
+    report.diagnostics.extend(estimate.diagnostics)
+    report.fuel = estimate.module_verdict
+    report.function_fuel = dict(estimate.function_verdicts)
+
+    _check_capabilities(host_sites, manifest, policy, report)
+    return report
+
+
+def infer_capabilities(module: Module) -> tuple[frozenset[str], bool]:
+    """Network capabilities a module can exercise, plus derivability.
+
+    Returns ``(capabilities, derivable)`` where ``derivable`` is False
+    when some reachable network host call's protocol argument is not a
+    static constant (the true set may then be larger). Modules that fail
+    basic validation yield ``(frozenset(), False)`` — nothing provable.
+    """
+    try:
+        module.validate()
+    except Exception:
+        return frozenset(), False
+    capabilities: set[str] = set()
+    derivable = True
+    for name in _reachable_functions(module):
+        function = module.functions[name]
+        outcome = analyze_function(module, function, build_cfg(function))
+        for site in outcome.host_sites:
+            if site.op not in _NET_OPS:
+                continue
+            if site.protocol is None:
+                derivable = False
+                continue
+            try:
+                capabilities.add(protocol_from_number(site.protocol).name.lower())
+            except Exception:
+                derivable = False
+    return frozenset(capabilities), derivable
+
+
+# --------------------------------------------------------------------------
+# pass 1: structure
+
+
+def _check_structure(module: Module, report: VerificationReport) -> bool:
+    diags = report.diagnostics
+    if ENTRY_POINT not in module.functions:
+        diags.append(d.error(
+            d.MISSING_ENTRY_POINT,
+            f"module lacks entry point {ENTRY_POINT!r}",
+        ))
+    if not 0 < module.memory_size <= MAX_MEMORY_BYTES:
+        diags.append(d.error(
+            d.MALFORMED_INSTRUCTION,
+            f"memory size {module.memory_size} out of range "
+            f"(1..{MAX_MEMORY_BYTES})",
+        ))
+    for name, function in sorted(module.functions.items()):
+        if function.n_params < 0 or function.n_locals < 0:
+            diags.append(d.error(
+                d.MALFORMED_INSTRUCTION,
+                "negative parameter or local count", name,
+            ))
+            continue
+        n_slots = function.n_params + function.n_locals
+        for index, instruction in enumerate(function.code):
+            try:
+                validate_instruction(instruction)
+            except ValueError as exc:
+                diags.append(d.error(
+                    d.MALFORMED_INSTRUCTION, str(exc), name, index,
+                ))
+                continue
+            op, arg = instruction.op, instruction.arg
+            if op in (Op.JMP, Op.JZ, Op.JNZ):
+                if not 0 <= int(arg) < len(function.code):
+                    diags.append(d.error(
+                        d.JUMP_OUT_OF_RANGE,
+                        f"jump target {arg} outside [0, {len(function.code)})",
+                        name, index,
+                    ))
+            elif op is Op.CALL and arg not in module.functions:
+                diags.append(d.error(
+                    d.UNKNOWN_CALL, f"call to unknown function {arg!r}",
+                    name, index,
+                ))
+            elif op is Op.HOST and arg not in HOST_OPS:
+                diags.append(d.error(
+                    d.UNKNOWN_HOST_OP, f"unknown host operation {arg!r}",
+                    name, index,
+                ))
+            elif op in _LOCAL_OPS and not 0 <= int(arg) < n_slots:
+                diags.append(d.error(
+                    d.BAD_LOCAL_INDEX,
+                    f"local index {arg} out of range "
+                    f"(function has {n_slots} slot(s))",
+                    name, index,
+                ))
+            elif op in (Op.GLOBAL_GET, Op.GLOBAL_SET) and arg not in module.globals:
+                diags.append(d.error(
+                    d.UNKNOWN_GLOBAL, f"unknown global {arg!r}", name, index,
+                ))
+    return report.ok
+
+
+# --------------------------------------------------------------------------
+# pass 2: call graph
+
+
+def _call_sites(module: Module) -> dict[str, set[str]]:
+    return {
+        name: {
+            instruction.arg
+            for instruction in function.code
+            if instruction.op is Op.CALL
+        }
+        for name, function in module.functions.items()
+    }
+
+
+def _reachable_functions(module: Module) -> list[str]:
+    """Functions reachable from the entry point via CALL, sorted."""
+    calls = _call_sites(module)
+    seen: set[str] = set()
+    stack = [ENTRY_POINT] if ENTRY_POINT in module.functions else []
+    while stack:
+        name = stack.pop()
+        if name in seen:
+            continue
+        seen.add(name)
+        stack.extend(c for c in calls.get(name, ()) if c in module.functions)
+    return sorted(seen)
+
+
+def _check_call_graph(module: Module, report: VerificationReport) -> None:
+    calls = _call_sites(module)
+    names = sorted(module.functions)
+    index_of = {name: i for i, name in enumerate(names)}
+    successors = [
+        tuple(index_of[callee] for callee in sorted(calls[name]))
+        for name in names
+    ]
+    recursive: set[str] = set()
+    for scc in tarjan_sccs(successors, set(range(len(names)))):
+        if len(scc) > 1 or next(iter(scc)) in successors[next(iter(scc))]:
+            recursive.update(names[i] for i in scc)
+    if recursive:
+        report.diagnostics.append(d.error(
+            d.RECURSIVE_CALL,
+            "recursive call cycle through "
+            f"{', '.join(sorted(recursive))} — the VM cannot bound its "
+            "frame depth statically",
+        ))
+        return
+
+    # Acyclic: deepest call chain from the entry, in frames.
+    depth: dict[str, int] = {}
+
+    def chain_depth(name: str) -> int:
+        known = depth.get(name)
+        if known is not None:
+            return known
+        depth[name] = 1  # placeholder; graph is acyclic so never read
+        callees = [c for c in calls[name] if c in module.functions]
+        depth[name] = 1 + max((chain_depth(c) for c in callees), default=0)
+        return depth[name]
+
+    if ENTRY_POINT in module.functions:
+        deepest = chain_depth(ENTRY_POINT)
+        if deepest > VM.MAX_STACK_DEPTH:
+            report.diagnostics.append(d.error(
+                d.CALL_DEPTH_EXCEEDED,
+                f"worst-case call depth {deepest} exceeds the VM frame "
+                f"ceiling of {VM.MAX_STACK_DEPTH}",
+                ENTRY_POINT,
+            ))
+
+
+# --------------------------------------------------------------------------
+# pass 6: capabilities
+
+
+def _check_capabilities(
+    host_sites: list[HostSite],
+    manifest: "Manifest | None",
+    policy: "ExecutorPolicy | None",
+    report: VerificationReport,
+) -> None:
+    report.host_ops = frozenset(site.op for site in host_sites)
+    capabilities: set[str] = set()
+    derivable = True
+    for site in host_sites:
+        if site.op not in _NET_OPS:
+            continue
+        if site.protocol is None:
+            derivable = False
+            report.diagnostics.append(d.warning(
+                d.PROTOCOL_NOT_DERIVABLE,
+                f"protocol argument of {site.op} is not statically "
+                "derivable; capability use will be enforced at run time",
+                site.function, site.instruction,
+            ))
+            continue
+        try:
+            protocol = protocol_from_number(site.protocol)
+        except Exception:
+            report.diagnostics.append(d.error(
+                d.UNSUPPORTED_PROTOCOL,
+                f"{site.op} uses unsupported protocol number {site.protocol}",
+                site.function, site.instruction,
+            ))
+            continue
+        capabilities.add(protocol.name.lower())
+    report.capabilities = frozenset(capabilities)
+    report.capabilities_derivable = derivable
+
+    if manifest is not None:
+        undeclared = capabilities - set(manifest.capabilities)
+        for capability in sorted(undeclared):
+            report.diagnostics.append(d.error(
+                d.CAPABILITY_UNDECLARED,
+                f"code exercises {capability!r} but the manifest does not "
+                "declare it",
+            ))
+        if derivable:
+            for capability in sorted(set(manifest.capabilities) - capabilities):
+                report.diagnostics.append(d.info(
+                    d.CAPABILITY_UNUSED,
+                    f"manifest declares {capability!r} but no reachable "
+                    "host call can use it",
+                ))
+    if policy is not None:
+        refused = capabilities - set(policy.offered_capabilities)
+        for capability in sorted(refused):
+            report.diagnostics.append(d.error(
+                d.CAPABILITY_NOT_OFFERED,
+                f"code exercises {capability!r} which the executor policy "
+                "does not offer",
+            ))

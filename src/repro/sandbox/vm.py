@@ -17,7 +17,7 @@ imported host functions that bridge to real sockets.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.common.errors import SandboxError
 from repro.common.errors import FuelExhausted, MemoryFault

@@ -12,7 +12,7 @@ Builders for the topologies the Debuglet-side experiments run on:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.chain.crypto import KeyPair
 from repro.chain.gas import sui_to_mist

@@ -23,9 +23,8 @@ distributions.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
-import numpy as np
 
 from repro.common.errors import ConfigurationError
 from repro.netsim.conduit import DirectedChannel, Link

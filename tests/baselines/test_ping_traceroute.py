@@ -1,6 +1,5 @@
 """Ping and traceroute baselines, including their paper-noted flaws."""
 
-import pytest
 
 from repro.baselines import Ping, Traceroute, ping_sync, traceroute_sync
 from repro.netsim import (

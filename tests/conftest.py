@@ -5,7 +5,6 @@ from __future__ import annotations
 import pytest
 
 from repro.netsim import Link, Network, Protocol, Simulator, Topology
-from repro.netsim.treatment import TreatmentProfile
 
 ALL_PROTOCOLS = (Protocol.UDP, Protocol.TCP, Protocol.ICMP, Protocol.RAW_IP)
 

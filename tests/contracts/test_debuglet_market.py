@@ -5,6 +5,24 @@ import pytest
 from repro.chain import KeyPair, Ledger, Wallet, sui_to_mist
 from repro.common.errors import ChainError
 from repro.contracts.debuglet_market import DebugletMarket, ExecutionSlot
+from repro.core.application import DebugletApplication
+from repro.netsim.packet import Address, Protocol
+from repro.sandbox.programs import echo_client, echo_server
+
+
+def _client_wire() -> bytes:
+    stock = echo_client(Protocol.UDP, Address(20, 2), count=3, dst_port=7)
+    return DebugletApplication.from_stock("cli", stock).to_wire()
+
+
+def _server_wire() -> bytes:
+    stock = echo_server(Protocol.UDP, max_echoes=3)
+    return DebugletApplication.from_stock("srv", stock, listen_port=7).to_wire()
+
+
+# Shipped with every purchase; built once, the contract re-verifies them.
+CLIENT_WIRE = _client_wire()
+SERVER_WIRE = _server_wire()
 
 
 def _slot(start=100.0, end=200.0, price=None, **kwargs) -> dict:
@@ -54,7 +72,7 @@ def _purchase(wallets, found, value=None):
         "debuglet_market", "purchase_slot", 10, 1, 20, 2,
         found["client_slot_start"], found["server_slot_start"],
         found["start"], found["end"],
-        b"CLIENT", {"m": 1}, b"SERVER", {"m": 2},
+        CLIENT_WIRE, {"m": 1}, SERVER_WIRE, {"m": 2},
         value=found["total_price"] if value is None else value,
     ).return_value
 
@@ -163,7 +181,7 @@ class TestPurchase:
         client_obj = ledger.objects.get(
             ObjectId.from_hex(apps["client_application"])
         )
-        assert client_obj.data["bytecode"] == b"CLIENT"
+        assert client_obj.data["bytecode"] == CLIENT_WIRE
         assert client_obj.data["role"] == "client"
         server_obj = ledger.objects.get(
             ObjectId.from_hex(apps["server_application"])
@@ -185,7 +203,7 @@ class TestPurchase:
             "debuglet_market", "purchase_slot", 10, 1, 20, 2,
             found["client_slot_start"], found["server_slot_start"],
             found["start"], found["end"],
-            b"C", {}, b"S", {}, value=found["total_price"] - 1,
+            CLIENT_WIRE, {}, SERVER_WIRE, {}, value=found["total_price"] - 1,
         )
         assert not receipt.success
 
@@ -204,6 +222,87 @@ class TestPurchase:
         assert {(e.get("asn"), e.get("interface")) for e in events} == {
             (10, 1), (20, 2),
         }
+
+
+class TestPurchaseVerification:
+    """Static verification gates the purchase *before* escrow (§IV-B/C)."""
+
+    def _try_purchase(self, wallets, found, client_wire, server_wire=None):
+        return wallets["init"].call(
+            "debuglet_market", "purchase_slot", 10, 1, 20, 2,
+            found["client_slot_start"], found["server_slot_start"],
+            found["start"], found["end"],
+            client_wire, {"m": 1},
+            SERVER_WIRE if server_wire is None else server_wire, {"m": 2},
+            value=found["total_price"],
+        )
+
+    def test_garbage_bytecode_reverts(self, market_setup):
+        _, _, wallets = market_setup
+        _offer_default_slots(wallets)
+        receipt = self._try_purchase(wallets, _lookup(wallets), b"\x00garbage")
+        assert not receipt.success
+        assert "malformed" in receipt.status
+
+    def test_rejection_happens_before_escrow(self, market_setup):
+        ledger, market, wallets = market_setup
+        _offer_default_slots(wallets)
+        found = _lookup(wallets)
+        before = wallets["init"].balance
+        receipt = self._try_purchase(wallets, found, b"not json")
+        assert not receipt.success
+        # No escrow, no slot consumed, only gas paid.
+        assert ledger.contract_balances.get("debuglet_market", 0) == 0
+        assert len(market.available_slots(10, 1)) == 1
+        assert len(market.available_slots(20, 2)) == 1
+        assert wallets["init"].balance == before - receipt.gas.total
+
+    def test_unverifiable_program_reverts(self, market_setup):
+        import json
+
+        _, _, wallets = market_setup
+        _offer_default_slots(wallets)
+        payload = json.loads(CLIENT_WIRE.decode("utf-8"))
+        payload["source"] = (
+            ".memory 4096\n.func run_debuglet 0 0\n"
+            "loop:\n    nop\n    jmp loop\n.end\n"
+        )
+        wire = json.dumps(payload, sort_keys=True).encode("utf-8")
+        receipt = self._try_purchase(wallets, _lookup(wallets), wire)
+        assert not receipt.success
+        assert "V302" in receipt.status
+
+    def test_undeclared_capability_reverts(self, market_setup):
+        import json
+
+        _, _, wallets = market_setup
+        _offer_default_slots(wallets)
+        payload = json.loads(CLIENT_WIRE.decode("utf-8"))
+        # TCP probe under a manifest that only declares UDP.
+        payload["source"] = (
+            ".memory 4096\n.func run_debuglet 0 0\n"
+            "    push 6\n    push 0\n    push 7\n    push 0\n    push 8\n"
+            "    host net_send\n    ret\n.end\n"
+        )
+        wire = json.dumps(payload, sort_keys=True).encode("utf-8")
+        receipt = self._try_purchase(wallets, _lookup(wallets), wire)
+        assert not receipt.success
+        assert "V500" in receipt.status
+
+    def test_hashed_purchase_skips_onchain_verification(self, market_setup):
+        """Hash-only purchases cannot be verified on-chain; the executor's
+        own re-verification is the gate there."""
+        _, _, wallets = market_setup
+        _offer_default_slots(wallets)
+        found = _lookup(wallets)
+        receipt = wallets["init"].call(
+            "debuglet_market", "purchase_slot_hashed", 10, 1, 20, 2,
+            found["client_slot_start"], found["server_slot_start"],
+            found["start"], found["end"],
+            b"\x11" * 32, {"m": 1}, b"\x22" * 32, {"m": 2},
+            value=found["total_price"],
+        )
+        assert receipt.success
 
 
 class TestResults:

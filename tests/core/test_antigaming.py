@@ -8,10 +8,8 @@ from repro.core.antigaming import (
     disable_prioritization,
     enable_prioritization,
 )
-from repro.core.application import DebugletApplication
 from repro.core.executor import executor_data_address
 from repro.core.probing import ExecutorFleet, SegmentProber
-from repro.core.results import EchoMeasurement
 from repro.netsim import CongestionConfig, CongestionProcess, InterfaceId, Protocol
 from repro.netsim.traffic import ProbeTrain
 from repro.workloads.scenarios import build_chain

@@ -160,8 +160,9 @@ class TestManifestEnforcement:
         assert record.failed
         assert "contact" in record.status
 
-    def test_capability_enforced_at_runtime(self, two_as_network):
-        sim, ex_a, _ = _executors(two_as_network)
+    def test_undeclared_capability_rejected_at_construction(self, two_as_network):
+        # The protocol is a static constant, so capability inference
+        # catches the mismatch before the application even exists.
         stock = echo_client(Protocol.UDP, executor_data_address(2, 1), count=1)
         manifest = Manifest(
             max_instructions=stock.manifest.max_instructions,
@@ -172,7 +173,38 @@ class TestManifestEnforcement:
             contacts=stock.manifest.contacts,
             capabilities=("tcp",),  # program uses UDP
         )
-        app = DebugletApplication("cli", manifest, module=stock.module)
+        with pytest.raises(ManifestError, match="capabilities"):
+            DebugletApplication("cli", manifest, module=stock.module)
+
+    def test_capability_enforced_at_runtime(self, two_as_network):
+        # The protocol arrives as an argument — statically Top — so the
+        # verifier cannot prove misuse and runtime enforcement is the gate.
+        sim, ex_a, _ = _executors(two_as_network)
+        source = """
+        .memory 4096
+        .buffer send_buffer 0 64
+        .func run_debuglet 1 0      ; param 0: protocol number
+            local_get 0
+            push 0
+            push 7
+            push 0
+            push 8
+            host net_send
+            drop
+            push 0
+            ret
+        .end
+        """
+        manifest = Manifest(
+            max_instructions=1000, max_duration=10.0, max_memory_bytes=4096,
+            max_packets_sent=10, max_packets_received=10,
+            contacts=(executor_data_address(2, 1),),
+            capabilities=("udp",),
+        )
+        app = DebugletApplication(
+            "dyn", manifest, module=assemble(source),
+            args=(Protocol.TCP.wire_number,),  # undeclared at run time
+        )
         record = ex_a.submit(app)
         sim.run_until_idle()
         assert record.failed
@@ -227,6 +259,10 @@ class TestManifestEnforcement:
         .func run_debuglet 0 1
         loop:
             local_get 0
+            push 100
+            ges
+            jnz done
+            local_get 0
             host result_i64
             drop
             local_get 0
@@ -234,8 +270,13 @@ class TestManifestEnforcement:
             add
             local_set 0
             jmp loop
+        done:
+            push 0
+            ret
         .end
         """
+        # 100 results x 8 bytes blows the 64-byte cap at run time; the
+        # loop itself is statically bounded, so verification admits it.
         manifest = Manifest(
             max_instructions=10**7, max_duration=10.0, max_memory_bytes=4096,
             max_packets_sent=0, max_packets_received=0,
@@ -248,6 +289,27 @@ class TestManifestEnforcement:
         assert "result exceeds" in record.status
 
     def test_fuel_exhaustion_fails_execution(self, two_as_network):
+        # A spin loop is statically rejected in strict mode; run the
+        # executor in "warn" mode to prove the runtime fuel trap still
+        # backstops whatever the verifier lets through.
+        sim, topo, net, _, _ = two_as_network
+        ex_warn = Executor(
+            net, 1, 1, seed=1, policy=ExecutorPolicy(verification="warn")
+        )
+        source = ".memory 4096\n.func run_debuglet 0 0\nloop:\njmp loop\n.end"
+        manifest = Manifest(
+            max_instructions=1000, max_duration=10.0, max_memory_bytes=4096,
+            max_packets_sent=0, max_packets_received=0, capabilities=(),
+        )
+        app = DebugletApplication("spin", manifest, module=assemble(source))
+        record = ex_warn.submit(app)
+        sim.run_until_idle()
+        assert record.failed
+        assert "fuel" in record.status
+
+    def test_unverifiable_program_rejected_in_strict_mode(self, two_as_network):
+        from repro.common.errors import PolicyViolation
+
         sim, ex_a, _ = _executors(two_as_network)
         source = ".memory 4096\n.func run_debuglet 0 0\nloop:\njmp loop\n.end"
         manifest = Manifest(
@@ -255,10 +317,8 @@ class TestManifestEnforcement:
             max_packets_sent=0, max_packets_received=0, capabilities=(),
         )
         app = DebugletApplication("spin", manifest, module=assemble(source))
-        record = ex_a.submit(app)
-        sim.run_until_idle()
-        assert record.failed
-        assert "fuel" in record.status
+        with pytest.raises(PolicyViolation, match="V302"):
+            ex_a.submit(app)
 
 
 class TestCertification:

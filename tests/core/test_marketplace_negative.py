@@ -8,7 +8,7 @@ from repro.core.application import DebugletApplication
 from repro.core.executor import executor_data_address
 from repro.core.marketplace import Initiator
 from repro.netsim.packet import Protocol
-from repro.sandbox.manifest import ExecutorPolicy, Manifest
+from repro.sandbox.manifest import ExecutorPolicy
 from repro.sandbox.programs import echo_client, echo_server
 from repro.workloads.scenarios import MarketplaceTestbed
 

@@ -1,6 +1,5 @@
 """§V-B ground-truth extraction: subtracting the constant sandbox offset."""
 
-import pytest
 
 from repro.core.application import DebugletApplication
 from repro.core.executor import Executor

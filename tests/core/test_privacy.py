@@ -7,7 +7,7 @@ from repro.core.executor import Executor
 from repro.core.privacy import ResultSealer, sealed_native_echo_client
 from repro.core.results import EchoMeasurement
 from repro.chain.crypto import sha256, verify_signature
-from repro.common.errors import DebugletError, SandboxError
+from repro.common.errors import DebugletError
 from repro.netsim import Link, Network, Protocol, Simulator, Topology
 from repro.sandbox.programs import decode_result_pairs, echo_server
 

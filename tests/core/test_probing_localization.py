@@ -9,7 +9,7 @@ from repro.core.localization import (
     estimate_baseline_rtt,
 )
 from repro.core.probing import ExecutorFleet, SegmentProber
-from repro.netsim import FaultInjector, InterfaceId, Protocol
+from repro.netsim import FaultInjector, InterfaceId
 from repro.netsim.faults import FaultLocation
 from repro.workloads.scenarios import build_chain
 

@@ -3,7 +3,6 @@
 import pytest
 
 from repro.common.errors import VerificationError
-from repro.common.ids import ObjectId
 from repro.core.application import DebugletApplication
 from repro.core.executor import executor_data_address
 from repro.core.verification import ChainVerifier

@@ -37,3 +37,73 @@ class TestCli:
     def test_unknown_command_exits(self):
         with pytest.raises(SystemExit):
             main(["frobnicate"])
+
+
+GOOD_SOURCE = """\
+.memory 4096
+.func run_debuglet 0 0
+    push 1
+    push 2
+    add
+    host result_i64
+    ret
+.end
+"""
+
+SPIN_SOURCE = """\
+.memory 4096
+.func run_debuglet 0 0
+loop:
+    jmp loop
+.end
+"""
+
+
+class TestVerifyCommand:
+    def test_accepts_good_program(self, tmp_path, capsys):
+        path = tmp_path / "good.dasm"
+        path.write_text(GOOD_SOURCE)
+        assert main(["verify", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "verdict: ok" in out
+        assert "fuel: exact" in out
+
+    def test_rejects_spin_loop(self, tmp_path, capsys):
+        path = tmp_path / "spin.dasm"
+        path.write_text(SPIN_SOURCE)
+        assert main(["verify", str(path)]) == 1
+        out = capsys.readouterr().out
+        assert "verdict: rejected" in out
+        assert "V302" in out
+
+    def test_json_output(self, tmp_path, capsys):
+        import json
+
+        path = tmp_path / "good.dasm"
+        path.write_text(GOOD_SOURCE)
+        assert main(["verify", str(path), "--json"]) == 0
+        data = json.loads(capsys.readouterr().out)
+        assert data["ok"] is True
+        assert data["fuel"]["kind"] == "exact"
+
+    def test_manifest_fuel_limit_enforced(self, tmp_path, capsys):
+        from repro.netsim import Protocol
+        from repro.sandbox.programs import echo_client
+        from repro.netsim.packet import Address
+        import json
+
+        stock = echo_client(Protocol.UDP, Address(20, 2), count=5, dst_port=7)
+        manifest_path = tmp_path / "manifest.json"
+        manifest_path.write_text(json.dumps(stock.manifest.as_dict()))
+        path = tmp_path / "good.dasm"
+        path.write_text(GOOD_SOURCE)
+        assert main(["verify", str(path), "--manifest", str(manifest_path)]) == 0
+
+    def test_assembly_error_reported(self, tmp_path, capsys):
+        path = tmp_path / "bad.dasm"
+        path.write_text(".memory 4096\n.func run_debuglet 0 0\nhost nope\nret\n.end")
+        assert main(["verify", str(path)]) == 1
+        assert "assembly failed" in capsys.readouterr().err
+
+    def test_missing_file(self, capsys):
+        assert main(["verify", "/nonexistent/x.dasm"]) == 2

@@ -1,6 +1,5 @@
 """Concurrency: many sessions, many initiators, shared executors."""
 
-import pytest
 
 from repro.core.application import DebugletApplication
 from repro.core.executor import executor_data_address

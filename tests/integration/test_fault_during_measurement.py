@@ -1,6 +1,5 @@
 """Robustness: faults striking *during* a marketplace measurement."""
 
-import pytest
 
 from repro.core.application import DebugletApplication
 from repro.core.executor import executor_data_address

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.core.localization import FaultLocalizer, estimate_baseline_rtt
-from repro.core.probing import ExecutorFleet, SegmentProber
+from repro.core.probing import SegmentProber
 from repro.netsim import FaultInjector, InterfaceId
 from repro.workloads.scenarios import Fig6Scenario
 

@@ -1,6 +1,5 @@
 """Unidirectional measurements through executors (§III requirement)."""
 
-import pytest
 
 from repro.core.application import DebugletApplication
 from repro.core.executor import executor_data_address

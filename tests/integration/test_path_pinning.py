@@ -10,7 +10,7 @@ looks clean.
 import pytest
 
 from repro.core.probing import ExecutorFleet, SegmentProber
-from repro.netsim import FaultInjector, InterfaceId, Link, Network, Simulator, Topology
+from repro.netsim import FaultInjector, Link, Network, Simulator, Topology
 from repro.pathaware import PathPolicy, PathRegistry, PathSelector
 
 

@@ -1,6 +1,5 @@
 """Fault injection and ground truth."""
 
-import pytest
 
 from repro.netsim import FaultInjector, FaultKind, FaultLocation, InterfaceId, Protocol
 from repro.netsim.packet import Address, Packet

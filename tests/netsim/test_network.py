@@ -3,7 +3,7 @@
 import pytest
 
 from repro.common.errors import SimulationError
-from repro.netsim import Link, Network, Simulator, Topology
+from repro.netsim import Link, Network
 from repro.netsim.packet import Address, IcmpType, Packet, Protocol
 from repro.netsim.topology import PathHop
 

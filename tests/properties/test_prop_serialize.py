@@ -1,6 +1,6 @@
 """Property tests: canonical serialization."""
 
-from hypothesis import given, settings
+from hypothesis import given
 from hypothesis import strategies as st
 
 from repro.common.serialize import canonical_encode, stable_hash

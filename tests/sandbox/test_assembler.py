@@ -145,3 +145,57 @@ class TestEncoding:
     def test_size_bytes_positive(self):
         module = assemble(".memory 4096\n.func run_debuglet 0 0\npush 1\nret\n.end")
         assert module.size_bytes > 0
+
+
+class TestHardening:
+    """Parse-time rejection of programs the verifier would refuse anyway."""
+
+    def test_unknown_host_op_rejected_with_location(self):
+        with pytest.raises(AssemblyError, match="unknown host operation") as info:
+            assemble(
+                ".memory 4096\n.func run_debuglet 0 0\n"
+                "push 1\nhost frobnicate\nret\n.end"
+            )
+        assert info.value.line_no == 4
+        assert "instruction 1" in str(info.value)
+
+    def test_local_index_out_of_range_rejected(self):
+        with pytest.raises(AssemblyError, match="local index 2 out of range"):
+            assemble(
+                ".memory 4096\n.func run_debuglet 1 1\nlocal_get 2\nret\n.end"
+            )
+
+    def test_negative_local_index_rejected(self):
+        with pytest.raises(AssemblyError, match="local index -1"):
+            assemble(
+                ".memory 4096\n.func run_debuglet 0 1\nlocal_set -1\nret\n.end"
+            )
+
+    def test_local_index_counts_params_and_locals(self):
+        module = assemble(
+            ".memory 4096\n.func run_debuglet 2 1\nlocal_get 2\nret\n.end"
+        )
+        assert module.functions["run_debuglet"].code[0].arg == 2
+
+    def test_label_past_end_rejected_with_line(self):
+        with pytest.raises(AssemblyError, match="points past the end") as info:
+            assemble(
+                ".memory 4096\n.func run_debuglet 0 0\n"
+                "push 0\nret\njmp after\nafter:\n.end"
+            )
+        assert info.value.line_no == 5
+
+    def test_unknown_call_rejected_with_location(self):
+        with pytest.raises(AssemblyError, match="unknown function 'helper'") as info:
+            assemble(
+                ".memory 4096\n.func run_debuglet 0 0\ncall helper\nret\n.end"
+            )
+        assert info.value.line_no == 3
+
+    def test_forward_call_to_later_function_ok(self):
+        module = assemble(
+            ".memory 4096\n"
+            ".func run_debuglet 0 0\ncall helper\nret\n.end\n"
+            ".func helper 0 0\npush 1\nret\n.end"
+        )
+        assert "helper" in module.functions

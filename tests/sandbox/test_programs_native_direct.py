@@ -1,6 +1,5 @@
 """Native stock programs driven directly through the step interface."""
 
-import pytest
 
 from repro.netsim.packet import Protocol
 from repro.sandbox.program import ProgramCall, ProgramDone, ReceivedData

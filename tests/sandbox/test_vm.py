@@ -215,12 +215,26 @@ class TestHostCalls:
             vm.resume([0])
 
     def test_unknown_host_op_traps(self):
-        module = assemble(
-            ".memory 4096\n.func run_debuglet 0 0\nhost bogus_op\nret\n.end"
-        )
+        # The assembler now rejects unknown host ops at parse time, so
+        # build the module directly to exercise the VM's own trap.
+        from repro.sandbox.isa import Instruction, Op
+        from repro.sandbox.module import Function, Module
+
+        module = Module(functions={"run_debuglet": Function(
+            "run_debuglet", 0, 0,
+            [Instruction(Op.HOST, "bogus_op"), Instruction(Op.RET)],
+        )}, memory_size=4096)
         vm = VM(module)
         with pytest.raises(SandboxError):
             vm.start([])
+
+    def test_unknown_host_op_rejected_by_assembler(self):
+        from repro.sandbox.assembler import AssemblyError
+
+        with pytest.raises(AssemblyError, match="bogus_op"):
+            assemble(
+                ".memory 4096\n.func run_debuglet 0 0\nhost bogus_op\nret\n.end"
+            )
 
     def test_cannot_start_twice(self):
         module = assemble(".memory 4096\n.func run_debuglet 0 0\npush 0\nret\n.end")

@@ -1,0 +1,192 @@
+"""VM trap paths: arithmetic faults, memory boundaries, fuel edges, resume.
+
+Programs the static verifier would reject never reach the VM in normal
+operation, but the VM's own traps are the last line of defence (e.g. for
+natively-admitted or warn-mode executors), so they get direct coverage
+here. Sources that no longer assemble are built as Modules directly.
+"""
+
+import pytest
+
+from repro.common.errors import FuelExhausted, MemoryFault, SandboxError
+from repro.sandbox.assembler import assemble
+from repro.sandbox.isa import Instruction, Op
+from repro.sandbox.module import Function, Module
+from repro.sandbox.vm import VM, Done, HostCall
+
+
+def make_vm(body: str, *, fuel: int = 100_000, memory: int = 4096,
+            n_params: int = 0) -> VM:
+    module = assemble(
+        f".memory {memory}\n.func run_debuglet {n_params} 4\n{body}\n.end"
+    )
+    return VM(module, fuel_limit=fuel)
+
+
+class TestArithmeticTraps:
+    def test_divide_by_zero_from_dynamic_value(self):
+        vm = make_vm("push 7\nlocal_get 0\ndivs\nret", n_params=1)
+        with pytest.raises(SandboxError, match="zero"):
+            vm.start([0])
+
+    def test_remainder_by_zero_traps(self):
+        vm = make_vm("push 7\nlocal_get 0\nrems\nret", n_params=1)
+        with pytest.raises(SandboxError, match="zero"):
+            vm.start([0])
+
+    def test_nonzero_divisor_fine(self):
+        vm = make_vm("push 7\nlocal_get 0\ndivs\nret", n_params=1)
+        assert vm.start([2]) == Done(3)
+
+
+class TestMemoryBoundaries:
+    @pytest.mark.parametrize("op,width", [
+        ("store8", 1), ("store64", 8),
+    ])
+    def test_last_valid_store_address(self, op, width):
+        vm = make_vm(f"push {4096 - width}\npush 1\n{op}\npush 0\nret")
+        assert vm.start([]) == Done(0)
+
+    @pytest.mark.parametrize("op,width", [
+        ("store8", 1), ("store64", 8),
+    ])
+    def test_one_past_last_store_address_traps(self, op, width):
+        vm = make_vm(f"push {4096 - width + 1}\npush 1\n{op}\npush 0\nret")
+        with pytest.raises(MemoryFault):
+            vm.start([])
+
+    @pytest.mark.parametrize("op,width", [
+        ("load8", 1), ("load64", 8),
+    ])
+    def test_load_boundaries(self, op, width):
+        ok = make_vm(f"push {4096 - width}\n{op}\nret")
+        assert ok.start([]) == Done(0)
+        bad = make_vm(f"push {4096 - width + 1}\n{op}\nret")
+        with pytest.raises(MemoryFault):
+            bad.start([])
+
+    def test_negative_store_address_traps(self):
+        vm = make_vm("push -1\npush 1\nstore8\npush 0\nret")
+        with pytest.raises(MemoryFault):
+            vm.start([])
+
+    def test_huge_address_does_not_wrap(self):
+        # 2**63 is a negative i64; a naive unsigned check would pass it.
+        vm = make_vm(f"push {2**63}\nload64\nret")
+        with pytest.raises(MemoryFault):
+            vm.start([])
+
+
+class TestFuelEdges:
+    def test_exhaustion_on_final_instruction(self):
+        # push(1) + ret(1) = 2; a budget of exactly 1 dies on the RET.
+        vm = make_vm("push 1\nret", fuel=1)
+        with pytest.raises(FuelExhausted):
+            vm.start([])
+
+    def test_exact_budget_succeeds(self):
+        vm = make_vm("push 1\nret", fuel=2)
+        assert vm.start([]) == Done(1)
+        assert vm.fuel_used == 2
+
+    def test_host_fuel_charged_before_suspend(self):
+        # HOST costs 16, charged up front: a budget of 16 reaches the
+        # suspension but cannot afford the RET after resume.
+        vm = make_vm("host now_us\nret", fuel=16)
+        step = vm.start([])
+        assert isinstance(step, HostCall)
+        assert vm.fuel_used == 16
+        with pytest.raises(FuelExhausted):
+            vm.resume([123])
+
+    def test_host_plus_ret_budget_succeeds(self):
+        vm = make_vm("host now_us\nret", fuel=17)
+        assert isinstance(vm.start([]), HostCall)
+        assert vm.resume([123]) == Done(123)
+
+    def test_fuel_persists_across_resume(self):
+        vm = make_vm("host now_us\ndrop\nhost now_us\nret", fuel=33)
+        vm.start([])
+        vm.resume([1])  # drop(1) + second host(16) = 33 used
+        assert vm.fuel_used == 33
+        with pytest.raises(FuelExhausted):
+            vm.resume([2])
+
+
+class TestResumeEdges:
+    def test_resume_results_land_on_callee_stack(self):
+        # The host result must be pushed onto the *suspended frame's*
+        # stack, not the caller's.
+        source = """
+        .memory 4096
+        .func ask 0 0
+            host now_us
+            push 1
+            add
+            ret
+        .end
+        .func run_debuglet 0 0
+            push 100
+            call ask
+            add
+            ret
+        .end
+        """
+        vm = VM(assemble(source))
+        assert isinstance(vm.start([]), HostCall)
+        assert vm.resume([41]) == Done(142)
+
+    def test_resume_with_no_results_for_zero_arity_continuation(self):
+        # sleep_until_us conventionally resumes with one value; resuming
+        # with none simply pushes nothing, and the next pop underflows.
+        vm = make_vm("host now_us\nret")
+        vm.start([])
+        with pytest.raises(SandboxError, match="underflow"):
+            vm.resume([])
+
+    def test_resume_after_done_rejected(self):
+        vm = make_vm("push 1\nret")
+        vm.start([])
+        assert vm.finished
+        with pytest.raises(SandboxError, match="not awaiting"):
+            vm.resume([0])
+
+    def test_double_resume_rejected(self):
+        vm = make_vm("host now_us\nret")
+        vm.start([])
+        vm.resume([1])
+        with pytest.raises(SandboxError, match="not awaiting"):
+            vm.resume([1])
+
+    def test_memory_fault_after_resume(self):
+        vm = make_vm("host now_us\nload64\nret")
+        vm.start([])
+        with pytest.raises(MemoryFault):
+            vm.resume([100_000])
+
+    def test_trap_leaves_vm_unresumable(self):
+        vm = make_vm("push 1\npush 0\ndivs\nret")
+        with pytest.raises(SandboxError):
+            vm.start([])
+        with pytest.raises(SandboxError):
+            vm.resume([0])
+
+
+class TestUnverifiedModules:
+    """Hand-built modules the assembler/verifier would refuse."""
+
+    def test_jump_out_of_range_traps_at_runtime(self):
+        module = Module(functions={"run_debuglet": Function(
+            "run_debuglet", 0, 0,
+            [Instruction(Op.JMP, 99), Instruction(Op.RET)],
+        )}, memory_size=4096)
+        with pytest.raises(SandboxError):
+            VM(module).start([])
+
+    def test_bad_local_index_traps_at_runtime(self):
+        module = Module(functions={"run_debuglet": Function(
+            "run_debuglet", 0, 0,
+            [Instruction(Op.LOCAL_GET, 3), Instruction(Op.RET)],
+        )}, memory_size=4096)
+        with pytest.raises(SandboxError):
+            VM(module).start([])

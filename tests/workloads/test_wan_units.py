@@ -4,7 +4,7 @@ import pytest
 
 import repro.workloads.wan as wan
 from repro.netsim import HashGranularity, Protocol
-from repro.workloads.wan import CITY_SPECS, CitySpec, ProtoSpec, build_city_link
+from repro.workloads.wan import CITY_SPECS, build_city_link
 
 
 @pytest.fixture
