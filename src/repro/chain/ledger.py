@@ -83,6 +83,14 @@ class Ledger:
         self.finality_latency = finality_latency
         self._scheduler = scheduler
         self.require_signatures = require_signatures
+        # Chaos / availability hooks (see repro.chaos). ``submit_gate`` may
+        # raise :class:`LedgerUnavailable` to reject a submission before it
+        # touches any state; ``event_delay`` returns extra seconds of event
+        # delivery latency (on top of ``finality_latency``). Both are None
+        # in normal operation and are never part of the replayable history:
+        # a gated submission simply never happened.
+        self.submit_gate: Callable[[Transaction, float], None] | None = None
+        self.event_delay: Callable[[float], float] | None = None
 
         self.accounts: dict[str, Account] = {}
         self.contracts: dict[str, Contract] = {}
@@ -184,6 +192,8 @@ class Ledger:
         aborts produce a *reverted* receipt with all state rolled back
         (the computation fee is still charged, as on real chains).
         """
+        if self.submit_gate is not None:
+            self.submit_gate(tx, self.now)
         if self.require_signatures:
             tx.verify()
         sender = self._account(tx.sender)
@@ -305,7 +315,10 @@ class Ledger:
                 self.events.publish(event)
 
         if self._scheduler is not None and events:
-            self._scheduler(self.finality_latency, deliver)
+            delay = self.finality_latency
+            if self.event_delay is not None:
+                delay += max(0.0, self.event_delay(self.now))
+            self._scheduler(delay, deliver)
         else:
             deliver()
 

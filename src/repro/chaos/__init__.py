@@ -1,0 +1,10 @@
+"""Control-plane chaos harness.
+
+Deterministic, seeded fault injection for the *marketplace* layer —
+the control-plane counterpart of :mod:`repro.netsim.faults`, which
+perturbs the data plane. See :class:`repro.chaos.injector.ChaosInjector`.
+"""
+
+from repro.chaos.injector import ChaosFault, ChaosInjector, ChaosKind
+
+__all__ = ["ChaosFault", "ChaosInjector", "ChaosKind"]

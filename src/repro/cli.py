@@ -253,6 +253,92 @@ def _cmd_quickstart(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_chaos_demo(args: argparse.Namespace) -> int:
+    from repro.chaos import ChaosInjector
+    from repro.core import DebugletApplication
+    from repro.core.executor import executor_data_address
+    from repro.netsim import Protocol
+    from repro.sandbox import echo_client, echo_server
+    from repro.workloads import MarketplaceTestbed
+
+    testbed = MarketplaceTestbed.build(n_ases=3, seed=args.seed)
+    simulator = testbed.chain.simulator
+    injector = ChaosInjector(simulator, testbed.ledger, seed=args.seed)
+    path = testbed.chain.registry.shortest(1, 3)
+    count = args.probes
+    server_app = DebugletApplication.from_stock(
+        "srv", echo_server(Protocol.UDP, max_echoes=count,
+                           idle_timeout_us=3_000_000),
+        listen_port=7801, path=path.reversed().as_list(),
+    )
+    client_app = DebugletApplication.from_stock(
+        "cli",
+        echo_client(Protocol.UDP, executor_data_address(3, 1),
+                    count=count, interval_us=50_000, dst_port=7801),
+        path=path.as_list(),
+    )
+
+    if args.fault == "txfail":
+        # Outage covering the initial purchase: the initiator retries with
+        # backoff until the ledger comes back.
+        fault = injector.fail_transactions(
+            start=simulator.now, end=simulator.now + 3.0
+        )
+
+    session = testbed.initiator.request_measurement(
+        client_app, server_app, (1, 2), (3, 1), duration=30.0,
+        deadline_margin=10.0,
+        max_attempts=1 if args.fault == "expiry" else 2,
+    )
+    if args.fault == "crash":
+        # The server-side executor dies as the window opens, killing the
+        # scheduled executions; it is back up before the deadline, so
+        # attempt 2 buys a fresh slot and succeeds.
+        fault = injector.crash_executor(
+            testbed.agents[(3, 1)].executor,
+            at=session.window_start + 0.1,
+            restart_at=session.window_end + 5.0,
+        )
+    elif args.fault == "drop":
+        # Certified results are produced but never published until after
+        # the first deadline; the refund + failover path recovers.
+        fault = injector.drop_publications(
+            testbed.agents[(3, 1)], start=0.0, end=session.window_end + 10.0
+        )
+    elif args.fault == "delay":
+        # Publications stall past the fault window, then go through.
+        fault = injector.delay_publications(
+            testbed.agents[(3, 1)],
+            start=0.0, end=session.window_end + 2.0, extra=1.0,
+        )
+    elif args.fault == "expiry":
+        # The executors renege before the window opens; the initiator
+        # reclaims its escrow once the deadline passes.
+        fault = injector.expire_slots_early(
+            testbed.agents[(3, 1)], at=session.window_start
+        )
+        injector.expire_slots_early(testbed.agents[(1, 2)],
+                                    at=session.window_start)
+
+    testbed.initiator.run_until_done(session, simulator, timeout=900.0)
+
+    print(f"fault: {fault.kind.value} on {fault.target}")
+    print(f"states: {' -> '.join(session.state_names)}")
+    print(f"attempts: {session.attempt}  purchase retries: "
+          f"{session.purchase_retries}")
+    if session.refunds:
+        total = sum(session.refunds.values())
+        print(f"refunded escrow: {total} MIST across "
+              f"{len(session.refunds)} application(s)")
+    if session.failure_reason:
+        print(f"reason: {session.failure_reason}")
+    locked = testbed.ledger.contract_balances.get("debuglet_market", 0)
+    print(f"escrow still locked in contract: {locked} MIST")
+    testbed.ledger.verify_chain()
+    print(f"final state: {session.state.value}; chain verification: OK")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -293,6 +379,16 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--probes", type=int, default=30)
     p.add_argument("--seed", type=int, default=1)
     p.set_defaults(func=_cmd_quickstart)
+
+    p = sub.add_parser(
+        "chaos-demo",
+        help="one marketplace measurement surviving an injected fault",
+    )
+    p.add_argument("--fault", default="crash",
+                   choices=("crash", "drop", "delay", "txfail", "expiry"))
+    p.add_argument("--probes", type=int, default=30)
+    p.add_argument("--seed", type=int, default=1)
+    p.set_defaults(func=_cmd_chaos_demo)
 
     p = sub.add_parser(
         "verify",

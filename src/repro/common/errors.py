@@ -42,6 +42,32 @@ class ChainError(DebugletError):
     """A blockchain transaction was rejected."""
 
 
+class LedgerUnavailable(ChainError):
+    """The ledger could not accept the transaction right now (transient).
+
+    Raised by fault injection (and, in a real deployment, by network
+    partitions or validator outages). Callers may retry with backoff;
+    every other :class:`ChainError` is permanent and must not be retried.
+    """
+
+
+class SessionStalled(DebugletError):
+    """A measurement session cannot make progress.
+
+    Raised by :meth:`repro.core.marketplace.Initiator.run_until_done`
+    when the simulator goes idle — or its hard timeout expires — while
+    the session is still in a non-terminal state. Carries the session so
+    callers can inspect how far it got.
+    """
+
+    def __init__(self, session, message: str) -> None:
+        state = getattr(session, "state", None)
+        detail = f" (session state: {state.value})" if state is not None else ""
+        super().__init__(message + detail)
+        self.session = session
+        self.state = state
+
+
 class InsufficientGas(ChainError):
     """The submitted gas budget does not cover the transaction cost."""
 

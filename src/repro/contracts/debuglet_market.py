@@ -144,6 +144,25 @@ class DebugletMarket(Contract):
         ctx.emit("TimeSlotsRegistered", asn=asn, interface=interface, count=len(slots))
         return len(merged)
 
+    @entry
+    def withdraw_time_slots(self, ctx: ExecutionContext, asn: int, interface: int) -> int:
+        """Withdraw every still-advertised (unsold) slot for ``<asn, interface>``.
+
+        Only the registered executor may renege on its own inventory.
+        Already-sold slots are unaffected — their escrow is settled by
+        ``result_ready`` or ``refund_expired``. Returns the count removed.
+        """
+        key = slot_key(asn, interface)
+        registered = self.state["executor_address_map"].get(key)
+        ctx.require(registered is not None, f"executor {key} is not registered")
+        ctx.require(registered == ctx.sender, "caller does not own this executor")
+        withdrawn = len(self.state["execution_slots_map"].get(key, []))
+        self.state["execution_slots_map"][key] = []
+        ctx.emit(
+            "TimeSlotsWithdrawn", asn=asn, interface=interface, count=withdrawn
+        )
+        return withdrawn
+
     # ----------------------------------------- initiating a measurement
 
     @entry
@@ -416,6 +435,10 @@ class DebugletMarket(Contract):
             application_id_hex not in self.state["results_map"],
             "result already published for this application",
         )
+        ctx.require(
+            not app.data.get("refunded"),
+            "application escrow was refunded after its window expired",
+        )
         result_id = ctx.create_object(
             RESULT_KIND,
             {
@@ -434,6 +457,47 @@ class DebugletMarket(Contract):
             initiator=app.data["initiator"],
         )
         return result_id.hex()
+
+    @entry
+    def refund_expired(self, ctx: ExecutionContext, application_id_hex: str) -> int:
+        """Reclaim the escrow of an application whose window expired unserved.
+
+        The counterpart of ``result_ready``: exactly one of the two ever
+        pays out a given application's tokens. Only the purchasing
+        initiator may call it, only after the execution window has ended,
+        and only while no result is published — so an executor can still
+        collect by publishing in time, and a refunded application can
+        never be paid out afterwards (``result_ready`` checks the
+        ``refunded`` flag). Returns the refunded token amount.
+        """
+        app_id = ObjectId.from_hex(application_id_hex)
+        app = ctx.objects.get(app_id)
+        ctx.require(app.kind == APPLICATION_KIND, "object is not an application")
+        ctx.require(
+            ctx.sender == app.data["initiator"],
+            "caller did not purchase this application",
+        )
+        ctx.require(
+            application_id_hex not in self.state["results_map"],
+            "result already published; payment went to the executor",
+        )
+        ctx.require(not app.data.get("refunded"), "application already refunded")
+        ctx.require(
+            ctx.time >= app.data["window"]["end"],
+            "execution window has not expired yet",
+        )
+        tokens = app.data["tokens"]
+        data = dict(app.data)
+        data["refunded"] = True
+        ctx.update_object(app_id, data)
+        ctx.transfer_from_contract(ctx.sender, tokens)
+        ctx.emit(
+            "ApplicationRefunded",
+            application_id=application_id_hex,
+            initiator=ctx.sender,
+            tokens=tokens,
+        )
+        return tokens
 
     @entry
     def lookup_result(self, ctx: ExecutionContext, application_id_hex: str) -> dict:

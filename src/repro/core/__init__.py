@@ -50,10 +50,12 @@ from repro.core.localization import (
     estimate_baseline_rtt,
 )
 from repro.core.marketplace import (
+    TERMINAL_STATES,
     ExecutorAgent,
     Initiator,
     MeasurementOutcome,
     MeasurementSession,
+    SessionState,
     decode_result_payload,
     encode_result_payload,
 )
@@ -100,6 +102,8 @@ __all__ = [
     "SegmentProber",
     "SegmentVerdict",
     "ServerReport",
+    "SessionState",
+    "TERMINAL_STATES",
     "VerifiedResult",
     "analyze_deployment",
     "decode_result_payload",

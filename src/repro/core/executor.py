@@ -175,6 +175,13 @@ class Executor:
         self.executions: list[ExecutionRecord] = []
         self._running = 0
         self._waiting: list[_Execution] = []
+        # Failure-model state (§IV-C robustness; see repro.chaos): a crashed
+        # executor silently aborts everything in flight and accepts nothing
+        # new until restart() — it never certifies or publishes.
+        self.crashed = False
+        self.crash_count = 0
+        self._pending_starts: list[tuple[EventHandle, _Execution]] = []
+        self._live: list[_Execution] = []
 
         address = executor_data_address(asn, interface)
         if address in network.hosts:
@@ -233,6 +240,10 @@ class Executor:
         Execution begins at ``start_at`` (default: now) plus the sandbox
         setup time for sandboxed programs.
         """
+        if self.crashed:
+            raise ConfigurationError(
+                f"executor {self.asn}:{self.interface} is down"
+            )
         self.admit(application)
         program = application.instantiate()
         execution = _Execution(self, application, program, on_complete)
@@ -246,10 +257,17 @@ class Executor:
             setup = self.setup_time + abs(
                 float(self._rng.normal(0.0, self.setup_jitter))
             )
-        self.simulator.schedule_at(start + setup, self._begin, execution)
+        handle = self.simulator.schedule_at(start + setup, self._begin, execution)
+        self._pending_starts.append((handle, execution))
         return execution.record
 
     def _begin(self, execution: _Execution) -> None:
+        self._pending_starts = [
+            (h, e) for h, e in self._pending_starts if e is not execution
+        ]
+        if self.crashed:
+            self._kill(execution, "executor crashed before start")
+            return
         # Finite resources (§IV-C): beyond capacity, executions queue and
         # start as earlier ones finish.
         if self._running >= self.concurrent_capacity:
@@ -257,6 +275,7 @@ class Executor:
             self._waiting.append(execution)
             return
         self._running += 1
+        self._live.append(execution)
         record = execution.record
         record.status = "running"
         record.started_at = self.simulator.now
@@ -573,12 +592,72 @@ class Executor:
         for socket in execution.sockets.values():
             socket.close()
         record.certificate = self.certify(record)
+        self._live = [e for e in self._live if e is not execution]
         self._running -= 1
         if self._waiting:
             queued = self._waiting.pop(0)
             self.simulator.schedule(0.0, self._begin, queued)
         if execution.on_complete is not None:
             execution.on_complete(record)
+
+    # ------------------------------------------------------ failure model
+
+    def _kill(self, execution: _Execution, reason: str) -> None:
+        """Abort one execution *silently*: no certificate, no completion
+        callback, no publication — the behaviour of a process that died."""
+        if execution.done:
+            return
+        execution.done = True
+        execution.record.status = f"failed: {reason}"
+        execution.record.finished_at = self.simulator.now
+        if execution.deadline_handle is not None:
+            execution.deadline_handle.cancel()
+            execution.deadline_handle = None
+        if execution.pending_recv is not None:
+            execution.pending_recv[1].cancel()
+            execution.pending_recv = None
+        for socket in execution.sockets.values():
+            socket.close()
+
+    def crash(self, reason: str = "executor crashed") -> None:
+        """Crash the executor: every scheduled, queued, and running
+        execution is silently aborted and new submissions are rejected
+        until :meth:`restart`. Idempotent while down."""
+        if self.crashed:
+            return
+        self.crashed = True
+        self.crash_count += 1
+        for handle, execution in self._pending_starts:
+            handle.cancel()
+            self._kill(execution, f"{reason} (never started)")
+        self._pending_starts.clear()
+        for execution in self._waiting:
+            self._kill(execution, f"{reason} (queued)")
+        self._waiting.clear()
+        for execution in list(self._live):
+            self._kill(execution, reason)
+        self._live.clear()
+        self._running = 0
+
+    def restart(self) -> None:
+        """Bring a crashed executor back up, with empty run queues.
+
+        Work lost to the crash stays lost — the control plane's deadlines,
+        refunds, and failover are what recover the *session*.
+        """
+        self.crashed = False
+
+    def cancel_pending(self, reason: str = "slot expired") -> None:
+        """Silently abort executions that have not started yet (scheduled
+        or capacity-queued), leaving running ones untouched. Models an
+        ISP reneging on sold-but-unstarted slots (early slot expiry)."""
+        for handle, execution in self._pending_starts:
+            handle.cancel()
+            self._kill(execution, reason)
+        self._pending_starts.clear()
+        for execution in self._waiting:
+            self._kill(execution, reason)
+        self._waiting.clear()
 
     # ---------------------------------------------------- certification
 

@@ -16,18 +16,34 @@ Implements the five-step measurement flow of §IV-A over the
 Result payloads on-chain are JSON: the raw result bytes (hex), the
 execution status, and the executor's :class:`ResultCertificate` fields, so
 any third party can run :mod:`repro.core.verification` against them.
+
+Robustness layer (§IV-C failure handling; exercised by ``tests/chaos``):
+every session walks an explicit :class:`SessionState` machine, transient
+ledger outages (:class:`~repro.common.errors.LedgerUnavailable`) are
+retried with seeded exponential backoff + jitter on both sides, sessions
+can carry a hard deadline after which the initiator reclaims its escrow
+(``refund_expired``) or fails over to a fresh slot, and
+:meth:`Initiator.run_until_done` raises
+:class:`~repro.common.errors.SessionStalled` instead of spinning forever.
 """
 
 from __future__ import annotations
 
+import enum
 import json
 from dataclasses import dataclass, field
 from typing import Callable
 
 from repro.chain.events import Event
 from repro.chain.ledger import Ledger, Wallet
-from repro.common.errors import ChainError, DebugletError
+from repro.common.errors import (
+    ChainError,
+    DebugletError,
+    LedgerUnavailable,
+    SessionStalled,
+)
 from repro.common.ids import ObjectId
+from repro.common.rng import derive_rng
 from repro.contracts.debuglet_market import APPLICATION_KIND, ExecutionSlot
 from repro.core.application import DebugletApplication
 from repro.core.executor import ExecutionRecord, Executor, ResultCertificate
@@ -79,7 +95,16 @@ def decode_result_payload(blob: bytes) -> tuple[bytes, str, ResultCertificate]:
 
 
 class ExecutorAgent:
-    """An executor's on-chain presence (steps 3–5 of the flow)."""
+    """An executor's on-chain presence (steps 3–5 of the flow).
+
+    Result publication survives transient ledger outages: on
+    :class:`LedgerUnavailable` the agent retries with seeded exponential
+    backoff + jitter (up to ``publish_retries`` times). Permanent reverts
+    (e.g. the application was refunded after its window expired) are
+    recorded in ``failed_publications`` rather than raised into the
+    simulator loop. The ``publication_gate`` hook is the chaos layer's
+    entry point for dropping or delaying publications.
+    """
 
     def __init__(
         self,
@@ -89,6 +114,10 @@ class ExecutorAgent:
         market: str = "debuglet_market",
         gas_funding: int = 10_000_000_000,
         code_store: "OffChainCodeStore | None" = None,
+        publish_retries: int = 6,
+        retry_base: float = 0.2,
+        retry_jitter: float = 0.1,
+        seed: int = 0,
     ) -> None:
         self.executor = executor
         self.ledger = ledger
@@ -97,8 +126,22 @@ class ExecutorAgent:
         if ledger.balance_of(self.wallet.address) < gas_funding:
             ledger.faucet(self.wallet.address, gas_funding)
         self.code_store = code_store
+        self.publish_retries = publish_retries
+        self.retry_base = retry_base
+        self.retry_jitter = retry_jitter
+        self._retry_rng = derive_rng(
+            seed, "agent-retry", executor.asn, executor.interface
+        )
         self.handled_applications: list[str] = []
         self.rejected_applications: list[tuple[str, str]] = []
+        # Gate consulted before each publication attempt: returns "publish",
+        # "drop", or ("delay", seconds). Installed by repro.chaos.
+        self.publication_gate: (
+            Callable[[str, ExecutionRecord], object] | None
+        ) = None
+        self.dropped_publications: list[str] = []
+        self.failed_publications: list[tuple[str, str]] = []
+        self.publication_retries = 0
         self._subscription = None
 
     @property
@@ -157,6 +200,13 @@ class ExecutorAgent:
         ]
         self.offer_slots(slots)
 
+    def withdraw_slots(self) -> int:
+        """Withdraw all still-advertised slots (renege on unsold inventory)."""
+        receipt = self.wallet.must_call(
+            self.market, "withdraw_time_slots", self.asn, self.interface
+        )
+        return receipt.return_value
+
     # ------------------------------------------------------ event handling
 
     def _on_application(self, event: Event) -> None:
@@ -170,9 +220,9 @@ class ExecutorAgent:
             application = DebugletApplication.from_wire(wire)
             self.executor.admit(application)
         except DebugletError as exc:
-            # Inadmissible or unfetchable application: never run; the
-            # initiator's escrow stays locked (a real deployment would add
-            # a refund path).
+            # Inadmissible or unfetchable application: never run. The
+            # initiator's escrow stays locked until it reclaims it with
+            # refund_expired after the window passes.
             self.rejected_applications.append((application_id, str(exc)))
             return
         window_start = obj.data["window"]["start"]
@@ -181,7 +231,12 @@ class ExecutorAgent:
         def on_complete(record: ExecutionRecord) -> None:
             self._publish_result(application_id, record)
 
-        self.executor.submit(application, start_at=start_at, on_complete=on_complete)
+        try:
+            self.executor.submit(application, start_at=start_at, on_complete=on_complete)
+        except DebugletError as exc:
+            # Down (crashed) or otherwise unable to schedule: treat like a
+            # rejection — the session-level deadline handles recovery.
+            self.rejected_applications.append((application_id, str(exc)))
 
     def _fetch_wire(self, data: dict) -> bytes:
         """The on-chain bytecode, or the off-chain blob verified against
@@ -195,13 +250,70 @@ class ExecutorAgent:
             raise DebugletError("hash-only application but no off-chain store")
         return self.code_store.get_verified(digest)
 
-    def _publish_result(self, application_id: str, record: ExecutionRecord) -> None:
-        self.wallet.must_call(
-            self.market,
-            "result_ready",
-            application_id,
-            encode_result_payload(record),
-        )
+    def _publish_result(
+        self,
+        application_id: str,
+        record: ExecutionRecord,
+        retries_left: int | None = None,
+    ) -> None:
+        if retries_left is None:
+            retries_left = self.publish_retries
+        if self.publication_gate is not None:
+            verdict = self.publication_gate(application_id, record)
+            if verdict == "drop":
+                self.dropped_publications.append(application_id)
+                return
+            if isinstance(verdict, tuple) and verdict[0] == "delay":
+                self.executor.simulator.schedule(
+                    max(float(verdict[1]), 0.0),
+                    self._publish_result,
+                    application_id,
+                    record,
+                    retries_left,
+                )
+                return
+        try:
+            self.wallet.must_call(
+                self.market,
+                "result_ready",
+                application_id,
+                encode_result_payload(record),
+            )
+        except LedgerUnavailable as exc:
+            if retries_left > 0:
+                attempt = self.publish_retries - retries_left
+                delay = self.retry_base * (2**attempt) + float(
+                    self._retry_rng.uniform(0.0, self.retry_jitter)
+                )
+                self.publication_retries += 1
+                self.executor.simulator.schedule(
+                    delay, self._publish_result, application_id, record,
+                    retries_left - 1,
+                )
+            else:
+                self.failed_publications.append(
+                    (application_id, f"gave up after retries: {exc}")
+                )
+        except ChainError as exc:
+            self.failed_publications.append((application_id, str(exc)))
+
+
+class SessionState(enum.Enum):
+    """Lifecycle states of a :class:`MeasurementSession` (§IV-C)."""
+
+    PENDING = "pending"  # request made; purchase not (yet) finalized
+    PURCHASED = "purchased"  # slots bought, escrow locked, window ahead
+    RUNNING = "running"  # execution window open, awaiting results
+    CERTIFIED = "certified"  # both certified results decoded (terminal)
+    TIMED_OUT = "timed-out"  # deadline missed; refund/failover under way
+    REFUNDED = "refunded"  # escrow reclaimed after timeout (terminal)
+    FAILED = "failed"  # no recovery possible (terminal)
+
+
+#: States from which a session never moves again.
+TERMINAL_STATES = frozenset(
+    {SessionState.CERTIFIED, SessionState.REFUNDED, SessionState.FAILED}
+)
 
 
 @dataclass
@@ -212,26 +324,71 @@ class MeasurementOutcome:
     result: bytes = b""
     status: str = ""
     certificate: ResultCertificate | None = None
+    failure: str = ""  # why no result arrived, when the session degraded
+
+
+@dataclass
+class _RequestPlan:
+    """Everything needed to (re-)purchase a session's slots."""
+
+    client_app: DebugletApplication
+    server_app: DebugletApplication
+    vantages: list[tuple[tuple[int, int], tuple[int, int]]]
+    duration: float
+    cores: int
+    memory_mb: int
+    bandwidth_mbps: int
+    earliest: float | None
+    code_store: OffChainCodeStore | None
+    deadline_margin: float | None
+    tx_retries: int
+    retry_base: float
+    retry_jitter: float
+
+    def vantage_for(self, attempt: int) -> tuple[tuple[int, int], tuple[int, int]]:
+        return self.vantages[min(attempt - 1, len(self.vantages) - 1)]
 
 
 @dataclass
 class MeasurementSession:
     """A purchased client/server measurement awaiting results."""
 
-    client_application: str
-    server_application: str
-    window_start: float
-    window_end: float
-    total_price: int
-    purchase_digest: bytes
-    requested_at: float
+    client_application: str = ""
+    server_application: str = ""
+    window_start: float = 0.0
+    window_end: float = 0.0
+    total_price: int = 0
+    purchase_digest: bytes = b""
+    requested_at: float = 0.0
     outcomes: dict[str, MeasurementOutcome] = field(default_factory=dict)
     completed_at: float | None = None
     on_complete: Callable[["MeasurementSession"], None] | None = None
+    # Robustness layer.
+    state: SessionState = SessionState.PENDING
+    state_history: list[tuple[float, SessionState]] = field(default_factory=list)
+    failure_reason: str = ""
+    deadline: float | None = None
+    attempt: int = 1
+    max_attempts: int = 1
+    purchase_retries: int = 0
+    refunds: dict[str, int] = field(default_factory=dict)
+    superseded_applications: list[str] = field(default_factory=list)
+    plan: _RequestPlan | None = field(default=None, repr=False)
+    # Internal bookkeeping (not part of the public API).
+    _subscriptions: list = field(default_factory=list, repr=False)
+    _deadline_handle: object = field(default=None, repr=False)
+    _refunds_outstanding: int = field(default=0, repr=False)
+    _settle_paid: int = field(default=0, repr=False)
+    _refund_failures: list = field(default_factory=list, repr=False)
 
     @property
     def done(self) -> bool:
-        return self.completed_at is not None
+        return self.state in TERMINAL_STATES
+
+    @property
+    def partial(self) -> bool:
+        """Terminal, but with at least one side's result missing."""
+        return self.done and any(not o.status for o in self.outcomes.values())
 
     @property
     def client_outcome(self) -> MeasurementOutcome:
@@ -242,13 +399,26 @@ class MeasurementSession:
         return self.outcomes["server"]
 
     @property
+    def state_names(self) -> list[str]:
+        """The state trajectory, for assertions and demos."""
+        return [state.value for _, state in self.state_history]
+
+    @property
     def delay_to_measurement(self) -> float:
         """Request-to-window-start latency (§V-B delay-to-measurement)."""
         return self.window_start - self.requested_at
 
 
 class Initiator:
-    """The requesting side: generates Debuglets, buys slots, awaits results."""
+    """The requesting side: generates Debuglets, buys slots, awaits results.
+
+    With a ``simulator`` attached (as :class:`MarketplaceTestbed` does),
+    the initiator becomes failure-aware: transient ledger outages during
+    purchase, result fetch, and refund are retried on the simulator clock
+    with seeded exponential backoff + jitter; sessions given a
+    ``deadline_margin`` time out, reclaim their escrow, and optionally
+    fail over to a fresh slot.
+    """
 
     def __init__(
         self,
@@ -256,10 +426,14 @@ class Initiator:
         wallet: Wallet,
         *,
         market: str = "debuglet_market",
+        simulator=None,
+        seed: int = 0,
     ) -> None:
         self.ledger = ledger
         self.wallet = wallet
         self.market = market
+        self.simulator = simulator
+        self._retry_rng = derive_rng(seed, "initiator-retry")
         self.sessions: list[MeasurementSession] = []
 
     def request_measurement(
@@ -276,6 +450,14 @@ class Initiator:
         earliest: float | None = None,
         on_complete: Callable[[MeasurementSession], None] | None = None,
         code_store: OffChainCodeStore | None = None,
+        deadline_margin: float | None = None,
+        max_attempts: int = 1,
+        failover_vantages: (
+            list[tuple[tuple[int, int], tuple[int, int]]] | None
+        ) = None,
+        tx_retries: int = 4,
+        retry_base: float = 0.2,
+        retry_jitter: float = 0.1,
     ) -> MeasurementSession:
         """Steps 2–3: LookupSlot then PurchaseSlot with escrowed tokens.
 
@@ -286,101 +468,371 @@ class Initiator:
         With ``code_store`` set, the applications ship off-chain and only
         their hashes are purchased on-chain (§V-B's ~1-cent optimization);
         the executor agents must share the same store.
+
+        ``deadline_margin`` arms a per-session deadline at
+        ``window_end + margin``: when it fires with results still missing
+        the session transitions to ``timed-out`` and the initiator either
+        fails over to a fresh slot (while ``max_attempts`` allows; later
+        attempts use ``failover_vantages`` when given, else the original
+        vantage pair) or refunds the unserved escrow. Transient ledger
+        failures are retried up to ``tx_retries`` times with exponential
+        backoff (``retry_base * 2**k``) plus seeded jitter. Without a
+        ``deadline_margin`` the legacy behaviour is preserved: the session
+        waits indefinitely and :meth:`run_until_done` is the backstop.
         """
-        requested_at = self.ledger.now
-        if earliest is None:
-            earliest = requested_at + 2 * self.ledger.finality_latency + 0.1
-        asn_c, intf_c = client_vantage
-        asn_s, intf_s = server_vantage
-
-        lookup = self.wallet.must_call(
-            self.market,
-            "lookup_slot",
-            asn_c,
-            intf_c,
-            asn_s,
-            intf_s,
-            cores,
-            memory_mb,
-            bandwidth_mbps,
-            duration,
-            earliest,
-        ).return_value
-
-        if code_store is None:
-            client_payload = client_app.to_wire()
-            server_payload = server_app.to_wire()
-            purchase_function = "purchase_slot"
-        else:
-            client_payload = code_store.put(client_app.to_wire())
-            server_payload = code_store.put(server_app.to_wire())
-            purchase_function = "purchase_slot_hashed"
-        purchase = self.wallet.must_call(
-            self.market,
-            purchase_function,
-            asn_c,
-            intf_c,
-            asn_s,
-            intf_s,
-            lookup["client_slot_start"],
-            lookup["server_slot_start"],
-            lookup["start"],
-            lookup["end"],
-            client_payload,
-            client_app.manifest.as_dict(),
-            server_payload,
-            server_app.manifest.as_dict(),
-            value=lookup["total_price"],
+        plan = _RequestPlan(
+            client_app=client_app,
+            server_app=server_app,
+            vantages=[(client_vantage, server_vantage)]
+            + list(failover_vantages or []),
+            duration=duration,
+            cores=cores,
+            memory_mb=memory_mb,
+            bandwidth_mbps=bandwidth_mbps,
+            earliest=earliest,
+            code_store=code_store,
+            deadline_margin=deadline_margin,
+            tx_retries=tx_retries,
+            retry_base=retry_base,
+            retry_jitter=retry_jitter,
         )
-        apps = purchase.return_value
         session = MeasurementSession(
-            client_application=apps["client_application"],
-            server_application=apps["server_application"],
-            window_start=lookup["start"],
-            window_end=lookup["end"],
-            total_price=apps["total_price"],
-            purchase_digest=purchase.digest,
-            requested_at=requested_at,
+            requested_at=self.ledger.now,
             on_complete=on_complete,
+            max_attempts=max(max_attempts, 1),
+            plan=plan,
         )
-        session.outcomes["client"] = MeasurementOutcome(apps["client_application"])
-        session.outcomes["server"] = MeasurementOutcome(apps["server_application"])
         self.sessions.append(session)
+        self._record(session, SessionState.PENDING)
+        self._attempt_purchase(session, plan.tx_retries, first=True)
+        return session
+
+    # ----------------------------------------------------- state machine
+
+    def _record(
+        self, session: MeasurementSession, state: SessionState, reason: str = ""
+    ) -> None:
+        session.state = state
+        session.state_history.append((self.ledger.now, state))
+        if reason:
+            session.failure_reason = reason
+
+    def _backoff(self, plan: _RequestPlan, attempt: int) -> float:
+        return plan.retry_base * (2**attempt) + float(
+            self._retry_rng.uniform(0.0, plan.retry_jitter)
+        )
+
+    # --------------------------------------------------------- purchasing
+
+    def _attempt_purchase(
+        self, session: MeasurementSession, retries_left: int, first: bool = False
+    ) -> None:
+        if session.done:
+            return
+        plan = session.plan
+        (asn_c, intf_c), (asn_s, intf_s) = plan.vantage_for(session.attempt)
+        now = self.ledger.now
+        if plan.earliest is not None and plan.earliest > now:
+            earliest = plan.earliest
+        else:
+            earliest = now + 2 * self.ledger.finality_latency + 0.1
+        try:
+            lookup = self.wallet.must_call(
+                self.market,
+                "lookup_slot",
+                asn_c,
+                intf_c,
+                asn_s,
+                intf_s,
+                plan.cores,
+                plan.memory_mb,
+                plan.bandwidth_mbps,
+                plan.duration,
+                earliest,
+            ).return_value
+            if plan.code_store is None:
+                client_payload = plan.client_app.to_wire()
+                server_payload = plan.server_app.to_wire()
+                purchase_function = "purchase_slot"
+            else:
+                client_payload = plan.code_store.put(plan.client_app.to_wire())
+                server_payload = plan.code_store.put(plan.server_app.to_wire())
+                purchase_function = "purchase_slot_hashed"
+            purchase = self.wallet.must_call(
+                self.market,
+                purchase_function,
+                asn_c,
+                intf_c,
+                asn_s,
+                intf_s,
+                lookup["client_slot_start"],
+                lookup["server_slot_start"],
+                lookup["start"],
+                lookup["end"],
+                client_payload,
+                plan.client_app.manifest.as_dict(),
+                server_payload,
+                plan.server_app.manifest.as_dict(),
+                value=lookup["total_price"],
+            )
+        except LedgerUnavailable as exc:
+            if self.simulator is not None and retries_left > 0:
+                session.purchase_retries += 1
+                delay = self._backoff(plan, plan.tx_retries - retries_left)
+                self.simulator.schedule(
+                    delay, self._attempt_purchase, session, retries_left - 1
+                )
+                return
+            if first:
+                raise
+            self._record(
+                session,
+                SessionState.FAILED,
+                f"purchase failed after retries: {exc}",
+            )
+            return
+        except ChainError as exc:
+            if first:
+                raise
+            self._record(
+                session, SessionState.FAILED, f"failover purchase failed: {exc}"
+            )
+            return
+        self._activate(session, lookup, purchase)
+
+    def _activate(self, session: MeasurementSession, lookup, purchase) -> None:
+        apps = purchase.return_value
+        for subscription in session._subscriptions:
+            self.ledger.events.unsubscribe(subscription)
+        session._subscriptions = []
+        if session.client_application:
+            session.superseded_applications.extend(
+                [session.client_application, session.server_application]
+            )
+        session.client_application = apps["client_application"]
+        session.server_application = apps["server_application"]
+        session.window_start = lookup["start"]
+        session.window_end = lookup["end"]
+        session.total_price = apps["total_price"]
+        session.purchase_digest = purchase.digest
+        session.outcomes = {
+            "client": MeasurementOutcome(apps["client_application"]),
+            "server": MeasurementOutcome(apps["server_application"]),
+        }
+        self._record(session, SessionState.PURCHASED)
         for role, app_id in (
             ("client", apps["client_application"]),
             ("server", apps["server_application"]),
         ):
-            self.ledger.events.subscribe(
+            subscription = self.ledger.events.subscribe(
                 "ResultReady",
-                lambda event, role=role, session=session: self._on_result(
-                    session, role, event
+                lambda event, role=role, session=session, app_id=app_id: (
+                    self._on_result(session, role, app_id, event)
                 ),
                 application_id=app_id,
             )
-        return session
+            session._subscriptions.append(subscription)
+        if self.simulator is not None:
+            attempt = session.attempt
+            self.simulator.schedule_at(
+                max(self.simulator.now, session.window_start),
+                self._mark_running,
+                session,
+                attempt,
+            )
+            if session.plan.deadline_margin is not None:
+                session.deadline = session.window_end + session.plan.deadline_margin
+                session._deadline_handle = self.simulator.schedule_at(
+                    session.deadline, self._on_deadline, session, attempt
+                )
 
-    def _on_result(self, session: MeasurementSession, role: str, event: Event) -> None:
-        if session.done:
+    def _mark_running(self, session: MeasurementSession, attempt: int) -> None:
+        if session.state is SessionState.PURCHASED and session.attempt == attempt:
+            self._record(session, SessionState.RUNNING)
+
+    # ------------------------------------------------------------ results
+
+    def _on_result(
+        self, session: MeasurementSession, role: str, application_id: str, event: Event
+    ) -> None:
+        if session.done or session.state is SessionState.TIMED_OUT:
             return
-        outcome = session.outcomes[role]
+        outcome = session.outcomes.get(role)
+        if outcome is None or outcome.application_id != application_id:
+            return  # superseded by failover
         if outcome.status:
             return  # already recorded
-        lookup = self.wallet.must_call(
-            self.market, "lookup_result", outcome.application_id
-        ).return_value
+        retries = session.plan.tx_retries if session.plan is not None else 0
+        self._fetch_result(session, role, application_id, retries)
+
+    def _fetch_result(
+        self,
+        session: MeasurementSession,
+        role: str,
+        application_id: str,
+        retries_left: int,
+    ) -> None:
+        if session.done or session.state is SessionState.TIMED_OUT:
+            return
+        outcome = session.outcomes.get(role)
+        if outcome is None or outcome.application_id != application_id:
+            return
+        if outcome.status:
+            return
+        try:
+            lookup = self.wallet.must_call(
+                self.market, "lookup_result", application_id
+            ).return_value
+        except LedgerUnavailable as exc:
+            if self.simulator is not None and retries_left > 0:
+                plan = session.plan
+                delay = self._backoff(plan, plan.tx_retries - retries_left)
+                self.simulator.schedule(
+                    delay, self._fetch_result, session, role, application_id,
+                    retries_left - 1,
+                )
+                return
+            outcome.failure = f"result fetch failed: {exc}"
+            return
         result, status, certificate = decode_result_payload(lookup["result"])
         outcome.result = result
         outcome.status = status
         outcome.certificate = certificate
+        outcome.failure = ""
         if all(o.status for o in session.outcomes.values()):
             session.completed_at = self.ledger.now
+            self._record(session, SessionState.CERTIFIED)
+            if session._deadline_handle is not None:
+                session._deadline_handle.cancel()
+                session._deadline_handle = None
             if session.on_complete is not None:
                 session.on_complete(session)
 
+    # ----------------------------------------------- deadlines & refunds
+
+    def _on_deadline(self, session: MeasurementSession, attempt: int) -> None:
+        if session.done or session.attempt != attempt:
+            return
+        missing = [role for role, o in session.outcomes.items() if not o.status]
+        for role in missing:
+            session.outcomes[role].failure = (
+                "no certified result before the session deadline"
+            )
+        self._record(
+            session,
+            SessionState.TIMED_OUT,
+            f"deadline t={session.deadline:.3f} missed; "
+            f"waiting on: {', '.join(missing) or 'nothing'}",
+        )
+        plan = session.plan
+        if session.attempt < session.max_attempts:
+            # Fail over: reclaim what this attempt escrowed, then buy a
+            # fresh slot (possibly at an alternate vantage pair).
+            for role in missing:
+                self._refund(
+                    session,
+                    session.outcomes[role].application_id,
+                    plan.tx_retries,
+                    settle=False,
+                )
+            session.attempt += 1
+            self._record(session, SessionState.PENDING)
+            self._attempt_purchase(session, plan.tx_retries)
+        else:
+            pending = [session.outcomes[role].application_id for role in missing]
+            session._refunds_outstanding = len(pending)
+            session._settle_paid = 0
+            if not pending:  # pragma: no cover - defensive
+                self._finalize_timeout(session)
+                return
+            for app_id in pending:
+                self._refund(session, app_id, plan.tx_retries, settle=True)
+
+    def _refund(
+        self,
+        session: MeasurementSession,
+        application_id: str,
+        retries_left: int,
+        *,
+        settle: bool,
+    ) -> None:
+        if session.state is SessionState.CERTIFIED:
+            return  # a result landed between scheduling and firing
+        try:
+            receipt = self.wallet.must_call(
+                self.market, "refund_expired", application_id
+            )
+        except LedgerUnavailable as exc:
+            if self.simulator is not None and retries_left > 0:
+                plan = session.plan
+                delay = self._backoff(plan, plan.tx_retries - retries_left)
+                self.simulator.schedule(
+                    delay, self._refund, session, application_id,
+                    retries_left - 1, settle=settle,
+                )
+                return
+            session._refund_failures.append((application_id, str(exc)))
+        except ChainError as exc:
+            # Permanent: e.g. the executor published after the deadline
+            # after all (escrow already paid out) — conservation holds.
+            session._refund_failures.append((application_id, str(exc)))
+        else:
+            session.refunds[application_id] = receipt.return_value
+            if settle:
+                session._settle_paid += 1
+        if settle:
+            session._refunds_outstanding -= 1
+            if session._refunds_outstanding <= 0:
+                self._finalize_timeout(session)
+
+    def _finalize_timeout(self, session: MeasurementSession) -> None:
+        if session.done:
+            return
+        failures = list(session._refund_failures)
+        if session._settle_paid > 0:
+            reason = (
+                f"timed out after {session.attempt} attempt(s); "
+                f"escrow refunded for {session._settle_paid} application(s)"
+            )
+            if failures:
+                reason += f"; {len(failures)} refund(s) failed"
+            self._record(session, SessionState.REFUNDED, reason)
+        else:
+            detail = "; ".join(msg for _, msg in failures) or "no refunds possible"
+            self._record(
+                session,
+                SessionState.FAILED,
+                f"timed out after {session.attempt} attempt(s) and could not "
+                f"reclaim escrow: {detail}",
+            )
+        if session.on_complete is not None:
+            session.on_complete(session)
+
+    # -------------------------------------------------------- run helper
+
     @staticmethod
-    def run_until_done(session: MeasurementSession, simulator) -> MeasurementSession:
-        """Pump the simulator until the session completes."""
+    def run_until_done(
+        session: MeasurementSession,
+        simulator,
+        *,
+        timeout: float | None = 600.0,
+    ) -> MeasurementSession:
+        """Pump the simulator until the session reaches a terminal state.
+
+        Raises :class:`SessionStalled` — with the session attached — if
+        the simulator goes idle first, or once ``timeout`` simulated
+        seconds elapse (pass ``timeout=None`` to wait without bound).
+        """
+        limit = None if timeout is None else simulator.now + timeout
         while not session.done:
+            if limit is not None and simulator.now >= limit:
+                raise SessionStalled(
+                    session,
+                    f"session did not reach a terminal state within "
+                    f"{timeout} simulated seconds",
+                )
             if not simulator.step():
-                raise ChainError("simulation idle before session completion")
+                raise SessionStalled(
+                    session, "simulation idle before session completion"
+                )
         return session

@@ -49,12 +49,25 @@ class InjectedFault:
     end: float
     magnitude: float
     overlays: list[tuple[DirectedChannel, FaultOverlay]]
+    revoked: bool = False
 
     def revoke(self) -> None:
-        """Remove the fault's effects from all channels."""
+        """Remove the fault's effects from all channels. Idempotent.
+
+        Removal is by overlay *identity*, not equality: two faults built
+        from identical parameters produce equal (frozen) overlays, and an
+        equality-based ``list.remove`` on the second revoke would strip
+        the other fault's still-active overlay, silently restoring stale
+        channel parameters.
+        """
+        if self.revoked:
+            return
+        self.revoked = True
         for channel, overlay in self.overlays:
-            if overlay in channel.overlays:
-                channel.remove_overlay(overlay)
+            for index, existing in enumerate(channel.overlays):
+                if existing is overlay:
+                    del channel.overlays[index]
+                    break
 
 
 class FaultInjector:

@@ -144,7 +144,9 @@ class MarketplaceTestbed:
         fleet.deploy_full()
         agents: dict[tuple[int, int], ExecutorAgent] = {}
         for vantage in fleet.vantages():
-            agent = ExecutorAgent(fleet.get(*vantage), ledger, code_store=code_store)
+            agent = ExecutorAgent(
+                fleet.get(*vantage), ledger, code_store=code_store, seed=seed
+            )
             agent.register()
             agent.offer_standing_slots(price=slot_price)
             agents[vantage] = agent
@@ -154,7 +156,12 @@ class MarketplaceTestbed:
             sui_to_mist(100) if initiator_funding is None else initiator_funding
         )
         ledger.create_account(initiator_keypair, balance=funding, label="initiator")
-        initiator = Initiator(ledger, Wallet(ledger, initiator_keypair))
+        initiator = Initiator(
+            ledger,
+            Wallet(ledger, initiator_keypair),
+            simulator=simulator,
+            seed=seed,
+        )
         return cls(
             chain=chain,
             ledger=ledger,

@@ -1,0 +1,125 @@
+"""Shared scaffolding for the chaos lifecycle tests.
+
+Builds small marketplace testbeds, requests echo measurements between
+AS1 and AS3, and asserts the invariants every schedule must uphold:
+
+* **escrow conservation** — the tokens locked in the market contract are
+  exactly the escrows of applications that were neither paid out
+  (``results_map``) nor refunded; a token is never paid *and* refunded,
+  and never silently lost;
+* **terminal state** — no session is left stuck in a non-terminal state
+  once the simulator has drained;
+* **chain integrity** — ``verify_chain()`` passes, i.e. chaos never
+  forged or corrupted ledger history.
+"""
+
+from __future__ import annotations
+
+from repro.common.ids import ObjectId
+from repro.core import DebugletApplication
+from repro.core.executor import executor_data_address
+from repro.core.marketplace import TERMINAL_STATES, MeasurementSession
+from repro.netsim import Protocol
+from repro.sandbox import echo_client, echo_server
+from repro.workloads import MarketplaceTestbed
+
+CLIENT_VANTAGE = (1, 2)
+SERVER_VANTAGE = (3, 1)
+
+
+def build_testbed(seed: int = 0, **kwargs) -> MarketplaceTestbed:
+    return MarketplaceTestbed.build(n_ases=3, seed=seed, **kwargs)
+
+
+def make_echo_apps(
+    testbed: MarketplaceTestbed, count: int = 10, port: int = 7801
+) -> tuple[DebugletApplication, DebugletApplication]:
+    path = testbed.chain.registry.shortest(1, 3)
+    server_app = DebugletApplication.from_stock(
+        "srv",
+        echo_server(Protocol.UDP, max_echoes=count, idle_timeout_us=3_000_000),
+        listen_port=port,
+        path=path.reversed().as_list(),
+    )
+    client_app = DebugletApplication.from_stock(
+        "cli",
+        echo_client(
+            Protocol.UDP,
+            executor_data_address(*SERVER_VANTAGE),
+            count=count,
+            interval_us=50_000,
+            dst_port=port,
+        ),
+        path=path.as_list(),
+    )
+    return client_app, server_app
+
+
+def request_echo_session(
+    testbed: MarketplaceTestbed, count: int = 10, port: int = 7801, **kwargs
+) -> MeasurementSession:
+    client_app, server_app = make_echo_apps(testbed, count=count, port=port)
+    return testbed.initiator.request_measurement(
+        client_app,
+        server_app,
+        CLIENT_VANTAGE,
+        SERVER_VANTAGE,
+        duration=30.0,
+        **kwargs,
+    )
+
+
+def escrow_outstanding(testbed: MarketplaceTestbed) -> int:
+    """Total escrow of applications that are neither paid nor refunded."""
+    state = testbed.market.state
+    outstanding = 0
+    for app_ids in state["applications_map"].values():
+        for app_hex in app_ids:
+            if app_hex in state["results_map"]:
+                continue
+            obj = testbed.ledger.objects.get(ObjectId.from_hex(app_hex))
+            if obj.data.get("refunded"):
+                continue
+            outstanding += obj.data["tokens"]
+    return outstanding
+
+
+def assert_escrow_conserved(testbed: MarketplaceTestbed) -> None:
+    locked = testbed.ledger.contract_balances.get("debuglet_market", 0)
+    expected = escrow_outstanding(testbed)
+    assert locked == expected, (
+        f"escrow conservation violated: contract holds {locked} MIST but "
+        f"unserved applications account for {expected}"
+    )
+
+
+def assert_terminal(session: MeasurementSession) -> None:
+    assert session.state in TERMINAL_STATES, (
+        f"session stuck in non-terminal state {session.state.value}; "
+        f"history: {session.state_names}"
+    )
+
+
+def assert_invariants(testbed: MarketplaceTestbed, *sessions) -> None:
+    """The full invariant bundle every chaos schedule must satisfy."""
+    testbed.chain.simulator.run()  # drain stragglers (retries, refunds)
+    for session in sessions:
+        assert_terminal(session)
+    assert_escrow_conserved(testbed)
+    testbed.ledger.verify_chain()
+
+
+def lifecycle_fingerprint(testbed: MarketplaceTestbed, session) -> tuple:
+    """Everything that must be bit-identical across same-seed reruns."""
+    return (
+        session.state_names,
+        [(t, s.value) for t, s in session.state_history],
+        session.attempt,
+        session.purchase_retries,
+        sorted(session.refunds.values()),
+        session.failure_reason,
+        {role: (o.status, o.failure) for role, o in session.outcomes.items()},
+        testbed.ledger.state_digest().hex(),
+        len(testbed.ledger.events.history),
+        [e.name for e in testbed.ledger.events.history],
+    )

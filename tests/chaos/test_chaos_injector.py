@@ -1,0 +1,211 @@
+"""Unit tests for :class:`repro.chaos.ChaosInjector` itself.
+
+Scheduling semantics, revocation idempotency, and the ledger gates —
+independent of full marketplace lifecycles (those live in
+``test_lifecycle_faults.py``).
+"""
+
+import pytest
+
+from repro.chaos import ChaosInjector, ChaosKind
+from repro.common.errors import LedgerUnavailable
+
+from tests.chaos.helpers import build_testbed
+
+pytestmark = pytest.mark.chaos
+
+
+def test_crash_is_scheduled_not_immediate():
+    testbed = build_testbed()
+    sim = testbed.chain.simulator
+    executor = testbed.agents[(1, 2)].executor
+    injector = ChaosInjector(sim, testbed.ledger)
+    fault = injector.crash_executor(executor, at=sim.now + 5.0)
+    assert not executor.crashed
+    assert not fault.fired
+    sim.run(until=sim.now + 4.0)
+    assert not executor.crashed
+    sim.run(until=sim.now + 2.0)
+    assert executor.crashed
+    assert fault.fired
+
+
+def test_revoke_before_fire_cancels_the_crash():
+    testbed = build_testbed()
+    sim = testbed.chain.simulator
+    executor = testbed.agents[(1, 2)].executor
+    injector = ChaosInjector(sim, testbed.ledger)
+    fault = injector.crash_executor(executor, at=sim.now + 5.0)
+    fault.revoke()
+    sim.run(until=sim.now + 10.0)
+    assert not executor.crashed
+    assert not fault.fired
+
+
+def test_revoke_after_fire_restarts_and_is_idempotent():
+    testbed = build_testbed()
+    sim = testbed.chain.simulator
+    executor = testbed.agents[(1, 2)].executor
+    injector = ChaosInjector(sim, testbed.ledger)
+    fault = injector.crash_executor(executor, at=sim.now + 1.0)
+    sim.run(until=sim.now + 2.0)
+    assert executor.crashed
+    fault.revoke()
+    assert not executor.crashed
+    # Second revoke must not touch the (healthy) executor again.
+    executor.crash(reason="unrelated later crash")
+    fault.revoke()
+    assert executor.crashed
+    executor.restart()
+
+
+def test_restart_at_brings_the_executor_back():
+    testbed = build_testbed()
+    sim = testbed.chain.simulator
+    executor = testbed.agents[(1, 2)].executor
+    injector = ChaosInjector(sim, testbed.ledger)
+    injector.crash_executor(executor, at=sim.now + 1.0, restart_at=sim.now + 3.0)
+    sim.run(until=sim.now + 2.0)
+    assert executor.crashed
+    assert executor.crash_count == 1
+    sim.run(until=sim.now + 2.0)
+    assert not executor.crashed
+
+
+def test_tx_failure_gate_rejects_without_touching_state():
+    testbed = build_testbed()
+    sim = testbed.chain.simulator
+    ledger = testbed.ledger
+    injector = ChaosInjector(sim, ledger)
+    injector.fail_transactions(start=sim.now, end=sim.now + 10.0)
+    wallet = testbed.agents[(1, 2)].wallet
+    nonce_before = ledger._account(wallet.address).nonce
+    history_before = len(ledger.transactions)
+    with pytest.raises(LedgerUnavailable):
+        wallet.must_call("debuglet_market", "withdraw_time_slots", 1, 2)
+    # The gated submission never became part of ledger history.
+    assert ledger._account(wallet.address).nonce == nonce_before
+    assert len(ledger.transactions) == history_before
+    ledger.verify_chain()
+
+
+def test_tx_failure_window_closes():
+    testbed = build_testbed()
+    sim = testbed.chain.simulator
+    injector = ChaosInjector(sim, testbed.ledger)
+    injector.fail_transactions(start=sim.now, end=sim.now + 1.0)
+    sim.run(until=sim.now + 2.0)
+    receipt = testbed.agents[(1, 2)].wallet.must_call(
+        "debuglet_market", "withdraw_time_slots", 1, 2
+    )
+    assert receipt.return_value >= 0
+
+
+def test_tx_failure_filters_by_sender():
+    testbed = build_testbed()
+    sim = testbed.chain.simulator
+    injector = ChaosInjector(sim, testbed.ledger)
+    victim = testbed.agents[(1, 2)].wallet
+    bystander = testbed.agents[(3, 1)].wallet
+    injector.fail_transactions(
+        start=sim.now, end=sim.now + 10.0, sender=victim.address
+    )
+    with pytest.raises(LedgerUnavailable):
+        victim.must_call("debuglet_market", "withdraw_time_slots", 1, 2)
+    bystander.must_call("debuglet_market", "withdraw_time_slots", 3, 1)
+
+
+def test_tx_failure_revoke_is_idempotent():
+    testbed = build_testbed()
+    sim = testbed.chain.simulator
+    injector = ChaosInjector(sim, testbed.ledger)
+    fault = injector.fail_transactions(start=sim.now, end=sim.now + 10.0)
+    fault.revoke()
+    fault.revoke()  # second revoke must not raise (list.remove would)
+    testbed.agents[(1, 2)].wallet.must_call(
+        "debuglet_market", "withdraw_time_slots", 1, 2
+    )
+
+
+def test_finality_delay_postpones_event_delivery():
+    testbed = build_testbed()
+    sim = testbed.chain.simulator
+    ledger = testbed.ledger
+    injector = ChaosInjector(sim, ledger)
+    injector.delay_finality(extra=5.0, start=sim.now, end=sim.now + 100.0)
+    seen = []
+    ledger.events.subscribe("TimeSlotsWithdrawn", lambda e: seen.append(sim.now))
+    submitted_at = sim.now
+    testbed.agents[(1, 2)].withdraw_slots()
+    sim.run(until=submitted_at + ledger.finality_latency + 1.0)
+    assert seen == []  # normal finality alone is not enough
+    sim.run(until=submitted_at + ledger.finality_latency + 6.0)
+    assert len(seen) == 1
+    assert seen[0] >= submitted_at + ledger.finality_latency + 5.0
+
+
+def test_expire_slots_early_clears_advertised_inventory():
+    testbed = build_testbed()
+    sim = testbed.chain.simulator
+    agent = testbed.agents[(1, 2)]
+    injector = ChaosInjector(sim, testbed.ledger)
+    injector.expire_slots_early(agent, at=sim.now + 1.0)
+    sim.run(until=sim.now + 2.0)
+    key = f"{agent.asn}:{agent.interface}"
+    assert testbed.market.state["execution_slots_map"][key] == []
+
+
+def test_revoke_all_restores_everything():
+    testbed = build_testbed()
+    sim = testbed.chain.simulator
+    executor = testbed.agents[(1, 2)].executor
+    injector = ChaosInjector(sim, testbed.ledger)
+    injector.crash_executor(executor, at=sim.now + 1.0)
+    injector.fail_transactions(start=sim.now, end=sim.now + 100.0)
+    injector.delay_finality(extra=3.0, start=sim.now, end=sim.now + 100.0)
+    sim.run(until=sim.now + 2.0)
+    assert executor.crashed
+    injector.revoke_all()
+    assert not executor.crashed
+    assert injector.injected == []
+    testbed.agents[(1, 2)].wallet.must_call(
+        "debuglet_market", "withdraw_time_slots", 1, 2
+    )
+
+
+def test_random_faults_replay_bit_identically_from_seed():
+    def script(seed):
+        testbed = build_testbed()
+        sim = testbed.chain.simulator
+        injector = ChaosInjector(sim, testbed.ledger, seed=seed)
+        agents = [testbed.agents[(1, 2)], testbed.agents[(3, 1)]]
+        faults = [
+            injector.random_fault(agents, start=1.0, end=50.0) for _ in range(6)
+        ]
+        return [
+            (f.kind.value, f.target, f.start, f.end, f.magnitude) for f in faults
+        ]
+
+    assert script(42) == script(42)
+    assert script(42) != script(43)
+
+
+def test_kinds_cover_every_fault_class():
+    # The issue's fault taxonomy, pinned so a class cannot silently vanish.
+    assert {k.value for k in ChaosKind} == {
+        "executor-crash",
+        "publication-drop",
+        "publication-delay",
+        "tx-failure",
+        "finality-delay",
+        "slot-expiry",
+    }
+
+
+def test_injector_without_ledger_rejects_ledger_faults():
+    testbed = build_testbed()
+    injector = ChaosInjector(testbed.chain.simulator)
+    with pytest.raises(ValueError):
+        injector.fail_transactions(start=0.0, end=1.0)
+    with pytest.raises(ValueError):
+        injector.delay_finality(extra=1.0, start=0.0, end=1.0)

@@ -1,12 +1,79 @@
-"""Shared fixtures: small, fast topologies and chains."""
+"""Shared fixtures: small, fast topologies and chains.
+
+Also ships a minimal stand-in for pytest-timeout: when the plugin is not
+installed (the ``timeout`` ini key in pyproject.toml would be inert), a
+SIGALRM-based hook enforces the same per-test wall-clock ceiling so a
+hung simulator loop fails fast instead of wedging the run. The real
+plugin, when present, takes precedence untouched.
+"""
 
 from __future__ import annotations
+
+import importlib.util
+import signal
+import threading
 
 import pytest
 
 from repro.netsim import Link, Network, Protocol, Simulator, Topology
 
 ALL_PROTOCOLS = (Protocol.UDP, Protocol.TCP, Protocol.ICMP, Protocol.RAW_IP)
+
+_HAVE_PYTEST_TIMEOUT = importlib.util.find_spec("pytest_timeout") is not None
+_CAN_ALARM = hasattr(signal, "SIGALRM")
+
+if not _HAVE_PYTEST_TIMEOUT:
+
+    def pytest_addoption(parser):
+        parser.addini(
+            "timeout",
+            "default per-test timeout in seconds (pytest-timeout fallback)",
+            default=None,
+        )
+        parser.addoption(
+            "--timeout",
+            action="store",
+            default=None,
+            help="per-test timeout in seconds (pytest-timeout fallback)",
+        )
+
+    def _timeout_for(item) -> float | None:
+        marker = item.get_closest_marker("timeout")
+        if marker is not None and marker.args:
+            return float(marker.args[0])
+        cli = item.config.getoption("--timeout")
+        if cli is not None:
+            return float(cli)
+        ini = item.config.getini("timeout")
+        return float(ini) if ini else None
+
+    @pytest.hookimpl(hookwrapper=True)
+    def pytest_runtest_call(item):
+        limit = _timeout_for(item)
+        usable = (
+            limit is not None
+            and limit > 0
+            and _CAN_ALARM
+            and threading.current_thread() is threading.main_thread()
+        )
+        if not usable:
+            yield
+            return
+
+        def on_alarm(signum, frame):
+            pytest.fail(
+                f"test exceeded the {limit:.0f}s timeout "
+                f"(conftest SIGALRM fallback)",
+                pytrace=False,
+            )
+
+        previous = signal.signal(signal.SIGALRM, on_alarm)
+        signal.setitimer(signal.ITIMER_REAL, limit)
+        try:
+            yield
+        finally:
+            signal.setitimer(signal.ITIMER_REAL, 0)
+            signal.signal(signal.SIGALRM, previous)
 
 
 @pytest.fixture

@@ -98,3 +98,42 @@ class TestRevocation:
         assert injector.injected == []
         fwd = topo.channel_between(InterfaceId(1, 2), InterfaceId(2, 1))
         assert fwd.transit(_probe(), 1.0).delivered
+
+    def test_double_revoke_leaves_twin_fault_active(self, three_as_network):
+        """Regression: revoking the same fault twice must not strip a
+        *different* fault's overlay. Two faults built from identical
+        parameters carry equal (frozen) overlays, so an equality-based
+        removal on the second revoke used to silently restore stale
+        channel parameters."""
+        _, topo, _, _, _ = three_as_network
+        injector = FaultInjector(topo)
+        first = injector.link_blackhole(
+            InterfaceId(1, 2), InterfaceId(2, 1), start=0.0, end=1e9
+        )
+        twin = injector.link_blackhole(
+            InterfaceId(1, 2), InterfaceId(2, 1), start=0.0, end=1e9
+        )
+        first.revoke()
+        first.revoke()  # second revoke must be a no-op
+        assert first.revoked and not twin.revoked
+        fwd = topo.channel_between(InterfaceId(1, 2), InterfaceId(2, 1))
+        # The twin fault is still in force.
+        assert not fwd.transit(_probe(), 1.0).delivered
+        twin.revoke()
+        assert fwd.transit(_probe(), 1.0).delivered
+
+    def test_revoke_all_then_stale_handle_revoke_is_noop(self, three_as_network):
+        _, topo, _, _, _ = three_as_network
+        injector = FaultInjector(topo)
+        stale = injector.link_loss(
+            InterfaceId(1, 2), InterfaceId(2, 1), loss=1.0, start=0.0, end=1e9
+        )
+        injector.revoke_all()
+        survivor = injector.link_loss(
+            InterfaceId(1, 2), InterfaceId(2, 1), loss=1.0, start=0.0, end=1e9
+        )
+        stale.revoke()  # handle kept from before revoke_all: must not fire
+        fwd = topo.channel_between(InterfaceId(1, 2), InterfaceId(2, 1))
+        assert not fwd.transit(_probe(), 1.0).delivered
+        survivor.revoke()
+        assert fwd.transit(_probe(), 1.0).delivered
