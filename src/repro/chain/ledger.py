@@ -91,6 +91,9 @@ class Ledger:
         # a gated submission simply never happened.
         self.submit_gate: Callable[[Transaction, float], None] | None = None
         self.event_delay: Callable[[float], float] | None = None
+        # Observability (repro.obs): wired by the testbed builders. Like
+        # the chaos hooks, recording is never part of replayable history.
+        self.obs = None
 
         self.accounts: dict[str, Account] = {}
         self.contracts: dict[str, Contract] = {}
@@ -192,8 +195,20 @@ class Ledger:
         aborts produce a *reverted* receipt with all state rolled back
         (the computation fee is still charged, as on real chains).
         """
+        obs = self.obs
         if self.submit_gate is not None:
-            self.submit_gate(tx, self.now)
+            try:
+                self.submit_gate(tx, self.now)
+            except ChainError as exc:
+                if obs is not None:
+                    obs.metrics.counter(
+                        "ledger_tx_total", status="gated", function=tx.function
+                    ).inc()
+                    obs.tracer.event(
+                        "chain.tx_gated", component="chain",
+                        function=tx.function, reason=str(exc),
+                    )
+                raise
         if self.require_signatures:
             tx.verify()
         sender = self._account(tx.sender)
@@ -282,6 +297,21 @@ class Ledger:
         self._transactions.append(tx)
         self._receipts.append(receipt)
         self._seal_checkpoint([digest], receipt.finalized_at)
+        if obs is not None:
+            outcome = "success" if status == "success" else "reverted"
+            obs.metrics.counter(
+                "ledger_tx_total", status=outcome, function=tx.function
+            ).inc()
+            obs.metrics.counter("ledger_gas_fees_total").inc(fee)
+            obs.metrics.gauge("ledger_escrow_locked").set(
+                sum(self.contract_balances.values())
+            )
+            obs.tracer.event(
+                "chain.tx", component="chain",
+                corr=f"tx:{digest.hex()[:12]}",
+                function=tx.function, status=outcome, value=tx.value,
+                events=len(ctx.pending_events),
+            )
         self._publish_events(ctx.pending_events, digest, receipt.finalized_at)
         return receipt
 

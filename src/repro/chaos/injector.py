@@ -98,6 +98,49 @@ class ChaosInjector:
 
     def _register(self, fault: ChaosFault) -> ChaosFault:
         self.injected.append(fault)
+        obs = self.simulator.obs
+        if obs is not None:
+            corr = f"fault:{len(self.injected)}"
+            fault._corr = corr
+            obs.metrics.counter(
+                "chaos_faults_injected_total", kind=fault.kind.value
+            ).inc()
+            obs.tracer.event(
+                "chaos.injected",
+                component="chaos",
+                corr=corr,
+                kind=fault.kind.value,
+                target=fault.target,
+                start=fault.start,
+                end=-1.0 if fault.end == float("inf") else fault.end,
+                magnitude=fault.magnitude,
+            )
+            if fault.start < fault.end < float("inf"):
+                # The fault's active window as a retroactively-known span:
+                # the ground truth a recovery scorer lines results against.
+                obs.tracer.span_at(
+                    f"chaos.{fault.kind.value}",
+                    fault.start,
+                    fault.end,
+                    component="chaos",
+                    corr=corr,
+                    target=fault.target,
+                    magnitude=fault.magnitude,
+                )
+
+            def note_revoked() -> None:
+                obs.metrics.counter(
+                    "chaos_faults_revoked_total", kind=fault.kind.value
+                ).inc()
+                obs.tracer.event(
+                    "chaos.revoked",
+                    component="chaos",
+                    corr=corr,
+                    kind=fault.kind.value,
+                    target=fault.target,
+                )
+
+            fault._on_revoke.append(note_revoked)
         return fault
 
     def _schedule(self, fault: ChaosFault, at: float, action, *args) -> None:
@@ -105,6 +148,18 @@ class ChaosInjector:
             if fault.revoked:
                 return
             fault.fired = True
+            obs = self.simulator.obs
+            if obs is not None:
+                obs.metrics.counter(
+                    "chaos_faults_fired_total", kind=fault.kind.value
+                ).inc()
+                obs.tracer.event(
+                    "chaos.fired",
+                    component="chaos",
+                    corr=getattr(fault, "_corr", ""),
+                    kind=fault.kind.value,
+                    target=fault.target,
+                )
             action(*args)
 
         fault._handles.append(self.simulator.schedule_at(at, run))

@@ -16,12 +16,66 @@ import argparse
 import sys
 
 
+def _add_obs_flags(parser: argparse.ArgumentParser) -> None:
+    """Observability export flags shared by the instrumented commands."""
+    parser.add_argument(
+        "--trace-out", default=None, metavar="FILE",
+        help="write a Chrome-trace (Perfetto) timeline JSON of the run",
+    )
+    parser.add_argument(
+        "--events-out", default=None, metavar="FILE",
+        help="write the span/event log as JSON lines",
+    )
+    parser.add_argument(
+        "--metrics-out", default=None, metavar="FILE",
+        help="write a Prometheus-text metrics snapshot",
+    )
+    parser.add_argument(
+        "--obs-report", action="store_true",
+        help="print the observability rollup after the run",
+    )
+
+
+def _obs_from_args(args: argparse.Namespace):
+    """An enabled Observability bundle when any export was requested."""
+    wanted = (
+        getattr(args, "trace_out", None)
+        or getattr(args, "events_out", None)
+        or getattr(args, "metrics_out", None)
+        or getattr(args, "obs_report", False)
+    )
+    if not wanted:
+        return None
+    from repro.obs import Observability
+
+    return Observability.enabled()
+
+
+def _emit_obs(args: argparse.Namespace, obs) -> None:
+    if obs is None:
+        return
+    from repro.obs import render_report, write_exports
+
+    written = write_exports(
+        obs,
+        trace_out=getattr(args, "trace_out", None),
+        events_out=getattr(args, "events_out", None),
+        metrics_out=getattr(args, "metrics_out", None),
+    )
+    for path in written:
+        print(f"wrote {path}")
+    if getattr(args, "obs_report", False):
+        print(render_report(obs))
+
+
 def _cmd_table1(args: argparse.Namespace) -> int:
     from repro.analysis import format_table1_row, table_row
     from repro.workloads import WanScenario
 
+    obs = _obs_from_args(args)
+
     def run() -> dict:
-        scenario = WanScenario.build(seed=args.seed)
+        scenario = WanScenario.build(seed=args.seed, obs=obs)
         return scenario.run_protocol_study(
             probes_per_protocol=args.probes,
             interval=args.interval,
@@ -43,6 +97,7 @@ def _cmd_table1(args: argparse.Namespace) -> int:
     print(f"Table I ({args.probes} probes per cell, seed {args.seed}, {path}):")
     for city, by_protocol in traces.items():
         print(format_table1_row(city, table_row(by_protocol)))
+    _emit_obs(args, obs)
     return 0
 
 
@@ -218,7 +273,8 @@ def _cmd_quickstart(args: argparse.Namespace) -> int:
     from repro.sandbox import echo_client, echo_server
     from repro.workloads import MarketplaceTestbed
 
-    testbed = MarketplaceTestbed.build(n_ases=3, seed=args.seed)
+    obs = _obs_from_args(args)
+    testbed = MarketplaceTestbed.build(n_ases=3, seed=args.seed, obs=obs)
     path = testbed.chain.registry.shortest(1, 3)
     count = args.probes
     server_app = DebugletApplication.from_stock(
@@ -250,6 +306,7 @@ def _cmd_quickstart(args: argparse.Namespace) -> int:
     )
     testbed.ledger.verify_chain()
     print("verification: OK")
+    _emit_obs(args, obs)
     return 0
 
 
@@ -261,7 +318,8 @@ def _cmd_chaos_demo(args: argparse.Namespace) -> int:
     from repro.sandbox import echo_client, echo_server
     from repro.workloads import MarketplaceTestbed
 
-    testbed = MarketplaceTestbed.build(n_ases=3, seed=args.seed)
+    obs = _obs_from_args(args)
+    testbed = MarketplaceTestbed.build(n_ases=3, seed=args.seed, obs=obs)
     simulator = testbed.chain.simulator
     injector = ChaosInjector(simulator, testbed.ledger, seed=args.seed)
     path = testbed.chain.registry.shortest(1, 3)
@@ -336,7 +394,32 @@ def _cmd_chaos_demo(args: argparse.Namespace) -> int:
     print(f"escrow still locked in contract: {locked} MIST")
     testbed.ledger.verify_chain()
     print(f"final state: {session.state.value}; chain verification: OK")
+    _emit_obs(args, obs)
     return 0
+
+
+def _cmd_obs_report(args: argparse.Namespace) -> int:
+    """Run one instrumented scenario and print its observability rollup."""
+    defaults = {
+        "table1": dict(
+            func=_cmd_table1, probes=args.probes or 200, interval=1.0,
+            fast=True, workers=None, profile=False,
+        ),
+        "quickstart": dict(func=_cmd_quickstart, probes=args.probes or 30),
+        "chaos-demo": dict(
+            func=_cmd_chaos_demo, probes=args.probes or 30, fault=args.fault,
+        ),
+    }[args.scenario]
+    func = defaults.pop("func")
+    inner = argparse.Namespace(
+        seed=args.seed,
+        trace_out=args.trace_out,
+        events_out=args.events_out,
+        metrics_out=args.metrics_out,
+        obs_report=True,
+        **defaults,
+    )
+    return func(inner)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -356,6 +439,7 @@ def build_parser() -> argparse.ArgumentParser:
                    help="fan fast-path cells over N processes (-1 = all cores)")
     p.add_argument("--profile", action="store_true",
                    help="print cProfile top-20 (by cumulative time) for the run")
+    _add_obs_flags(p)
     p.set_defaults(func=_cmd_table1)
 
     p = sub.add_parser("fig8", help="Fig 8: sandbox overhead (D2D/A2D/D2A/A2A)")
@@ -378,6 +462,7 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("quickstart", help="one verifiable marketplace measurement")
     p.add_argument("--probes", type=int, default=30)
     p.add_argument("--seed", type=int, default=1)
+    _add_obs_flags(p)
     p.set_defaults(func=_cmd_quickstart)
 
     p = sub.add_parser(
@@ -388,7 +473,25 @@ def build_parser() -> argparse.ArgumentParser:
                    choices=("crash", "drop", "delay", "txfail", "expiry"))
     p.add_argument("--probes", type=int, default=30)
     p.add_argument("--seed", type=int, default=1)
+    _add_obs_flags(p)
     p.set_defaults(func=_cmd_chaos_demo)
+
+    p = sub.add_parser(
+        "obs-report",
+        help="run an instrumented scenario and print the observability rollup",
+    )
+    p.add_argument("--scenario", default="quickstart",
+                   choices=("table1", "quickstart", "chaos-demo"))
+    p.add_argument("--probes", type=int, default=None,
+                   help="probe count (default: scenario-appropriate)")
+    p.add_argument("--seed", type=int, default=1)
+    p.add_argument("--fault", default="crash",
+                   choices=("crash", "drop", "delay", "txfail", "expiry"),
+                   help="fault kind when --scenario chaos-demo")
+    p.add_argument("--trace-out", default=None, metavar="FILE")
+    p.add_argument("--events-out", default=None, metavar="FILE")
+    p.add_argument("--metrics-out", default=None, metavar="FILE")
+    p.set_defaults(func=_cmd_obs_report)
 
     p = sub.add_parser(
         "verify",

@@ -57,15 +57,27 @@ class SessionStalled(DebugletError):
     Raised by :meth:`repro.core.marketplace.Initiator.run_until_done`
     when the simulator goes idle — or its hard timeout expires — while
     the session is still in a non-terminal state. Carries the session so
-    callers can inspect how far it got.
+    callers can inspect how far it got, plus (when the simulator has
+    observability attached) the last engine events leading up to the
+    stall, so the exception message alone is enough to debug with.
     """
 
-    def __init__(self, session, message: str) -> None:
+    def __init__(self, session, message: str, events: list | None = None) -> None:
         state = getattr(session, "state", None)
         detail = f" (session state: {state.value})" if state is not None else ""
+        history = getattr(session, "state_history", None)
+        if history:
+            trail = " -> ".join(
+                f"{st.value}@{t:.3f}s" for t, st in history[-8:]
+            )
+            detail += f"; history: {trail}"
+        if events:
+            lines = "\n  ".join(events)
+            detail += f"\nlast engine events:\n  {lines}"
         super().__init__(message + detail)
         self.session = session
         self.state = state
+        self.events = list(events or [])
 
 
 class InsufficientGas(ChainError):

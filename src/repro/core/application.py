@@ -47,10 +47,18 @@ class DebugletApplication:
     def is_sandboxed(self) -> bool:
         return self.module is not None
 
-    def instantiate(self) -> RunnableProgram:
-        """A fresh runnable program for one execution."""
+    def instantiate(self, *, obs=None) -> RunnableProgram:
+        """A fresh runnable program for one execution.
+
+        ``obs`` (a :class:`repro.obs.Observability`) flows into the VM so
+        sandboxed runs report fuel, traps, and host-op counts.
+        """
         if self.module is not None:
-            return VMProgram(self.module, fuel_limit=self.manifest.max_instructions)
+            return VMProgram(
+                self.module,
+                fuel_limit=self.manifest.max_instructions,
+                obs=obs,
+            )
         assert self.native_factory is not None
         return self.native_factory()
 

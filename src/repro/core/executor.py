@@ -138,6 +138,7 @@ class _Execution:
         self.deadline_handle: EventHandle | None = None
         self.port_by_protocol: dict[Protocol, int] = {}
         self.done = False
+        self.span = None  # open obs span while the execution runs
 
 
 class Executor:
@@ -201,6 +202,15 @@ class Executor:
     def simulator(self):
         return self.network.simulator
 
+    @property
+    def obs(self):
+        """The attached observability bundle, or None (see repro.obs)."""
+        return self.network.simulator.obs
+
+    @property
+    def _vantage(self) -> str:
+        return f"{self.asn}:{self.interface}"
+
     # ---------------------------------------------------------- admission
 
     def admit(self, application: DebugletApplication) -> None:
@@ -245,7 +255,7 @@ class Executor:
                 f"executor {self.asn}:{self.interface} is down"
             )
         self.admit(application)
-        program = application.instantiate()
+        program = application.instantiate(obs=self.obs)
         execution = _Execution(self, application, program, on_complete)
         self.executions.append(execution.record)
 
@@ -279,6 +289,16 @@ class Executor:
         record = execution.record
         record.status = "running"
         record.started_at = self.simulator.now
+        obs = self.obs
+        if obs is not None:
+            execution.span = obs.tracer.begin(
+                "executor.execution",
+                component="executor",
+                corr=f"app:{execution.application.name}",
+                vantage=self._vantage,
+                application=execution.application.name,
+                sandboxed=execution.program.is_sandboxed,
+            )
         # Pre-bind listen sockets so early probes are not dropped.
         listen_port = execution.application.listen_port
         if listen_port is not None:
@@ -349,6 +369,9 @@ class Executor:
         op = call.op
         overhead = self._overhead(execution)
         now = self.simulator.now
+        obs = self.simulator.obs
+        if obs is not None:
+            obs.metrics.counter("executor_host_ops_total", op=op).inc()
 
         if op == "now_us":
             return self._resume_after(
@@ -592,6 +615,26 @@ class Executor:
         for socket in execution.sockets.values():
             socket.close()
         record.certificate = self.certify(record)
+        obs = self.obs
+        if obs is not None:
+            outcome = "completed" if status == "completed" else "failed"
+            obs.metrics.counter(
+                "executor_executions_total",
+                status=outcome,
+                vantage=self._vantage,
+            ).inc()
+            obs.metrics.histogram("executor_execution_seconds").observe(
+                max(record.finished_at - record.started_at, 0.0)
+            )
+            if execution.span is not None:
+                obs.tracer.finish(
+                    execution.span,
+                    status=status,
+                    fuel_used=record.fuel_used,
+                    packets_sent=record.packets_sent,
+                    packets_received=record.packets_received,
+                )
+                execution.span = None
         self._live = [e for e in self._live if e is not execution]
         self._running -= 1
         if self._waiting:
@@ -610,6 +653,16 @@ class Executor:
         execution.done = True
         execution.record.status = f"failed: {reason}"
         execution.record.finished_at = self.simulator.now
+        obs = self.obs
+        if obs is not None:
+            obs.metrics.counter(
+                "executor_executions_total",
+                status="killed",
+                vantage=self._vantage,
+            ).inc()
+            if execution.span is not None:
+                obs.tracer.finish(execution.span, status=f"killed: {reason}")
+                execution.span = None
         if execution.deadline_handle is not None:
             execution.deadline_handle.cancel()
             execution.deadline_handle = None
@@ -627,6 +680,15 @@ class Executor:
             return
         self.crashed = True
         self.crash_count += 1
+        obs = self.obs
+        if obs is not None:
+            obs.metrics.counter(
+                "executor_crashes_total", vantage=self._vantage
+            ).inc()
+            obs.tracer.event(
+                "executor.crash", component="executor",
+                vantage=self._vantage, reason=reason,
+            )
         for handle, execution in self._pending_starts:
             handle.cancel()
             self._kill(execution, f"{reason} (never started)")
@@ -645,6 +707,13 @@ class Executor:
         Work lost to the crash stays lost — the control plane's deadlines,
         refunds, and failover are what recover the *session*.
         """
+        if self.crashed:
+            obs = self.obs
+            if obs is not None:
+                obs.tracer.event(
+                    "executor.restart", component="executor",
+                    vantage=self._vantage,
+                )
         self.crashed = False
 
     def cancel_pending(self, reason: str = "slot expired") -> None:

@@ -152,6 +152,13 @@ class ExecutorAgent:
     def interface(self) -> int:
         return self.executor.interface
 
+    @property
+    def _obs(self):
+        obs = self.executor.simulator.obs
+        if obs is not None:
+            return obs
+        return getattr(self.ledger, "obs", None)
+
     def register(self) -> None:
         """RegisterExecutor + start watching for purchased applications."""
         self.wallet.must_call(self.market, "register_executor", self.asn, self.interface)
@@ -258,10 +265,21 @@ class ExecutorAgent:
     ) -> None:
         if retries_left is None:
             retries_left = self.publish_retries
+        obs = self._obs
         if self.publication_gate is not None:
             verdict = self.publication_gate(application_id, record)
             if verdict == "drop":
                 self.dropped_publications.append(application_id)
+                if obs is not None:
+                    obs.metrics.counter(
+                        "marketplace_publications_total", status="dropped"
+                    ).inc()
+                    obs.tracer.event(
+                        "marketplace.publication_dropped",
+                        component="marketplace",
+                        application_id=application_id,
+                        vantage=f"{self.asn}:{self.interface}",
+                    )
                 return
             if isinstance(verdict, tuple) and verdict[0] == "delay":
                 self.executor.simulator.schedule(
@@ -286,6 +304,10 @@ class ExecutorAgent:
                     self._retry_rng.uniform(0.0, self.retry_jitter)
                 )
                 self.publication_retries += 1
+                if obs is not None:
+                    obs.metrics.counter(
+                        "marketplace_retries_total", kind="publish"
+                    ).inc()
                 self.executor.simulator.schedule(
                     delay, self._publish_result, application_id, record,
                     retries_left - 1,
@@ -294,8 +316,21 @@ class ExecutorAgent:
                 self.failed_publications.append(
                     (application_id, f"gave up after retries: {exc}")
                 )
+                if obs is not None:
+                    obs.metrics.counter(
+                        "marketplace_publications_total", status="failed"
+                    ).inc()
         except ChainError as exc:
             self.failed_publications.append((application_id, str(exc)))
+            if obs is not None:
+                obs.metrics.counter(
+                    "marketplace_publications_total", status="reverted"
+                ).inc()
+        else:
+            if obs is not None:
+                obs.metrics.counter(
+                    "marketplace_publications_total", status="published"
+                ).inc()
 
 
 class SessionState(enum.Enum):
@@ -377,6 +412,8 @@ class MeasurementSession:
     # Internal bookkeeping (not part of the public API).
     _subscriptions: list = field(default_factory=list, repr=False)
     _deadline_handle: object = field(default=None, repr=False)
+    _span: object = field(default=None, repr=False)
+    _corr: str = field(default="", repr=False)
     _refunds_outstanding: int = field(default=0, repr=False)
     _settle_paid: int = field(default=0, repr=False)
     _refund_failures: list = field(default_factory=list, repr=False)
@@ -435,6 +472,13 @@ class Initiator:
         self.simulator = simulator
         self._retry_rng = derive_rng(seed, "initiator-retry")
         self.sessions: list[MeasurementSession] = []
+
+    @property
+    def _obs(self):
+        """The testbed's observability bundle, if one is wired up."""
+        if self.simulator is not None and self.simulator.obs is not None:
+            return self.simulator.obs
+        return getattr(self.ledger, "obs", None)
 
     def request_measurement(
         self,
@@ -503,6 +547,18 @@ class Initiator:
             plan=plan,
         )
         self.sessions.append(session)
+        session._corr = f"session:{len(self.sessions)}"
+        obs = self._obs
+        if obs is not None:
+            session._span = obs.tracer.begin(
+                "marketplace.session",
+                component="marketplace",
+                corr=session._corr,
+                client_app=client_app.name,
+                server_app=server_app.name,
+                client_vantage=f"{client_vantage[0]}:{client_vantage[1]}",
+                server_vantage=f"{server_vantage[0]}:{server_vantage[1]}",
+            )
         self._record(session, SessionState.PENDING)
         self._attempt_purchase(session, plan.tx_retries, first=True)
         return session
@@ -512,10 +568,35 @@ class Initiator:
     def _record(
         self, session: MeasurementSession, state: SessionState, reason: str = ""
     ) -> None:
+        previous = session.state
         session.state = state
         session.state_history.append((self.ledger.now, state))
         if reason:
             session.failure_reason = reason
+        obs = self._obs
+        if obs is not None:
+            obs.metrics.counter(
+                "marketplace_session_transitions_total", state=state.value
+            ).inc()
+            obs.tracer.event(
+                "marketplace.session_state",
+                component="marketplace",
+                corr=session._corr,
+                from_state=previous.value,
+                to_state=state.value,
+                attempt=session.attempt,
+                reason=reason,
+            )
+            if state in TERMINAL_STATES and session._span is not None:
+                obs.tracer.finish(
+                    session._span,
+                    state=state.value,
+                    attempts=session.attempt,
+                    total_price=session.total_price,
+                    refunds=len(session.refunds),
+                    purchase_retries=session.purchase_retries,
+                )
+                session._span = None
 
     def _backoff(self, plan: _RequestPlan, attempt: int) -> float:
         return plan.retry_base * (2**attempt) + float(
@@ -578,6 +659,11 @@ class Initiator:
         except LedgerUnavailable as exc:
             if self.simulator is not None and retries_left > 0:
                 session.purchase_retries += 1
+                obs = self._obs
+                if obs is not None:
+                    obs.metrics.counter(
+                        "marketplace_retries_total", kind="purchase"
+                    ).inc()
                 delay = self._backoff(plan, plan.tx_retries - retries_left)
                 self.simulator.schedule(
                     delay, self._attempt_purchase, session, retries_left - 1
@@ -619,6 +705,21 @@ class Initiator:
             "client": MeasurementOutcome(apps["client_application"]),
             "server": MeasurementOutcome(apps["server_application"]),
         }
+        obs = self._obs
+        if obs is not None:
+            obs.metrics.counter("marketplace_purchases_total").inc()
+            obs.metrics.counter("marketplace_escrow_locked_total").inc(
+                session.total_price
+            )
+            obs.tracer.event(
+                "marketplace.purchased",
+                component="marketplace",
+                corr=session._corr,
+                attempt=session.attempt,
+                total_price=session.total_price,
+                window_start=session.window_start,
+                window_end=session.window_end,
+            )
         self._record(session, SessionState.PURCHASED)
         for role, app_id in (
             ("client", apps["client_application"]),
@@ -686,6 +787,11 @@ class Initiator:
         except LedgerUnavailable as exc:
             if self.simulator is not None and retries_left > 0:
                 plan = session.plan
+                obs = self._obs
+                if obs is not None:
+                    obs.metrics.counter(
+                        "marketplace_retries_total", kind="fetch"
+                    ).inc()
                 delay = self._backoff(plan, plan.tx_retries - retries_left)
                 self.simulator.schedule(
                     delay, self._fetch_result, session, role, application_id,
@@ -765,6 +871,11 @@ class Initiator:
         except LedgerUnavailable as exc:
             if self.simulator is not None and retries_left > 0:
                 plan = session.plan
+                obs = self._obs
+                if obs is not None:
+                    obs.metrics.counter(
+                        "marketplace_retries_total", kind="refund"
+                    ).inc()
                 delay = self._backoff(plan, plan.tx_retries - retries_left)
                 self.simulator.schedule(
                     delay, self._refund, session, application_id,
@@ -778,6 +889,19 @@ class Initiator:
             session._refund_failures.append((application_id, str(exc)))
         else:
             session.refunds[application_id] = receipt.return_value
+            obs = self._obs
+            if obs is not None:
+                obs.metrics.counter("marketplace_refunds_total").inc()
+                obs.metrics.counter("marketplace_escrow_refunded_total").inc(
+                    receipt.return_value
+                )
+                obs.tracer.event(
+                    "marketplace.refund",
+                    component="marketplace",
+                    corr=session._corr,
+                    application_id=application_id,
+                    amount=receipt.return_value,
+                )
             if settle:
                 session._settle_paid += 1
         if settle:
@@ -824,15 +948,19 @@ class Initiator:
         seconds elapse (pass ``timeout=None`` to wait without bound).
         """
         limit = None if timeout is None else simulator.now + timeout
+        recent = getattr(simulator, "recent_event_lines", None)
         while not session.done:
             if limit is not None and simulator.now >= limit:
                 raise SessionStalled(
                     session,
                     f"session did not reach a terminal state within "
                     f"{timeout} simulated seconds",
+                    events=recent() if recent is not None else None,
                 )
             if not simulator.step():
                 raise SessionStalled(
-                    session, "simulation idle before session completion"
+                    session,
+                    "simulation idle before session completion",
+                    events=recent() if recent is not None else None,
                 )
         return session

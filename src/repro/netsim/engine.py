@@ -15,6 +15,7 @@ compacted lazily once more than half of it is dead.
 from __future__ import annotations
 
 import heapq
+from collections import deque
 from itertools import count
 from typing import Any, Callable
 
@@ -23,6 +24,21 @@ from repro.common.errors import SimulationError
 #: Queue compaction triggers only past this many live-cancelled entries, so
 #: small simulations never pay the rebuild cost.
 _COMPACT_MIN_CANCELLED = 64
+
+#: With observability enabled, queue depth is sampled every this many
+#: dispatched events (a histogram observation, not a trace event).
+_OBS_SAMPLE_EVERY = 256
+
+#: Size of the recent-dispatch ring kept for failure diagnostics
+#: (:meth:`Simulator.recent_event_lines`, used by ``SessionStalled``).
+_RECENT_RING = 64
+
+
+def _callback_name(callback: Callable) -> str:
+    name = getattr(callback, "__qualname__", None)
+    if name is None:
+        name = type(callback).__name__
+    return name
 
 
 class EventHandle:
@@ -73,6 +89,51 @@ class Simulator:
         self._running = False
         self._events_processed = 0
         self._cancelled = 0
+        # Observability (repro.obs). ``obs`` stays None unless a bundle is
+        # attached; the run loop then switches to its instrumented twin.
+        # ``_instrumented`` is True only for a *recording* bundle, so the
+        # disabled (null-recorder) mode skips the ring/sampling work too.
+        self.obs = None
+        self._instrumented = False
+        self._recent: deque | None = None
+        self._obs_tick = 0
+
+    def attach_observability(self, obs) -> None:
+        """Attach a :class:`repro.obs.Observability` bundle.
+
+        Binds the bundle's clock to this simulator and pre-resolves the
+        engine's recorders so the run loop records with direct method
+        calls (no registry lookups per event).
+        """
+        self.obs = obs
+        obs.bind_clock(lambda: self._now)
+        metrics = obs.metrics
+        self._m_events = metrics.counter("engine_events_total")
+        self._m_cancelled = metrics.counter("engine_events_cancelled_total")
+        self._m_compactions = metrics.counter("engine_compactions_total")
+        self._h_queue = metrics.histogram("engine_queue_depth")
+        self._h_lead = metrics.histogram("engine_event_lead_seconds")
+        self._instrumented = obs.record
+        self._recent = deque(maxlen=_RECENT_RING) if obs.record else None
+
+    def recent_event_lines(self, n: int = 10) -> list[str]:
+        """The last ``n`` dispatched events as ``t=..s name`` strings.
+
+        Empty unless a recording observability bundle is attached — the
+        detached hot path keeps no history.
+        """
+        if not self._recent:
+            return []
+        return [f"t={t:.6f}s {name}" for t, name in list(self._recent)[-n:]]
+
+    def _note_dispatch(self, time: float, callback: Callable) -> None:
+        """Per-event bookkeeping on the instrumented path."""
+        self._m_events.inc()
+        self._recent.append((time, _callback_name(callback)))
+        self._obs_tick += 1
+        if self._obs_tick >= _OBS_SAMPLE_EVERY:
+            self._obs_tick = 0
+            self._h_queue.observe(len(self._queue) - self._cancelled)
 
     @property
     def now(self) -> float:
@@ -104,6 +165,8 @@ class Simulator:
             )
         handle = EventHandle(time, callback, args, self)
         heapq.heappush(self._queue, (time, next(self._sequence), handle))
+        if self._instrumented:
+            self._h_lead.observe(time - self._now)
         return handle
 
     def schedule(
@@ -129,12 +192,16 @@ class Simulator:
         heapq.heappush(
             self._queue, (time, next(self._sequence), None, callback, args)
         )
+        if self._instrumented:
+            self._h_lead.observe(time - self._now)
 
     # ------------------------------------------------------- cancellation
 
     def _note_cancelled(self) -> None:
         """Called by :meth:`EventHandle.cancel` while the entry is queued."""
         self._cancelled += 1
+        if self._instrumented:
+            self._m_cancelled.inc()
         if (
             self._cancelled >= _COMPACT_MIN_CANCELLED
             and self._cancelled * 2 > len(self._queue)
@@ -151,17 +218,26 @@ class Simulator:
         ]
         heapq.heapify(self._queue)
         self._cancelled = 0
+        if self._instrumented:
+            self._m_compactions.inc()
+            self.obs.tracer.event(
+                "engine.compaction", component="engine",
+                queue_depth=len(self._queue),
+            )
 
     # ---------------------------------------------------------- execution
 
     def step(self) -> bool:
         """Fire the next non-cancelled event. Returns False when idle."""
+        instrumented = self._instrumented
         while self._queue:
             entry = heapq.heappop(self._queue)
             handle = entry[2]
             if handle is None:
                 self._now = entry[0]
                 self._events_processed += 1
+                if instrumented:
+                    self._note_dispatch(entry[0], entry[3])
                 entry[3](*entry[4])
                 return True
             if handle.cancelled:
@@ -170,6 +246,8 @@ class Simulator:
             handle._sim = None
             self._now = entry[0]
             self._events_processed += 1
+            if instrumented:
+                self._note_dispatch(entry[0], handle.callback)
             handle.callback(*handle.args)
             return True
         return False
@@ -186,27 +264,53 @@ class Simulator:
         self._running = True
         queue = self._queue
         try:
-            while queue:
-                if until is not None and queue[0][0] > until:
-                    break
-                entry = heapq.heappop(queue)
-                handle = entry[2]
-                if handle is None:
+            if self._instrumented:
+                self._run_instrumented(queue, until)
+            else:
+                while queue:
+                    if until is not None and queue[0][0] > until:
+                        break
+                    entry = heapq.heappop(queue)
+                    handle = entry[2]
+                    if handle is None:
+                        self._now = entry[0]
+                        self._events_processed += 1
+                        entry[3](*entry[4])
+                        continue
+                    if handle.cancelled:
+                        self._cancelled -= 1
+                        continue
+                    handle._sim = None
                     self._now = entry[0]
                     self._events_processed += 1
-                    entry[3](*entry[4])
-                    continue
-                if handle.cancelled:
-                    self._cancelled -= 1
-                    continue
-                handle._sim = None
-                self._now = entry[0]
-                self._events_processed += 1
-                handle.callback(*handle.args)
+                    handle.callback(*handle.args)
             if until is not None and until > self._now:
                 self._now = until
         finally:
             self._running = False
+
+    def _run_instrumented(self, queue: list, until: float | None) -> None:
+        """The run loop's recording twin: same semantics, plus per-event
+        counters, the recent-dispatch ring, and sampled queue depth."""
+        while queue:
+            if until is not None and queue[0][0] > until:
+                break
+            entry = heapq.heappop(queue)
+            handle = entry[2]
+            if handle is None:
+                self._now = entry[0]
+                self._events_processed += 1
+                self._note_dispatch(entry[0], entry[3])
+                entry[3](*entry[4])
+                continue
+            if handle.cancelled:
+                self._cancelled -= 1
+                continue
+            handle._sim = None
+            self._now = entry[0]
+            self._events_processed += 1
+            self._note_dispatch(entry[0], handle.callback)
+            handle.callback(*handle.args)
 
     def run_until_idle(self) -> None:
         """Run until no events remain."""

@@ -239,5 +239,8 @@ class Network:
 
     def _drop(self, packet: Packet, reason: str) -> None:
         self.stats.record_drop(reason)
+        obs = self.simulator.obs
+        if obs is not None:
+            obs.metrics.counter("net_drops_total", reason=reason).inc()
         if self.on_drop is not None:
             self.on_drop(packet, reason, self.simulator.now)

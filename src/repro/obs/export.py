@@ -1,0 +1,210 @@
+"""Trace/metrics exporters: JSON-lines, Chrome-trace, Prometheus text.
+
+All three formats are **byte-deterministic**: records are emitted in
+recording order (itself deterministic under the sim clock), dict keys
+are sorted, and floats go through ``repr`` via ``json.dumps`` — so two
+same-seed runs produce identical files and a trace diff is a determinism
+regression.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.obs.metrics import Histogram
+
+_JSON_KW = {"sort_keys": True, "separators": (",", ":")}
+
+
+# ------------------------------------------------------------------ JSONL
+
+
+def to_jsonl(tracer) -> str:
+    """One JSON object per line: spans and events, merged chronologically.
+
+    Records are ordered by ``(time, kind, id)`` where a span sorts at its
+    *start* time — the natural order for tailing a run — with sequential
+    ids breaking ties deterministically.
+    """
+    rows = []
+    for span in tracer.spans:
+        rows.append(
+            (
+                span.start,
+                0,
+                span.span_id,
+                {
+                    "kind": "span",
+                    "id": span.span_id,
+                    "parent": span.parent_id,
+                    "name": span.name,
+                    "component": span.component,
+                    "start": span.start,
+                    "end": span.end,
+                    "corr": span.corr,
+                    "attrs": span.attributes,
+                },
+            )
+        )
+    for index, event in enumerate(tracer.events):
+        rows.append(
+            (
+                event.time,
+                1,
+                index,
+                {
+                    "kind": "event",
+                    "name": event.name,
+                    "component": event.component,
+                    "t": event.time,
+                    "span": event.span_id,
+                    "corr": event.corr,
+                    "attrs": event.attributes,
+                },
+            )
+        )
+    rows.sort(key=lambda row: row[:3])
+    return "".join(json.dumps(row[3], **_JSON_KW) + "\n" for row in rows)
+
+
+# ----------------------------------------------------------- Chrome trace
+
+
+def to_chrome_trace(tracer, metrics=None) -> str:
+    """``chrome://tracing`` / Perfetto JSON: spans as complete ("X")
+    events, point events as instants ("i"), one thread lane per
+    component. Timestamps are simulated microseconds."""
+    components = sorted(
+        {s.component for s in tracer.spans}
+        | {e.component for e in tracer.events}
+    )
+    tid_of = {component: index + 1 for index, component in enumerate(components)}
+    trace_events = []
+    for component, tid in tid_of.items():
+        trace_events.append(
+            {
+                "name": "thread_name",
+                "ph": "M",
+                "pid": 1,
+                "tid": tid,
+                "args": {"name": component},
+            }
+        )
+    for span in tracer.spans:
+        args = dict(span.attributes)
+        if span.corr:
+            args["corr"] = span.corr
+        trace_events.append(
+            {
+                "name": span.name,
+                "ph": "X",
+                "pid": 1,
+                "tid": tid_of[span.component],
+                "ts": span.start * 1e6,
+                "dur": ((span.end or span.start) - span.start) * 1e6,
+                "id": span.span_id,
+                "args": args,
+            }
+        )
+    for event in tracer.events:
+        args = dict(event.attributes)
+        if event.corr:
+            args["corr"] = event.corr
+        trace_events.append(
+            {
+                "name": event.name,
+                "ph": "i",
+                "s": "g",
+                "pid": 1,
+                "tid": tid_of[event.component],
+                "ts": event.time * 1e6,
+                "args": args,
+            }
+        )
+    document = {"traceEvents": trace_events, "displayTimeUnit": "ms"}
+    if metrics is not None:
+        document["otherData"] = {"metrics": _metrics_payload(metrics)}
+    return json.dumps(document, **_JSON_KW)
+
+
+def _metrics_payload(metrics) -> dict:
+    payload: dict[str, dict] = {}
+    for kind, name, labels, metric in metrics.snapshot():
+        key = name if not labels else f"{name}{{{_label_str(labels)}}}"
+        if isinstance(metric, Histogram):
+            payload[key] = {
+                "kind": kind,
+                "count": metric.total,
+                "sum": metric.sum,
+            }
+        else:
+            payload[key] = {"kind": kind, "value": metric.value}
+    return payload
+
+
+# ------------------------------------------------------------- Prometheus
+
+
+def _label_str(labels: tuple[tuple[str, str], ...]) -> str:
+    return ",".join(f'{key}="{value}"' for key, value in labels)
+
+
+def _fmt(value: float) -> str:
+    if isinstance(value, int) or (isinstance(value, float) and value == int(value)):
+        return str(int(value))
+    return repr(float(value))
+
+
+def to_prometheus(metrics) -> str:
+    """Prometheus text exposition format, deterministically ordered."""
+    lines: list[str] = []
+    seen_type: set[str] = set()
+    for kind, name, labels, metric in metrics.snapshot():
+        if name not in seen_type:
+            seen_type.add(name)
+            lines.append(f"# TYPE {name} {kind}")
+        label_str = _label_str(labels)
+        if isinstance(metric, Histogram):
+            cumulative = 0
+            for bound, count in zip(metric.bounds, metric.counts):
+                cumulative += count
+                le = f'le="{_fmt(bound)}"'
+                full = f"{label_str},{le}" if label_str else le
+                lines.append(f"{name}_bucket{{{full}}} {cumulative}")
+            le = 'le="+Inf"'
+            full = f"{label_str},{le}" if label_str else le
+            lines.append(f"{name}_bucket{{{full}}} {metric.total}")
+            suffix = f"{{{label_str}}}" if label_str else ""
+            lines.append(f"{name}_sum{suffix} {_fmt(metric.sum)}")
+            lines.append(f"{name}_count{suffix} {metric.total}")
+        else:
+            suffix = f"{{{label_str}}}" if label_str else ""
+            lines.append(f"{name}{suffix} {_fmt(metric.value)}")
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+# ------------------------------------------------------------ file output
+
+
+def write_exports(
+    obs,
+    *,
+    trace_out: str | None = None,
+    events_out: str | None = None,
+    metrics_out: str | None = None,
+) -> list[str]:
+    """Write the requested export files; returns the paths written."""
+    written = []
+    if trace_out:
+        with open(trace_out, "w", encoding="utf-8") as handle:
+            handle.write(to_chrome_trace(obs.tracer, obs.metrics))
+        written.append(trace_out)
+    if events_out:
+        with open(events_out, "w", encoding="utf-8") as handle:
+            handle.write(to_jsonl(obs.tracer))
+        written.append(events_out)
+    if metrics_out:
+        with open(metrics_out, "w", encoding="utf-8") as handle:
+            handle.write(to_prometheus(obs.metrics))
+        written.append(metrics_out)
+    return written

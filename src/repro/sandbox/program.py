@@ -77,9 +77,11 @@ class VMProgram(RunnableProgram):
 
     is_sandboxed = True
 
-    def __init__(self, module: Module, *, fuel_limit: int = 10_000_000) -> None:
+    def __init__(
+        self, module: Module, *, fuel_limit: int = 10_000_000, obs=None
+    ) -> None:
         self.module = module
-        self.vm = VM(module, fuel_limit=fuel_limit)
+        self.vm = VM(module, fuel_limit=fuel_limit, obs=obs)
         self._pending: HostCall | None = None
 
     @property

@@ -78,7 +78,9 @@ class VM:
     MAX_STACK_DEPTH = 256
     MAX_VALUE_STACK = 65536
 
-    def __init__(self, module: Module, *, fuel_limit: int = 10_000_000) -> None:
+    def __init__(
+        self, module: Module, *, fuel_limit: int = 10_000_000, obs=None
+    ) -> None:
         module.validate()
         self.module = module
         self.fuel_limit = fuel_limit
@@ -90,6 +92,10 @@ class VM:
         self._started = False
         self._finished = False
         self._awaiting_host: HostCall | None = None
+        # Observability (repro.obs): recorded only at machine boundaries
+        # (host calls, traps, completion) so the per-instruction dispatch
+        # loop stays untouched.
+        self._obs = obs
 
     # ------------------------------------------------------------ control
 
@@ -106,7 +112,9 @@ class VM:
             )
         locals_ = [_wrap(a) for a in args] + [0] * entry.n_locals
         self._frames.append(_Frame(ENTRY_POINT, 0, locals_, 0))
-        return self._run()
+        if self._obs is None:
+            return self._run()
+        return self._run_observed()
 
     def resume(self, results: list[int] | None = None) -> "HostCall | Done":
         """Resume after a host call, pushing ``results`` onto the stack."""
@@ -115,7 +123,30 @@ class VM:
         self._awaiting_host = None
         for value in results or []:
             self._push(_wrap(int(value)))
-        return self._run()
+        if self._obs is None:
+            return self._run()
+        return self._run_observed()
+
+    def _run_observed(self) -> "HostCall | Done":
+        """Boundary instrumentation: host-op counts, traps, final fuel."""
+        obs = self._obs
+        try:
+            step = self._run()
+        except SandboxError as exc:
+            kind = type(exc).__name__
+            obs.metrics.counter("vm_traps_total", kind=kind).inc()
+            obs.tracer.event(
+                "vm.trap", component="vm", kind=kind,
+                function=self._frames[-1].function_name if self._frames else "",
+                fuel_used=self.fuel_used,
+            )
+            raise
+        if isinstance(step, HostCall):
+            obs.metrics.counter("vm_host_calls_total", op=step.name).inc()
+        else:
+            obs.metrics.counter("vm_runs_completed_total").inc()
+            obs.metrics.histogram("vm_fuel_used").observe(self.fuel_used)
+        return step
 
     @property
     def finished(self) -> bool:

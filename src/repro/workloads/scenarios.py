@@ -128,14 +128,19 @@ class MarketplaceTestbed:
         finality_latency: float = 0.4,
         slot_price: int = 50_000_000,
         initiator_funding: int | None = None,
+        obs=None,
     ) -> "MarketplaceTestbed":
         chain = build_chain(n_ases, link_delay=link_delay, seed=seed)
         simulator = chain.simulator
+        if obs is not None:
+            simulator.attach_observability(obs)
         ledger = Ledger(
             clock=lambda: simulator.now,
             scheduler=lambda delay, fn: simulator.schedule(delay, fn),
             finality_latency=finality_latency,
         )
+        if obs is not None:
+            ledger.obs = obs
         market = DebugletMarket()
         ledger.register_contract(market)
 

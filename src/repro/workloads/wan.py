@@ -333,12 +333,15 @@ class WanScenario:
         seed: int = 7,
         horizon: float = 2 * 86400.0,
         cities: list[str] | None = None,
+        obs=None,
     ) -> "WanScenario":
         names = list(CITY_SPECS) if cities is None else cities
         unknown = set(names) - set(CITY_SPECS)
         if unknown:
             raise ConfigurationError(f"unknown cities: {sorted(unknown)}")
         simulator = Simulator()
+        if obs is not None:
+            simulator.attach_observability(obs)
         topology = Topology()
         topology.make_as(
             LONDON_ASN,
@@ -416,6 +419,7 @@ class WanScenario:
                 start=start,
                 workers=workers,
             )
+        obs = self.simulator.obs
         probers = {
             name: MultiProtocolProber(
                 host,
@@ -427,8 +431,34 @@ class WanScenario:
             )
             for name, host in self.city_hosts.items()
         }
-        self.simulator.run_until_idle()
-        return {name: prober.finalize() for name, prober in probers.items()}
+        if obs is not None:
+            with obs.tracer.span(
+                "wan.protocol_study",
+                component="workload",
+                mode="event-driven",
+                cities=len(probers),
+                probes_per_protocol=probes_per_protocol,
+            ):
+                self.simulator.run_until_idle()
+        else:
+            self.simulator.run_until_idle()
+        results = {name: prober.finalize() for name, prober in probers.items()}
+        if obs is not None:
+            self._record_study(obs, results)
+        return results
+
+    def _record_study(self, obs, results) -> None:
+        """Per-cell probe counters and RTT histograms (both study paths)."""
+        counter = obs.metrics.counter
+        for city in sorted(results):
+            for protocol in sorted(results[city], key=lambda p: p.name):
+                trace = results[city][protocol]
+                labels = {"city": city, "protocol": protocol.name}
+                counter("probes_sent_total", **labels).inc(trace.sent)
+                counter("probes_lost_total", **labels).inc(trace.lost)
+                rtt = obs.metrics.histogram("probe_rtt_seconds", **labels)
+                for value in trace.rtts():
+                    rtt.observe(float(value))
 
     def _run_protocol_study_fast(
         self,
@@ -474,4 +504,31 @@ class WanScenario:
         for cell, trace in zip(cells, traces):
             city = cell.label.split("/", 1)[0]
             results.setdefault(city, {})[cell.protocol] = trace
+        obs = self.simulator.obs
+        if obs is not None:
+            # The fast path never advances the simulator clock, so the
+            # probe windows are recorded retroactively from the schedule
+            # each cell was built with — deterministic by construction.
+            window_end = start + probes_per_protocol * interval
+            study = obs.tracer.span_at(
+                "wan.protocol_study",
+                start,
+                window_end + (len(protocols) - 1) * stagger,
+                component="workload",
+                mode="fast",
+                cities=len(self.city_hosts),
+                probes_per_protocol=probes_per_protocol,
+            )
+            for index, cell in enumerate(cells):
+                cell_start = start + (index % len(protocols)) * stagger
+                obs.tracer.span_at(
+                    f"wan.cell.{cell.label}",
+                    cell_start,
+                    cell_start + probes_per_protocol * interval,
+                    component="workload",
+                    parent=study,
+                    corr=f"cell:{cell.label}",
+                    protocol=cell.protocol.name,
+                )
+            self._record_study(obs, results)
         return results

@@ -39,6 +39,58 @@ class TestCli:
             main(["frobnicate"])
 
 
+@pytest.mark.obs
+class TestCliObservability:
+    def test_table1_trace_out(self, tmp_path, capsys):
+        import json
+
+        trace = tmp_path / "trace.json"
+        assert main(["table1", "--probes", "40", "--fast",
+                     "--trace-out", str(trace)]) == 0
+        out = capsys.readouterr().out
+        assert f"wrote {trace}" in out
+        document = json.loads(trace.read_text())
+        names = {e.get("name") for e in document["traceEvents"]}
+        assert "wan.protocol_study" in names
+
+    def test_quickstart_all_exports_and_report(self, tmp_path, capsys):
+        trace = tmp_path / "trace.json"
+        events = tmp_path / "events.jsonl"
+        metrics = tmp_path / "metrics.txt"
+        assert main(["quickstart", "--probes", "5",
+                     "--trace-out", str(trace),
+                     "--events-out", str(events),
+                     "--metrics-out", str(metrics),
+                     "--obs-report"]) == 0
+        out = capsys.readouterr().out
+        assert "verification: OK" in out
+        assert "observability report:" in out
+        assert "marketplace/marketplace.session" in out
+        assert "engine_events_total" in metrics.read_text()
+        assert '"kind":"span"' in events.read_text()
+
+    def test_chaos_demo_trace_out(self, tmp_path, capsys):
+        events = tmp_path / "events.jsonl"
+        assert main(["chaos-demo", "--fault", "txfail",
+                     "--events-out", str(events)]) == 0
+        assert "chaos.injected" in events.read_text()
+
+    def test_obs_report_subcommand(self, tmp_path, capsys):
+        trace = tmp_path / "trace.json"
+        assert main(["obs-report", "--scenario", "quickstart",
+                     "--trace-out", str(trace)]) == 0
+        out = capsys.readouterr().out
+        assert "observability report:" in out
+        assert trace.exists()
+
+    def test_no_flags_means_detached(self, capsys):
+        # Without any obs flag the run must not mention observability.
+        assert main(["quickstart", "--probes", "5"]) == 0
+        out = capsys.readouterr().out
+        assert "observability" not in out
+        assert "wrote" not in out
+
+
 GOOD_SOURCE = """\
 .memory 4096
 .func run_debuglet 0 0

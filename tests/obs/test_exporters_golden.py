@@ -1,0 +1,114 @@
+"""Golden-file tests for the three exporters (JSONL, Chrome trace, Prometheus).
+
+The sample below is built entirely by hand against a fake clock, so the
+expected bytes are stable across machines and Python versions. If an
+exporter's format changes intentionally, regenerate the goldens with::
+
+    PYTHONPATH=src python tests/obs/test_exporters_golden.py
+"""
+
+import json
+import pathlib
+
+import pytest
+
+from repro.obs import Observability, to_chrome_trace, to_jsonl, to_prometheus
+
+pytestmark = pytest.mark.obs
+
+GOLDEN = pathlib.Path(__file__).parent / "golden"
+
+
+def build_sample() -> Observability:
+    """A tiny but representative trace: spans, nesting, events, metrics."""
+    t = {"now": 0.0}
+    obs = Observability.enabled(lambda: t["now"])
+    tracer, metrics = obs.tracer, obs.metrics
+
+    with tracer.span("session", component="marketplace", corr="session:1",
+                     client_app="cli") as session:
+        t["now"] = 0.5
+        tracer.event("session_state", component="marketplace",
+                     from_state="pending", to_state="purchased")
+        execution = tracer.begin("execution", component="executor",
+                                 parent=session, vantage="1:2")
+        t["now"] = 2.0
+        tracer.finish(execution, status="completed", fuel_used=1234)
+        t["now"] = 3.25
+    tracer.event("drop", component="netsim", reason="ttl_expired")
+    tracer.span_at("fault", 1.0, 2.5, component="chaos", corr="fault:1",
+                   kind="tx-failure")
+
+    metrics.counter("engine_events_total").inc(42)
+    metrics.counter("ledger_tx_total", status="success", function="transfer").inc(3)
+    metrics.counter("ledger_tx_total", status="reverted", function="transfer").inc()
+    metrics.gauge("queue_depth").set(7)
+    rtt = metrics.histogram("rtt_seconds", bounds=(0.001, 0.01, 0.1))
+    for value in (0.0005, 0.002, 0.002, 0.05, 1.0):
+        rtt.observe(value)
+    return obs
+
+
+def test_jsonl_matches_golden():
+    obs = build_sample()
+    assert to_jsonl(obs.tracer) == (GOLDEN / "events.jsonl").read_text()
+
+
+def test_chrome_trace_matches_golden():
+    obs = build_sample()
+    assert to_chrome_trace(obs.tracer, obs.metrics) == (
+        GOLDEN / "chrome_trace.json"
+    ).read_text()
+
+
+def test_prometheus_matches_golden():
+    obs = build_sample()
+    assert to_prometheus(obs.metrics) == (GOLDEN / "prometheus.txt").read_text()
+
+
+def test_jsonl_is_valid_json_lines():
+    obs = build_sample()
+    lines = to_jsonl(obs.tracer).splitlines()
+    records = [json.loads(line) for line in lines]
+    assert {r["kind"] for r in records} == {"span", "event"}
+    # Sorted by time, spans before events at equal times.
+    times = [r.get("start", r.get("t")) for r in records]
+    assert times == sorted(times)
+
+
+def test_chrome_trace_is_loadable_and_complete():
+    obs = build_sample()
+    document = json.loads(to_chrome_trace(obs.tracer, obs.metrics))
+    phases = [e["ph"] for e in document["traceEvents"]]
+    assert "X" in phases and "i" in phases and "M" in phases
+    complete = [e for e in document["traceEvents"] if e["ph"] == "X"]
+    # ts/dur are microseconds of simulated time.
+    session = next(e for e in complete if e["name"] == "session")
+    assert session["ts"] == 0.0
+    assert session["dur"] == pytest.approx(3.25e6)
+    assert "metrics" in document["otherData"]
+
+
+def test_prometheus_histogram_is_cumulative():
+    obs = build_sample()
+    text = to_prometheus(obs.metrics)
+    lines = [line for line in text.splitlines() if line.startswith("rtt_seconds")]
+    counts = [int(line.split()[-1]) for line in lines if "_bucket" in line]
+    assert counts == sorted(counts)
+    assert counts[-1] == 5  # +Inf bucket holds every observation
+    assert "rtt_seconds_count 5" in text
+
+
+def _regenerate() -> None:  # pragma: no cover - manual tool
+    GOLDEN.mkdir(exist_ok=True)
+    obs = build_sample()
+    (GOLDEN / "events.jsonl").write_text(to_jsonl(obs.tracer))
+    (GOLDEN / "chrome_trace.json").write_text(
+        to_chrome_trace(obs.tracer, obs.metrics)
+    )
+    (GOLDEN / "prometheus.txt").write_text(to_prometheus(obs.metrics))
+    print(f"regenerated goldens under {GOLDEN}")
+
+
+if __name__ == "__main__":  # pragma: no cover
+    _regenerate()

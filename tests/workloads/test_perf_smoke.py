@@ -5,6 +5,10 @@ for the real >=5x assertion at default scale); they are cheap guards that
 run inside the tier-1 suite and can be selected with ``-m perf_smoke``.
 """
 
+import datetime
+import json
+import pathlib
+import subprocess
 import time
 
 import pytest
@@ -33,6 +37,81 @@ def test_fast_path_beats_event_driven_on_small_study():
     for protocol in Protocol:
         assert fast["frankfurt"][protocol].sent == probes
         assert event["frankfurt"][protocol].sent == probes
+
+
+def _repo_root() -> pathlib.Path:
+    return pathlib.Path(__file__).resolve().parents[2]
+
+
+def _git_head(root: pathlib.Path) -> str:
+    try:
+        return subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"], cwd=root,
+            capture_output=True, text=True, timeout=10, check=True,
+        ).stdout.strip()
+    except Exception:
+        return "unknown"
+
+
+def _record_bench(rows: list[dict]) -> None:
+    root = _repo_root()
+    path = root / "BENCH_obs.json"
+    document = json.loads(path.read_text()) if path.exists() else {}
+    stamp = datetime.datetime.now().strftime("%Y-%m-%dT%H:%M:%S")
+    for row in rows:
+        row["timestamp"] = stamp
+    document.setdefault(_git_head(root), []).extend(rows)
+    path.write_text(json.dumps(document, indent=2) + "\n")
+
+
+@pytest.mark.perf_smoke
+def test_observability_disabled_overhead_under_5_percent():
+    """The observability overhead guard (DESIGN.md §9).
+
+    With a disabled bundle attached (null recorders), the Table I fast
+    path must stay within 5% of the fully detached baseline. Min-of-N
+    timings make the comparison robust to scheduler noise, and a small
+    absolute floor keeps the ratio meaningful when both sides are fast.
+    """
+    from repro.obs import Observability
+
+    probes = 2000
+    repeats = 5
+
+    def run_study(obs) -> float:
+        scenario = WanScenario.build(seed=7, cities=["frankfurt"], obs=obs)
+        started = time.perf_counter()
+        scenario.run_protocol_study(probes_per_protocol=probes, fast=True)
+        return time.perf_counter() - started
+
+    detached = min(run_study(None) for _ in range(repeats))
+    disabled = min(run_study(Observability.disabled()) for _ in range(repeats))
+
+    _record_bench([
+        {"name": "table1-fast-detached", "seconds": round(detached, 4),
+         "probes_per_cell": probes, "repeats": repeats},
+        {"name": "table1-fast-obs-disabled", "seconds": round(disabled, 4),
+         "probes_per_cell": probes, "repeats": repeats},
+    ])
+
+    # <5% relative, with a 10 ms absolute floor against timer jitter.
+    assert disabled <= detached * 1.05 + 0.010, (detached, disabled)
+
+
+@pytest.mark.perf_smoke
+def test_engine_disabled_mode_skips_instrumented_loop():
+    """The disabled bundle must leave the engine on its uninstrumented
+    run loop (`_instrumented` False), not merely hand out null recorders."""
+    from repro.netsim.engine import Simulator
+    from repro.obs import Observability
+
+    simulator = Simulator()
+    simulator.attach_observability(Observability.disabled())
+    assert simulator._instrumented is False
+
+    simulator = Simulator()
+    simulator.attach_observability(Observability.enabled())
+    assert simulator._instrumented is True
 
 
 @pytest.mark.perf_smoke
