@@ -230,6 +230,47 @@ def _cmd_localize(args: argparse.Namespace) -> int:
     return 0 if report.found(fault.location) else 1
 
 
+def _cmd_vmbench(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.perf.vmbench import (
+        TIERS,
+        WORKLOAD_NAMES,
+        run_localization,
+        run_suite,
+    )
+    from repro.sandbox.compile import compile_cache
+
+    tiers = TIERS if args.tier == "both" else (args.tier,)
+    workloads = WORKLOAD_NAMES
+    if args.workloads:
+        workloads = tuple(name.strip() for name in args.workloads.split(","))
+        unknown = set(workloads) - set(WORKLOAD_NAMES)
+        if unknown:
+            print(f"unknown workloads: {sorted(unknown)}", file=sys.stderr)
+            return 2
+    rows = run_suite(
+        tiers, scale=args.scale, repeats=args.repeats, workloads=workloads
+    )
+    if args.e2e:
+        for tier in tiers:
+            rows.append(run_localization(tier))
+    if args.json:
+        print(json.dumps(
+            {"rows": rows, "compile_cache": compile_cache().stats()}, indent=2
+        ))
+        return 0
+    print(f"{'workload':<14} {'tier':<10} {'seconds':>10} {'speedup':>8}")
+    for row in rows:
+        speedup = f"{row['speedup']:.2f}x" if "speedup" in row else ""
+        print(f"{row['name']:<14} {row['tier']:<10} "
+              f"{row['seconds']:>10.4f} {speedup:>8}")
+    stats = compile_cache().stats()
+    print(f"compile cache: {stats['hits']} hits / {stats['misses']} misses "
+          f"({stats['entries']} entries)")
+    return 0
+
+
 def _cmd_verify(args: argparse.Namespace) -> int:
     import json
 
@@ -492,6 +533,24 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--events-out", default=None, metavar="FILE")
     p.add_argument("--metrics-out", default=None, metavar="FILE")
     p.set_defaults(func=_cmd_obs_report)
+
+    p = sub.add_parser(
+        "vmbench",
+        help="execution-tier microbench: reference interpreter vs compiled",
+    )
+    p.add_argument("--tier", choices=["reference", "compiled", "both"],
+                   default="both")
+    p.add_argument("--scale", type=float, default=1.0,
+                   help="multiply every workload's iteration count")
+    p.add_argument("--repeats", type=int, default=3,
+                   help="min-of-N repeats per row")
+    p.add_argument("--workloads", default=None,
+                   help="comma-separated subset (default: all)")
+    p.add_argument("--e2e", action="store_true",
+                   help="also time an end-to-end fault-localization run per tier")
+    p.add_argument("--json", action="store_true",
+                   help="emit rows (plus compile-cache stats) as JSON")
+    p.set_defaults(func=_cmd_vmbench)
 
     p = sub.add_parser(
         "verify",

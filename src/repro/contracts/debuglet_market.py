@@ -566,3 +566,9 @@ def _verify_application_wire(ctx: ExecutionContext, wire: bytes, label: str) -> 
         f"{label} bytecode failed verification: "
         + "; ".join(diag.render() for diag in report.errors),
     )
+    # Purchase is the first time most modules are seen; translating here
+    # warms the process-wide compile cache so executor admission and every
+    # session VM afterwards reuse the threaded code by hash.
+    from repro.sandbox.compile import get_compiled
+
+    get_compiled(module)

@@ -47,17 +47,23 @@ class DebugletApplication:
     def is_sandboxed(self) -> bool:
         return self.module is not None
 
-    def instantiate(self, *, obs=None) -> RunnableProgram:
+    def instantiate(self, *, obs=None, tier: str | None = None) -> RunnableProgram:
         """A fresh runnable program for one execution.
 
         ``obs`` (a :class:`repro.obs.Observability`) flows into the VM so
-        sandboxed runs report fuel, traps, and host-op counts.
+        sandboxed runs report fuel, traps, and host-op counts. ``tier``
+        overrides the sandbox execution tier (default: the process-wide
+        :data:`repro.sandbox.program.DEFAULT_TIER`, normally "auto" —
+        the compiled tier with reference fallback); the translation is
+        shared through the compile cache, so per-session instantiation
+        is a hash lookup.
         """
         if self.module is not None:
             return VMProgram(
                 self.module,
                 fuel_limit=self.manifest.max_instructions,
                 obs=obs,
+                tier=tier,
             )
         assert self.native_factory is not None
         return self.native_factory()

@@ -235,6 +235,13 @@ class Executor:
                         "bytecode failed ahead-of-time verification: "
                         + "; ".join(diag.render() for diag in report.errors)
                     )
+            # Warm the process-wide compile cache at admission so every
+            # session VM for this module starts from a hash lookup
+            # (repro.sandbox.compile; unprovable modules are cached as
+            # reference-tier and never re-analysed).
+            from repro.sandbox.compile import get_compiled
+
+            get_compiled(application.module, obs=self.obs)
 
     # ---------------------------------------------------------- execution
 

@@ -8,6 +8,14 @@ overhead comparison.
 """
 
 from repro.sandbox.assembler import AssemblyError, assemble
+from repro.sandbox.compile import (
+    CompileCache,
+    CompiledModule,
+    CompileUnsupported,
+    compile_cache,
+    compile_module,
+    get_compiled,
+)
 from repro.sandbox.hostops import (
     BLOCKING_OPS,
     HOST_OPS,
@@ -53,6 +61,9 @@ __all__ = [
     "AssemblyError",
     "BLOCKING_OPS",
     "BufferSpec",
+    "CompileCache",
+    "CompileUnsupported",
+    "CompiledModule",
     "Diagnostic",
     "Done",
     "ENTRY_POINT",
@@ -79,7 +90,10 @@ __all__ = [
     "VMProgram",
     "VerificationReport",
     "assemble",
+    "compile_cache",
+    "compile_module",
     "decode_result_pairs",
+    "get_compiled",
     "disassemble",
     "echo_client",
     "echo_server",

@@ -102,7 +102,20 @@ class Module:
         raise SandboxError(f"module declares none of the buffers {names}")
 
     def encoded(self) -> bytes:
-        """Canonical byte encoding (what gets stored on-chain)."""
+        """Canonical byte encoding (what gets stored on-chain).
+
+        Memoised: modules are treated as immutable once constructed
+        (the assembler and wire decoder both produce finished modules),
+        and the encoding is re-requested for pricing, certification, and
+        the compiled-module cache key.
+        """
+        cached = self.__dict__.get("_encoded_cache")
+        if cached is None:
+            cached = self._encode()
+            self.__dict__["_encoded_cache"] = cached
+        return cached
+
+    def _encode(self) -> bytes:
         return canonical_encode(
             {
                 "memory": self.memory_size,
@@ -127,8 +140,16 @@ class Module:
         )
 
     def code_hash(self) -> bytes:
-        """SHA-256 of the canonical encoding; what executors certify."""
-        return hashlib.sha256(self.encoded()).digest()
+        """SHA-256 of the canonical encoding; what executors certify.
+
+        Memoised alongside :meth:`encoded`; this is the compiled-module
+        cache key, looked up once per admission and once per session VM.
+        """
+        cached = self.__dict__.get("_code_hash_cache")
+        if cached is None:
+            cached = hashlib.sha256(self.encoded()).digest()
+            self.__dict__["_code_hash_cache"] = cached
+        return cached
 
     @property
     def size_bytes(self) -> int:

@@ -72,17 +72,34 @@ class RunnableProgram:
         return 0
 
 
+#: Tier used by :class:`VMProgram` when none is requested explicitly.
+#: "auto" compiles modules whose static proofs hold and falls back to the
+#: reference interpreter otherwise; scenarios and the marketplace thus run
+#: on the compiled tier by default (DESIGN.md §10). Benchmarks flip this
+#: to "reference" to measure the interpreter baseline.
+DEFAULT_TIER = "auto"
+
+
 class VMProgram(RunnableProgram):
     """A sandboxed bytecode Debuglet."""
 
     is_sandboxed = True
 
     def __init__(
-        self, module: Module, *, fuel_limit: int = 10_000_000, obs=None
+        self, module: Module, *, fuel_limit: int = 10_000_000, obs=None,
+        tier: str | None = None,
     ) -> None:
         self.module = module
-        self.vm = VM(module, fuel_limit=fuel_limit, obs=obs)
+        self.vm = VM(
+            module, fuel_limit=fuel_limit, obs=obs,
+            tier=tier if tier is not None else DEFAULT_TIER,
+        )
         self._pending: HostCall | None = None
+
+    @property
+    def tier(self) -> str:
+        """The tier actually selected ("compiled" or "reference")."""
+        return self.vm.tier
 
     @property
     def fuel_used(self) -> int:

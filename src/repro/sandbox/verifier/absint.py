@@ -59,6 +59,13 @@ class FunctionAbstract:
 
     diagnostics: list[d.Diagnostic] = field(default_factory=list)
     host_sites: list[HostSite] = field(default_factory=list)
+    #: instruction index -> constant address proven in-bounds for that
+    #: access (loads/stores only). The compiled tier elides the runtime
+    #: bounds check at exactly these sites.
+    safe_accesses: dict[int, int] = field(default_factory=dict)
+    #: False when the safety valve cut the fixpoint short; consumers must
+    #: then treat :attr:`safe_accesses` as empty.
+    converged: bool = True
 
 
 def _join(a, b):
@@ -142,6 +149,7 @@ def analyze_function(
         index = worklist.pop()
         sweeps += 1
         if sweeps > 64 * (len(function.code) + 1):  # safety valve
+            result.converged = False
             break
         stack, locals_ = states[index]
         instruction = function.code[index]
@@ -250,6 +258,25 @@ def analyze_function(
                 if joined != known:
                     states[successor] = joined
                     worklist.append(successor)
+
+    if result.converged:
+        # Post-fixpoint pass: a load/store whose address operand is a
+        # constant within bounds *in the final joined state* can never
+        # fault, so the compiled tier may skip its runtime check.
+        for index, (stack, _locals) in states.items():
+            op = function.code[index].op
+            width = _ACCESS_WIDTH.get(op)
+            if width is None:
+                continue
+            position = -2 if op in _STORE_OPS else -1
+            if len(stack) < -position:
+                continue
+            address = stack[position]
+            if address is TOP:
+                continue
+            addr = _signed(address)
+            if 0 <= addr and addr + width <= module.memory_size:
+                result.safe_accesses[index] = addr
 
     result.host_sites = [
         HostSite(function.name, index, op_name, protocol)

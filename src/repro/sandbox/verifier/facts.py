@@ -1,0 +1,228 @@
+"""Static facts the compiled execution tier needs, per module.
+
+The threaded-code tier (:mod:`repro.sandbox.compile`) only runs modules
+for which the verifier's analyses can *prove* the dynamic checks the
+reference interpreter performs per instruction:
+
+- operand-stack discipline (no underflow, depth below the VM ceiling,
+  consistent depths at joins) — from :mod:`.stackcheck`;
+- bounded call depth and no recursion — the frame-stack analogue;
+- well-formed structure (local indices in range, known host ops,
+  globals representable as unsigned 64-bit values).
+
+On top of the proofs, this module derives the *block layout* used for
+fuel pre-aggregation: basic-block leaders and the exact fuel cost of each
+block (the sum of its instructions' :data:`~repro.sandbox.isa.FUEL_COST`),
+plus the constant-propagation facts that let individual bounds checks be
+elided (:attr:`FunctionFacts.safe_accesses`).
+
+A module for which any proof fails raises :class:`FactsUnavailable`;
+the VM then simply stays on the reference tier — the compiled tier is an
+optimisation, never a requirement.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.common.errors import SandboxError
+from repro.sandbox.hostops import HOST_OPS
+from repro.sandbox.isa import FUEL_COST, Op
+from repro.sandbox.module import ENTRY_POINT, Function, Module
+from repro.sandbox.verifier.absint import analyze_function
+from repro.sandbox.verifier.cfg import build_cfg
+from repro.sandbox.verifier.diagnostics import Severity
+from repro.sandbox.verifier.stackcheck import check_stack, stack_effect
+
+#: ops that terminate a basic block (control may leave the straight line).
+_BLOCK_ENDERS = (Op.JMP, Op.JZ, Op.JNZ, Op.CALL, Op.HOST, Op.RET)
+_JUMP_OPS = (Op.JMP, Op.JZ, Op.JNZ)
+
+
+class FactsUnavailable(Exception):
+    """The module cannot be proven safe for the compiled tier."""
+
+
+@dataclass(frozen=True)
+class FunctionFacts:
+    """Per-function layout and safety facts."""
+
+    name: str
+    #: basic-block leader indices, ascending. Every jump target is a
+    #: leader, as is the instruction after any block-ending instruction.
+    leaders: tuple[int, ...]
+    #: leader index -> total fuel of the block starting there.
+    block_fuel: dict[int, int]
+    #: instruction index -> proven-in-range constant address (loads/stores).
+    safe_accesses: dict[int, int]
+    #: instruction index -> operand-stack depth on entry (stackcheck).
+    depth_in: dict[int, int] = field(default_factory=dict)
+
+
+@dataclass
+class StaticFacts:
+    """Everything the translator needs, for every function in the module."""
+
+    functions: dict[str, FunctionFacts]
+    #: worst-case absolute value-stack depth across the whole call tree.
+    value_stack_peak: int
+    #: deepest call chain from the entry point, in frames.
+    call_depth: int
+
+
+def block_leaders(function: Function) -> tuple[int, ...]:
+    """Basic-block leaders of ``function`` (index 0, jump targets, and
+    successors of block-ending instructions)."""
+    code = function.code
+    if not code:
+        return ()
+    leaders = {0}
+    for index, instruction in enumerate(code):
+        if instruction.op in _JUMP_OPS:
+            leaders.add(int(instruction.arg))
+        if instruction.op in _BLOCK_ENDERS and index + 1 < len(code):
+            leaders.add(index + 1)
+    return tuple(sorted(leaders))
+
+
+def block_fuel(function: Function, leaders: tuple[int, ...]) -> dict[int, int]:
+    """Leader -> summed fuel of the block ``[leader, next_leader)``."""
+    costs: dict[int, int] = {}
+    code = function.code
+    for position, leader in enumerate(leaders):
+        end = leaders[position + 1] if position + 1 < len(leaders) else len(code)
+        costs[leader] = sum(FUEL_COST[code[i].op] for i in range(leader, end))
+    return costs
+
+
+def _check_structure(module: Module, function: Function) -> None:
+    n_slots = function.n_params + function.n_locals
+    for index, instruction in enumerate(function.code):
+        op = instruction.op
+        if op in (Op.LOCAL_GET, Op.LOCAL_SET, Op.LOCAL_TEE):
+            if not 0 <= int(instruction.arg) < n_slots:
+                raise FactsUnavailable(
+                    f"{function.name}@{index}: local index {instruction.arg} "
+                    f"out of range (function has {n_slots} slots)"
+                )
+        elif op is Op.HOST and instruction.arg not in HOST_OPS:
+            raise FactsUnavailable(
+                f"{function.name}@{index}: unknown host op {instruction.arg!r}"
+            )
+
+
+def _call_graph_depth(module: Module) -> int:
+    """Deepest call chain from the entry; raises on recursion."""
+    callees = {
+        name: sorted(
+            {i.arg for i in function.code if i.op is Op.CALL}
+        )
+        for name, function in module.functions.items()
+    }
+    depth: dict[str, int] = {}
+    visiting: set[str] = set()
+
+    def chain(name: str) -> int:
+        known = depth.get(name)
+        if known is not None:
+            return known
+        if name in visiting:
+            raise FactsUnavailable(f"recursive call through {name!r}")
+        visiting.add(name)
+        depth[name] = 1 + max((chain(c) for c in callees[name]), default=0)
+        visiting.discard(name)
+        return depth[name]
+
+    return chain(ENTRY_POINT)
+
+
+def _value_stack_peak(module: Module, per_function: dict[str, FunctionFacts]) -> int:
+    """Worst-case absolute operand-stack depth, summed along call chains.
+
+    ``peak(f)`` is the largest depth reached *relative to f's floor*:
+    either an instruction's own exit depth, or — at a call site — the
+    depth left under the callee plus the callee's peak. The call graph is
+    already proven acyclic, so plain memoised recursion terminates.
+    """
+    peaks: dict[str, int] = {}
+
+    def peak(name: str) -> int:
+        known = peaks.get(name)
+        if known is not None:
+            return known
+        function = module.functions[name]
+        facts = per_function[name]
+        highest = 0
+        for index, entry_depth in facts.depth_in.items():
+            instruction = function.code[index]
+            pops, pushes = stack_effect(instruction, module)
+            highest = max(highest, entry_depth - pops + pushes)
+            if instruction.op is Op.CALL:
+                callee = module.functions[instruction.arg]
+                highest = max(
+                    highest,
+                    entry_depth - callee.n_params + peak(instruction.arg),
+                )
+        peaks[name] = highest
+        return highest
+
+    return peak(ENTRY_POINT)
+
+
+def gather_facts(module: Module) -> StaticFacts:
+    """Prove the module safe for the compiled tier and lay out its blocks.
+
+    Raises :class:`FactsUnavailable` when any required proof fails; the
+    caller falls back to the reference interpreter in that case.
+    """
+    try:
+        module.validate()
+    except SandboxError as exc:
+        raise FactsUnavailable(f"module fails validation: {exc}") from exc
+
+    for name, value in module.globals.items():
+        if not 0 <= int(value) < (1 << 64):
+            raise FactsUnavailable(
+                f"global {name!r} = {value} is not an unsigned 64-bit value"
+            )
+
+    per_function: dict[str, FunctionFacts] = {}
+    for name, function in module.functions.items():
+        _check_structure(module, function)
+        cfg = build_cfg(function)
+        stack_diags, depth_in = check_stack(module, function, cfg)
+        if any(d.severity is Severity.ERROR for d in stack_diags):
+            raise FactsUnavailable(
+                f"{name}: operand-stack discipline not provable "
+                f"({stack_diags[0].message})"
+            )
+        abstract = analyze_function(module, function, cfg)
+        safe = dict(abstract.safe_accesses) if abstract.converged else {}
+        leaders = block_leaders(function)
+        per_function[name] = FunctionFacts(
+            name=name,
+            leaders=leaders,
+            block_fuel=block_fuel(function, leaders),
+            safe_accesses=safe,
+            depth_in=depth_in,
+        )
+
+    call_depth = _call_graph_depth(module)
+    from repro.sandbox.vm import VM  # late: vm imports this package lazily
+
+    if call_depth > VM.MAX_STACK_DEPTH:
+        raise FactsUnavailable(
+            f"worst-case call depth {call_depth} exceeds the frame ceiling "
+            f"of {VM.MAX_STACK_DEPTH}"
+        )
+    value_stack_peak = _value_stack_peak(module, per_function)
+    if value_stack_peak > VM.MAX_VALUE_STACK:
+        raise FactsUnavailable(
+            f"worst-case value-stack depth {value_stack_peak} exceeds the "
+            f"ceiling of {VM.MAX_VALUE_STACK}"
+        )
+    return StaticFacts(
+        functions=per_function,
+        value_stack_peak=value_stack_peak,
+        call_depth=call_depth,
+    )

@@ -21,11 +21,29 @@ from dataclasses import dataclass
 
 from repro.common.errors import SandboxError
 from repro.common.errors import FuelExhausted, MemoryFault
+from repro.sandbox.hostops import HOST_OPS
 from repro.sandbox.isa import FUEL_COST, Op
 from repro.sandbox.module import ENTRY_POINT, Module
 
 _MASK = (1 << 64) - 1
 _SIGN = 1 << 63
+
+#: host-op arities resolved once at module load, not per call (hot path).
+_HOST_ARITY = {name: spec[0] for name, spec in HOST_OPS.items()}
+_HOST_RESULTS = {name: spec[1] for name, spec in HOST_OPS.items()}
+
+#: the compiled tier (repro.sandbox.compile), imported on first use so the
+#: reference interpreter stays importable without the verifier stack.
+_compile_mod = None
+
+
+def _compiled_tier():
+    global _compile_mod
+    if _compile_mod is None:
+        from repro.sandbox import compile as module
+
+        _compile_mod = module
+    return _compile_mod
 
 
 def _wrap(value: int) -> int:
@@ -79,7 +97,8 @@ class VM:
     MAX_VALUE_STACK = 65536
 
     def __init__(
-        self, module: Module, *, fuel_limit: int = 10_000_000, obs=None
+        self, module: Module, *, fuel_limit: int = 10_000_000, obs=None,
+        tier: str = "reference", compiled=None,
     ) -> None:
         module.validate()
         self.module = module
@@ -89,6 +108,7 @@ class VM:
         self.globals = dict(module.globals)
         self._stack: list[int] = []
         self._frames: list[_Frame] = []
+        self._floor = 0  # active frame's stack_floor, hoisted for _pop
         self._started = False
         self._finished = False
         self._awaiting_host: HostCall | None = None
@@ -96,6 +116,32 @@ class VM:
         # (host calls, traps, completion) so the per-instruction dispatch
         # loop stays untouched.
         self._obs = obs
+        # Compiled tier (repro.sandbox.compile). ``tier`` is one of
+        # "reference" (always interpret), "auto" (compile when the static
+        # proofs hold, else interpret) or "compiled" (refuse unprovable
+        # modules). The interaction log backs the bail-to-replay fallback
+        # that keeps trap semantics bit-identical.
+        self._compiled = None
+        self._delegate: "VM | None" = None
+        self._gen = None
+        self._action = None
+        self._oplog: list[tuple] = []
+        self.tier = "reference"
+        if tier not in ("reference", "auto", "compiled"):
+            raise SandboxError(f"unknown VM tier {tier!r}")
+        if tier != "reference":
+            compiled = (
+                compiled if compiled is not None
+                else _compiled_tier().get_compiled(module, obs=obs)
+            )
+            if compiled is None:
+                if tier == "compiled":
+                    raise SandboxError(
+                        "module is not provable for the compiled tier"
+                    )
+            else:
+                self._compiled = compiled
+                self.tier = "compiled"
 
     # ------------------------------------------------------------ control
 
@@ -111,27 +157,125 @@ class VM:
                 f"{ENTRY_POINT} expects {entry.n_params} args, got {len(args)}"
             )
         locals_ = [_wrap(a) for a in args] + [0] * entry.n_locals
-        self._frames.append(_Frame(ENTRY_POINT, 0, locals_, 0))
+        if self._compiled is not None:
+            def runner():
+                return self._compiled_start(locals_, args)
+        else:
+            self._frames.append(_Frame(ENTRY_POINT, 0, locals_, 0))
+            self._floor = 0
+            runner = self._run
         if self._obs is None:
-            return self._run()
-        return self._run_observed()
+            return runner()
+        return self._run_observed(runner)
 
     def resume(self, results: list[int] | None = None) -> "HostCall | Done":
         """Resume after a host call, pushing ``results`` onto the stack."""
-        if self._awaiting_host is None:
-            raise SandboxError("VM is not awaiting a host call")
-        self._awaiting_host = None
-        for value in results or []:
-            self._push(_wrap(int(value)))
+        results = [int(value) for value in (results or [])]
+        if self._delegate is not None:
+            def runner():
+                return self._delegated(lambda: self._delegate.resume(results))
+        else:
+            if self._awaiting_host is None:
+                raise SandboxError("VM is not awaiting a host call")
+            if self._compiled is not None:
+                def runner():
+                    return self._compiled_resume(results)
+            else:
+                self._awaiting_host = None
+                for value in results:
+                    self._push(_wrap(value))
+                runner = self._run
         if self._obs is None:
-            return self._run()
-        return self._run_observed()
+            return runner()
+        return self._run_observed(runner)
 
-    def _run_observed(self) -> "HostCall | Done":
+    # ------------------------------------------------------ compiled tier
+
+    def _compiled_start(self, locals_: list[int], raw_args: list[int]):
+        self._oplog.append(("start", raw_args))
+        self._gen = _compile_mod.run_frame(self, self._compiled.entry, locals_)
+        return self._advance(self._gen.__next__)
+
+    def _compiled_resume(self, results: list[int]):
+        call = self._awaiting_host
+        self._oplog.append(("resume", results))
+        if (
+            len(results) != _HOST_RESULTS[call.name]
+            or len(self._stack) + len(results) > self.MAX_VALUE_STACK
+        ):
+            # Outside the statically-proven envelope (embedder misuse);
+            # let the reference tier produce the exact outcome.
+            return self._fallback_replay()
+        self._awaiting_host = None
+        return self._advance(lambda: self._gen.send(results))
+
+    def _advance(self, advancer):
+        """One compiled step: run threaded code to the next boundary."""
+        try:
+            step = advancer()
+        except StopIteration as stop:
+            self._finished = True
+            value = stop.value if stop.value is not None else 0
+            return Done(_signed(value))
+        except (_compile_mod._Bail, SandboxError, IndexError):
+            # A trap is due (fuel, division, bounds, misuse). Replay the
+            # session on the reference tier for exact trap semantics.
+            self._gen = None
+            return self._fallback_replay()
+        self._awaiting_host = step
+        return step
+
+    def _fallback_replay(self):
+        """Replay the interaction log on a fresh reference interpreter.
+
+        Every op before the current one completed without trapping on
+        the compiled tier, so (by the equivalence contract) the replay
+        reaches the same state; the final op then produces the exact
+        reference outcome — result or trap — and the delegate handles
+        the session from here on.
+        """
+        delegate = VM(self.module, fuel_limit=self.fuel_limit)
+        self._delegate = delegate
+        self._compiled = None
+        self._gen = None
+        log, self._oplog = self._oplog, []
+        try:
+            for kind, payload in log[:-1]:
+                if kind == "start":
+                    delegate.start(payload)
+                elif kind == "resume":
+                    delegate.resume(payload)
+                else:
+                    delegate.write_memory(payload[0], payload[1])
+            kind, payload = log[-1]
+            if kind == "start":
+                return delegate.start(payload)
+            return delegate.resume(payload)
+        finally:
+            self._sync_delegate()
+
+    def _delegated(self, fn):
+        try:
+            return fn()
+        finally:
+            self._sync_delegate()
+
+    def _sync_delegate(self) -> None:
+        delegate = self._delegate
+        self.fuel_used = delegate.fuel_used
+        self.memory = delegate.memory
+        self.globals = delegate.globals
+        self._stack = delegate._stack
+        self._frames = delegate._frames
+        self._floor = delegate._floor
+        self._finished = delegate._finished
+        self._awaiting_host = delegate._awaiting_host
+
+    def _run_observed(self, runner) -> "HostCall | Done":
         """Boundary instrumentation: host-op counts, traps, final fuel."""
         obs = self._obs
         try:
-            step = self._run()
+            step = runner()
         except SandboxError as exc:
             kind = type(exc).__name__
             obs.metrics.counter("vm_traps_total", kind=kind).inc()
@@ -161,6 +305,10 @@ class VM:
 
     def write_memory(self, offset: int, data: bytes) -> None:
         self._check_bounds(offset, len(data))
+        if self._compiled is not None:
+            # Part of the session's observable inputs: must be replayed
+            # if the compiled tier later bails to the reference tier.
+            self._oplog.append(("write", (offset, bytes(data))))
         self.memory[offset : offset + len(data)] = data
 
     def _check_bounds(self, offset: int, length: int) -> None:
@@ -178,8 +326,9 @@ class VM:
         self._stack.append(value)
 
     def _pop(self) -> int:
-        frame = self._frames[-1]
-        if len(self._stack) <= frame.stack_floor:
+        # ``_floor`` mirrors the active frame's stack_floor (maintained at
+        # call/return) so the hot underflow check needs no frame lookup.
+        if len(self._stack) <= self._floor:
             raise SandboxError("value stack underflow")
         return self._stack.pop()
 
@@ -330,6 +479,7 @@ class VM:
                 call_args.reverse()
                 locals_ = call_args + [0] * callee.n_locals
                 self._frames.append(_Frame(arg, 0, locals_, len(stack)))
+                self._floor = len(stack)
             elif op is Op.RET:
                 result = self._pop()
                 step = self._pop_frame(result)
@@ -362,13 +512,14 @@ class VM:
         if not self._frames:
             self._finished = True
             return Done(_signed(result))
+        self._floor = self._frames[-1].stack_floor
         self._push(result)
         return None
 
     def _collect_host_call(self, name: str) -> HostCall:
-        from repro.sandbox.hostops import arity_of
-
-        n_args = arity_of(name)
+        n_args = _HOST_ARITY.get(name)
+        if n_args is None:
+            raise SandboxError(f"unknown host operation {name!r}")
         args = [self._pop() for _ in range(n_args)]
         args.reverse()
         return HostCall(name, tuple(_signed(a) for a in args))
