@@ -1,0 +1,114 @@
+"""Fleet-scale control-plane bench: batched+sharded ledger vs serial.
+
+Runs the ``repro loadgen`` fleet (DESIGN.md §11) in both ledger modes and
+records sessions/sec into ``BENCH_scale.json``. The default scale keeps CI
+fast; ``DEBUGLET_FULL=1`` runs the paper-scale 12 000-session fleet, where
+per-transaction signature checks and per-transaction shard-root folds
+dominate the serial baseline and the batched ledger must clear >=5x
+sessions/sec.
+
+The two modes must agree on every deterministic observable (state digest,
+session outcomes, latencies) — only wall-clock and checkpoint grouping may
+differ. Runs are strictly sequential: concurrent fleets would contend for
+CPU and corrupt both wall-clock numbers.
+"""
+
+import json
+import os
+import subprocess
+import time
+
+from benchmarks.conftest import FULL_SCALE, run_once
+
+from repro.workloads import LoadgenConfig, build_loadgen, run_loadgen
+
+_REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+_BENCH_FILE = os.path.join(_REPO_ROOT, "BENCH_scale.json")
+
+SESSIONS = 12_000 if FULL_SCALE else 1_200
+EXECUTORS = 64 if FULL_SCALE else 32
+INITIATORS = 64 if FULL_SCALE else 32
+RAMP = 30.0 if FULL_SCALE else 8.0
+MIN_SPEEDUP = 5.0 if FULL_SCALE else 1.5
+
+
+def _git_sha() -> str:
+    try:
+        return subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            cwd=_REPO_ROOT,
+            capture_output=True,
+            text=True,
+            check=True,
+        ).stdout.strip()
+    except Exception:
+        return "unknown"
+
+
+def _record(rows: list[dict]) -> None:
+    data: dict = {}
+    if os.path.exists(_BENCH_FILE):
+        try:
+            with open(_BENCH_FILE) as fh:
+                data = json.load(fh)
+        except (json.JSONDecodeError, OSError):
+            data = {}
+    stamp = time.strftime("%Y-%m-%dT%H:%M:%S")
+    for row in rows:
+        row["timestamp"] = stamp
+    data.setdefault(_git_sha(), []).extend(rows)
+    with open(_BENCH_FILE, "w") as fh:
+        json.dump(data, fh, indent=2)
+        fh.write("\n")
+
+
+def _run(mode: str) -> dict:
+    config = LoadgenConfig(
+        sessions=SESSIONS,
+        executors=EXECUTORS,
+        initiators=INITIATORS,
+        ledger_mode=mode,
+        ramp=RAMP,
+        seed=0,
+    )
+    return run_loadgen(build_loadgen(config))
+
+
+def test_bench_scale_loadgen(benchmark):
+    def runner():
+        serial = _run("serial")
+        batched = _run("batched")
+        return serial, batched
+
+    serial, batched = run_once(benchmark, runner)
+
+    det_b, det_s = batched["deterministic"], serial["deterministic"]
+    assert det_b["state_digest"] == det_s["state_digest"]
+    assert det_b["certified"] == det_s["certified"] == SESSIONS
+    assert det_b["peak_active_sessions"] == SESSIONS
+
+    speedup = batched["sessions_per_sec"] / serial["sessions_per_sec"]
+    tier = "full" if FULL_SCALE else "reduced"
+    _record([
+        {
+            "mode": row["mode"],
+            "wall_seconds": round(row["wall_seconds"], 2),
+            "sessions_per_sec": round(row["sessions_per_sec"], 2),
+            "ledger_txs_per_sec": round(row["ledger_txs_per_sec"], 2),
+            "sessions": SESSIONS,
+            "tier": tier,
+        }
+        for row in (serial, batched)
+    ])
+
+    print(
+        f"\nscale bench ({tier}, {SESSIONS} sessions): "
+        f"serial {serial['wall_seconds']:.1f}s "
+        f"({serial['sessions_per_sec']:.1f}/s), "
+        f"batched {batched['wall_seconds']:.1f}s "
+        f"({batched['sessions_per_sec']:.1f}/s) — x{speedup:.2f}"
+    )
+    assert speedup >= MIN_SPEEDUP, (
+        f"batched ledger only x{speedup:.2f} over serial at "
+        f"{SESSIONS} sessions (floor x{MIN_SPEEDUP})"
+    )

@@ -124,11 +124,17 @@ class Contract:
         self.state: dict[str, Any] = {}
 
     def entry_functions(self) -> dict[str, Callable]:
+        # dir()+getattr per dispatch is measurable at fleet scale; the
+        # entry set is fixed per instance, so scan once and cache.
+        cached = self.__dict__.get("_entry_cache")
+        if cached is not None:
+            return cached
         functions = {}
         for attr_name in dir(self):
             attr = getattr(self, attr_name)
             if callable(attr) and getattr(attr, "__contract_entry__", False):
                 functions[attr_name] = attr
+        self._entry_cache = functions
         return functions
 
     def call(self, ctx: ExecutionContext, function: str, args: tuple) -> Any:
@@ -142,6 +148,25 @@ class Contract:
 
     def restore(self, snapshot: dict) -> None:
         self.state = snapshot
+
+    # Journal protocol (DESIGN.md §11): a contract that tracks its own
+    # undo log — recording (map, key, old value) per mutation instead of
+    # deep-copying its whole state around every call — opts in by
+    # returning True from :meth:`journal_begin`. The ledger then skips the
+    # O(state) snapshot and calls :meth:`journal_rollback` on revert or
+    # :meth:`journal_commit` on success. Contracts that mutate nested
+    # structures in place must NOT opt in; the snapshot fallback remains
+    # the default and the correctness oracle.
+
+    def journal_begin(self) -> bool:
+        """Start a per-call undo log; return False to use snapshots."""
+        return False
+
+    def journal_rollback(self) -> None:  # pragma: no cover - opt-in only
+        raise ChainError(f"contract {self.name!r} has no journal to roll back")
+
+    def journal_commit(self) -> None:  # pragma: no cover - opt-in only
+        raise ChainError(f"contract {self.name!r} has no journal to commit")
 
     def state_payload(self) -> Any:
         """Deterministic, canonically encodable view of the state."""

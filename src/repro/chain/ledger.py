@@ -15,23 +15,32 @@ Debuglet's control plane relies on (§IV-C, §V-B):
   delay-to-measurement evaluation;
 - **storage pricing** — gas follows :class:`~repro.chain.gas.GasSchedule`
   (Table II calibration), with rebates on object free.
+
+Fleet-scale additions (DESIGN.md §11): object state lives in a sharded
+store whose folded Merkle root is committed in every checkpoint; rollback
+on revert uses per-transaction undo journals instead of O(state) deep
+copies; and an optional *block mode* (``block_window``) groups
+transactions into batched checkpoints with deferred, deduplicated
+signature verification — observably identical to serial application.
 """
 
 from __future__ import annotations
 
 import hashlib
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Any, Callable
 
+from repro.chain.batch import BlockBuilder
 from repro.chain.contract import Contract, ExecutionContext
-from repro.chain.crypto import KeyPair
+from repro.chain.crypto import KeyPair, ed25519_batch_verify
 from repro.chain.events import Event, EventBus
 from repro.chain.gas import GasCost, GasSchedule
 from repro.chain.merkle import MerkleTree
-from repro.chain.objects import ObjectStore
+from repro.chain.objects import DEFAULT_NUM_SHARDS, ObjectStore
 from repro.chain.transaction import Transaction, TransactionReceipt
 from repro.common.errors import (
     ChainError,
+    ConfigurationError,
     ContractRevert,
     InsufficientTokens,
     VerificationError,
@@ -49,21 +58,39 @@ class Account:
 
 @dataclass(frozen=True)
 class Checkpoint:
-    """One sealed block: a Merkle commitment chained to its predecessor."""
+    """One sealed block: Merkle commitments chained to the predecessor.
+
+    ``merkle_root`` commits the block's transactions; ``state_root`` commits
+    the post-block object state (folded shard roots). Serial ledgers seal
+    one checkpoint per transaction; block mode seals one per window.
+    """
 
     index: int
     previous_hash: bytes
     merkle_root: bytes
     timestamp: float
     tx_digests: tuple[bytes, ...]
+    state_root: bytes = b""
 
     def hash(self) -> bytes:
         return hashlib.sha256(
-            self.index.to_bytes(8, "big") + self.previous_hash + self.merkle_root
+            self.index.to_bytes(8, "big")
+            + self.previous_hash
+            + self.merkle_root
+            + self.state_root
         ).digest()
 
 
 _GENESIS_HASH = hashlib.sha256(b"debuglet-genesis").digest()
+
+
+@dataclass
+class _TxJournal:
+    """Undo log for the token side of one call: first-touch old values."""
+
+    balances: dict[str, int] = field(default_factory=dict)
+    escrows: dict[str, int] = field(default_factory=dict)
+    storage_fund: int | None = None
 
 
 class Ledger:
@@ -77,12 +104,22 @@ class Ledger:
         finality_latency: float = 0.4,
         scheduler: Callable[[float, Callable[[], None]], None] | None = None,
         require_signatures: bool = True,
+        num_shards: int = DEFAULT_NUM_SHARDS,
+        block_window: float | None = None,
     ) -> None:
         self.gas_schedule = gas_schedule or GasSchedule()
         self._clock = clock or (lambda: float(len(self._receipts)))
         self.finality_latency = finality_latency
         self._scheduler = scheduler
         self.require_signatures = require_signatures
+        if block_window is not None:
+            if block_window <= 0:
+                raise ConfigurationError("block window must be positive")
+            if scheduler is None:
+                raise ConfigurationError(
+                    "block_window needs a scheduler to drive block flushes"
+                )
+        self.block_window = block_window
         # Chaos / availability hooks (see repro.chaos). ``submit_gate`` may
         # raise :class:`LedgerUnavailable` to reject a submission before it
         # touches any state; ``event_delay`` returns extra seconds of event
@@ -98,17 +135,20 @@ class Ledger:
         self.accounts: dict[str, Account] = {}
         self.contracts: dict[str, Contract] = {}
         self.contract_balances: dict[str, int] = {}
-        self.objects = ObjectStore()
+        self.objects = ObjectStore(num_shards=num_shards)
         self.events = EventBus()
 
         self._transactions: list[Transaction] = []
         self._receipts: list[TransactionReceipt] = []
+        self._receipt_index: dict[bytes, TransactionReceipt] = {}
         self.checkpoints: list[Checkpoint] = []
+        self._block = BlockBuilder(self)
         self._genesis_grants: list[tuple[str, int]] = []
         # Token sinks: computation fees are burned; storage fees fund the
         # rebates paid when objects are freed (Sui's storage-fund model).
         self.gas_burned = 0
         self.storage_fund = 0
+        self._tx_journal: _TxJournal | None = None
 
     # ------------------------------------------------------------ wiring
 
@@ -155,11 +195,50 @@ class Ledger:
     def next_nonce(self, address: str) -> int:
         return self._account(address).nonce
 
+    # --------------------------------------------------- token mutations
+    #
+    # Every token mutation funnels through these helpers so the per-call
+    # undo journal can record the first-touch old value. Outside a call
+    # (journal is None) they are plain mutations.
+
+    def _journal_balance(self, address: str) -> Account:
+        account = self._account(address)
+        journal = self._tx_journal
+        if journal is not None and address not in journal.balances:
+            journal.balances[address] = account.balance
+        return account
+
+    def _journal_escrow(self, contract_name: str) -> None:
+        journal = self._tx_journal
+        if journal is not None and contract_name not in journal.escrows:
+            journal.escrows[contract_name] = self.contract_balances.get(
+                contract_name, 0
+            )
+
+    def _journal_fund(self) -> None:
+        journal = self._tx_journal
+        if journal is not None and journal.storage_fund is None:
+            journal.storage_fund = self.storage_fund
+
+    def _rollback_tx_journal(self) -> None:
+        journal = self._tx_journal
+        if journal is None:
+            raise ChainError("no transaction journal to roll back")
+        self._tx_journal = None
+        for address, balance in journal.balances.items():
+            # Accounts first seen during the failed call roll back to their
+            # recorded old balance — zero, for accounts the call created.
+            self.accounts[address].balance = balance
+        for name, balance in journal.escrows.items():
+            self.contract_balances[name] = balance
+        if journal.storage_fund is not None:
+            self.storage_fund = journal.storage_fund
+
     def credit(self, address: str, amount: int) -> None:
         """Credit tokens out of thin air (genesis-style; avoid in contracts)."""
         if amount < 0:
             raise ChainError("credit must be non-negative")
-        self._account(address).balance += amount
+        self._journal_balance(address).balance += amount
 
     def pay_rebate(self, address: str, amount: int) -> int:
         """Pay a storage rebate from the storage fund.
@@ -169,9 +248,10 @@ class Ledger:
         """
         if amount < 0:
             raise ChainError("rebate must be non-negative")
+        self._journal_fund()
         paid = min(amount, self.storage_fund)
         self.storage_fund -= paid
-        self._account(address).balance += paid
+        self._journal_balance(address).balance += paid
         return paid
 
     def contract_pay_out(self, contract_name: str, to_address: str, amount: int) -> None:
@@ -183,13 +263,20 @@ class Ledger:
             raise ContractRevert(
                 f"contract escrow {balance} cannot cover payout {amount}"
             )
+        self._journal_escrow(contract_name)
         self.contract_balances[contract_name] = balance - amount
-        self._account(to_address).balance += amount
+        self._journal_balance(to_address).balance += amount
 
     # --------------------------------------------------------- execution
 
     def submit(self, tx: Transaction) -> TransactionReceipt:
-        """Execute ``tx`` and seal it into a checkpoint.
+        """Execute ``tx`` and commit it to the chain.
+
+        Serial mode seals one checkpoint per transaction. In block mode
+        (``block_window`` set, or an explicit :meth:`begin_block`), the
+        transaction still executes now — receipt, escrow accounting, and
+        event schedule are identical — but its curve-level signature check
+        and checkpoint seal are deferred to the block flush.
 
         Authentication errors and malformed calls raise; contract-level
         aborts produce a *reverted* receipt with all state rolled back
@@ -209,8 +296,14 @@ class Ledger:
                         function=tx.function, reason=str(exc),
                     )
                 raise
+        batched = self.block_window is not None or self._block.active
         if self.require_signatures:
-            tx.verify()
+            if batched:
+                # Cheap half now; the curve check is batch-verified at the
+                # block seal (fail-stop on forgery).
+                tx.verify_address()
+            else:
+                tx.verify()
         sender = self._account(tx.sender)
         if tx.nonce != sender.nonce:
             raise ChainError(f"bad nonce {tx.nonce}, expected {sender.nonce}")
@@ -229,15 +322,17 @@ class Ledger:
         digest = tx.digest()
         now = self.now
 
-        # Escrow the attached value for the duration of the call.
+        # Open the undo journals, then escrow the attached value for the
+        # duration of the call (journaled like any other token move).
+        self._tx_journal = _TxJournal()
+        self.objects.begin_journal()
+        contract_journaled = contract.journal_begin()
+        contract_snapshot = None if contract_journaled else contract.snapshot()
+
+        self._journal_balance(tx.sender)
+        self._journal_escrow(tx.contract)
         sender.balance -= tx.value
         self.contract_balances[tx.contract] += tx.value
-
-        contract_snapshot = contract.snapshot()
-        objects_snapshot = self.objects.snapshot()
-        balances_snapshot = {a: acc.balance for a, acc in self.accounts.items()}
-        escrow_snapshot = dict(self.contract_balances)
-        fund_snapshot = self.storage_fund
 
         ctx = ExecutionContext(
             ledger=self,
@@ -256,19 +351,14 @@ class Ledger:
                 raise ContractRevert(
                     f"gas {gas.total} exceeds budget {tx.gas_budget}"
                 )
+            self.objects.commit_journal()
+            if contract_journaled:
+                contract.journal_commit()
+            self._tx_journal = None
             status = "success"
         except ContractRevert as revert:
-            contract.restore(contract_snapshot)
-            self.objects.restore(objects_snapshot)
-            for address, account in self.accounts.items():
-                # Accounts first seen during the failed call reset to zero.
-                account.balance = balances_snapshot.get(address, 0)
-            self.contract_balances.clear()
-            self.contract_balances.update(escrow_snapshot)
-            self.storage_fund = fund_snapshot
-            # The attached value returns with the rollback; nonce stays.
-            sender.balance += tx.value
-            self.contract_balances[tx.contract] -= tx.value
+            self._rollback_call(contract, contract_journaled, contract_snapshot)
+            # The attached value returned with the rollback; nonce stays.
             gas = GasCost(
                 computation=self.gas_schedule.computation_fee, storage=0, rebate=0
             )
@@ -276,6 +366,11 @@ class Ledger:
             return_value = None
             ctx.created_objects = []
             ctx.pending_events = []
+        except BaseException:
+            # Non-revert failures (bugs, chain errors from inside the call)
+            # must not leave half-applied state or an open journal behind.
+            self._rollback_call(contract, contract_journaled, contract_snapshot)
+            raise
 
         fee = min(gas.total, tx.gas_budget, sender.balance)
         sender.balance -= fee
@@ -296,7 +391,11 @@ class Ledger:
         )
         self._transactions.append(tx)
         self._receipts.append(receipt)
-        self._seal_checkpoint([digest], receipt.finalized_at)
+        self._receipt_index[digest] = receipt
+        if batched:
+            self._block.note(tx, digest)
+        else:
+            self._seal_checkpoint([digest], receipt.finalized_at)
         if obs is not None:
             outcome = "success" if status == "success" else "reverted"
             obs.metrics.counter(
@@ -315,7 +414,39 @@ class Ledger:
         self._publish_events(ctx.pending_events, digest, receipt.finalized_at)
         return receipt
 
-    def _seal_checkpoint(self, digests: list[bytes], timestamp: float) -> None:
+    def _rollback_call(
+        self,
+        contract: Contract,
+        contract_journaled: bool,
+        contract_snapshot: dict | None,
+    ) -> None:
+        """Undo every effect of the current call via the open journals."""
+        if contract_journaled:
+            contract.journal_rollback()
+        else:
+            contract.restore(contract_snapshot)
+        self.objects.rollback_journal()
+        self._rollback_tx_journal()
+
+    # ------------------------------------------------------------ blocks
+
+    def begin_block(self) -> None:
+        """Open an explicit block: submissions batch until :meth:`flush_block`."""
+        self._block.open()
+
+    def flush_block(self, timestamp: float | None = None) -> Checkpoint | None:
+        """Seal the pending block, if any; returns the new checkpoint."""
+        return self._block.flush(timestamp)
+
+    @property
+    def block_active(self) -> bool:
+        return self._block.active
+
+    @property
+    def pending_block_size(self) -> int:
+        return self._block.pending
+
+    def _seal_checkpoint(self, digests: list[bytes], timestamp: float) -> Checkpoint:
         previous = self.checkpoints[-1].hash() if self.checkpoints else _GENESIS_HASH
         checkpoint = Checkpoint(
             index=len(self.checkpoints),
@@ -323,8 +454,10 @@ class Ledger:
             merkle_root=MerkleTree(digests).root,
             timestamp=timestamp,
             tx_digests=tuple(digests),
+            state_root=self.objects.state_root(),
         )
         self.checkpoints.append(checkpoint)
+        return checkpoint
 
     def _publish_events(
         self, pending: list[tuple[str, dict]], tx_digest: bytes, finalized_at: float
@@ -363,34 +496,60 @@ class Ledger:
         return list(self._receipts)
 
     def receipt_for(self, digest: bytes) -> TransactionReceipt:
-        for receipt in self._receipts:
-            if receipt.digest == digest:
-                return receipt
-        raise ChainError("no receipt with that digest")
+        receipt = self._receipt_index.get(digest)
+        if receipt is None:
+            raise ChainError("no receipt with that digest")
+        return receipt
 
     def verify_chain(self) -> None:
         """Check every signature and the checkpoint hash chain.
 
+        Works for serial (one tx per checkpoint) and batched histories
+        alike; an open block is flushed first so the chain is complete.
         Raises :class:`VerificationError` on the first inconsistency.
         """
-        previous = _GENESIS_HASH
-        if len(self.checkpoints) != len(self._transactions):
+        self._block.flush()
+        total = sum(len(cp.tx_digests) for cp in self.checkpoints)
+        if total != len(self._transactions):
             raise VerificationError("checkpoint/transaction count mismatch")
-        for tx, receipt, checkpoint in zip(
-            self._transactions, self._receipts, self.checkpoints
-        ):
-            if self.require_signatures:
-                tx.verify()
+        if self.require_signatures:
+            for tx in self._transactions:
+                tx.verify_address()
+            failed = ed25519_batch_verify(
+                [
+                    (tx.public_key, tx.signing_payload(), tx.signature)
+                    for tx in self._transactions
+                ]
+            )
+            if failed:
+                raise VerificationError(
+                    f"invalid transaction signature at positions {failed}"
+                )
+        previous = _GENESIS_HASH
+        position = 0
+        for checkpoint in self.checkpoints:
             if checkpoint.previous_hash != previous:
                 raise VerificationError(
                     f"checkpoint {checkpoint.index} breaks the hash chain"
                 )
-            if checkpoint.merkle_root != MerkleTree([tx.digest()]).root:
+            digests = [
+                tx.digest()
+                for tx in self._transactions[
+                    position : position + len(checkpoint.tx_digests)
+                ]
+            ]
+            if tuple(digests) != checkpoint.tx_digests:
                 raise VerificationError(
-                    f"checkpoint {checkpoint.index} root does not match its tx"
+                    f"checkpoint {checkpoint.index} digests do not match its txs"
                 )
-            if receipt.digest != tx.digest():
-                raise VerificationError("receipt digest mismatch")
+            if checkpoint.merkle_root != MerkleTree(digests).root:
+                raise VerificationError(
+                    f"checkpoint {checkpoint.index} root does not match its txs"
+                )
+            for digest in digests:
+                if self._receipts[position].digest != digest:
+                    raise VerificationError("receipt digest mismatch")
+                position += 1
             previous = checkpoint.hash()
 
     def state_digest(self) -> bytes:
@@ -420,7 +579,10 @@ class Ledger:
 
         Third-party verification (§IV-C): anyone holding the transaction
         log can rebuild the state and confirm the published results were
-        produced by the recorded, signed transactions.
+        produced by the recorded, signed transactions. Replay runs in
+        serial mode even for batched histories: the state digest commits
+        final state, not checkpoint grouping, so equality holds regardless
+        of how the original run batched its blocks.
         """
         times = iter([receipt.submitted_at for receipt in self._receipts])
         replica = Ledger(
@@ -428,6 +590,7 @@ class Ledger:
             clock=lambda: next(times),
             finality_latency=self.finality_latency,
             require_signatures=self.require_signatures,
+            num_shards=self.objects.num_shards,
         )
         for name in self.contracts:
             factory = contract_factories.get(name)

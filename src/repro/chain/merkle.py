@@ -73,6 +73,37 @@ class MerkleTree:
         return MerkleProof(index, tuple(siblings))
 
 
+def merkle_root_from_hashes(leaf_hashes: list[bytes]) -> bytes:
+    """The Merkle root over already-hashed leaves, without level storage.
+
+    Used on hot paths (per-shard state roots) where only the root is
+    needed: same promotion rule as :class:`MerkleTree` applied to inputs
+    that are already leaf hashes, skipping the per-level list retention
+    that audit paths require.
+    """
+    if not leaf_hashes:
+        raise VerificationError("Merkle root needs at least one leaf hash")
+    level = leaf_hashes
+    while len(level) > 1:
+        parent = [
+            _hash_node(level[i], level[i + 1]) for i in range(0, len(level) - 1, 2)
+        ]
+        if len(level) % 2 == 1:
+            parent.append(level[-1])
+        level = parent
+    return level[0]
+
+
+def hash_leaf(data: bytes) -> bytes:
+    """The domain-separated leaf hash, for callers that pre-hash leaves."""
+    return _hash_leaf(data)
+
+
+def fold_roots(roots: list[bytes]) -> bytes:
+    """Fold per-shard roots into one ledger state root (node-level fold)."""
+    return merkle_root_from_hashes(list(roots))
+
+
 def verify_inclusion(leaf: bytes, proof: MerkleProof, root: bytes) -> bool:
     """Check that ``leaf`` is included under ``root`` via ``proof``."""
     current = _hash_leaf(leaf)

@@ -34,33 +34,58 @@ class Transaction:
     signature: bytes = b""
 
     def signing_payload(self) -> bytes:
-        return canonical_encode(
-            {
-                "sender": self.sender,
-                "contract": self.contract,
-                "function": self.function,
-                "args": list(self.args),
-                "nonce": self.nonce,
-                "gas_budget": self.gas_budget,
-                "value": self.value,
-                "public_key": self.public_key,
-            }
-        )
+        # Transactions are immutable, so the canonical encoding is computed
+        # once and cached. The cache slots live outside the dataclass fields
+        # (object.__setattr__ bypasses the frozen guard) and are never
+        # copied by dataclasses.replace(), so signed_by() always re-encodes.
+        cached = self.__dict__.get("_payload_cache")
+        if cached is None:
+            cached = canonical_encode(
+                {
+                    "sender": self.sender,
+                    "contract": self.contract,
+                    "function": self.function,
+                    "args": list(self.args),
+                    "nonce": self.nonce,
+                    "gas_budget": self.gas_budget,
+                    "value": self.value,
+                    "public_key": self.public_key,
+                }
+            )
+            object.__setattr__(self, "_payload_cache", cached)
+        return cached
 
     def digest(self) -> bytes:
-        return hashlib.sha256(self.signing_payload() + self.signature).digest()
+        cached = self.__dict__.get("_digest_cache")
+        if cached is None:
+            cached = hashlib.sha256(self.signing_payload() + self.signature).digest()
+            object.__setattr__(self, "_digest_cache", cached)
+        return cached
 
     def signed_by(self, keypair: KeyPair) -> "Transaction":
         """A signed copy of this transaction."""
         unsigned = replace(self, public_key=keypair.public, signature=b"")
-        signature = keypair.sign(unsigned.signing_payload())
-        return replace(unsigned, signature=signature)
+        payload = unsigned.signing_payload()
+        signed = replace(unsigned, signature=keypair.sign(payload))
+        # The payload excludes the signature, so the signed copy's encoding
+        # is identical — carry the cache forward instead of re-encoding at
+        # submission time.
+        object.__setattr__(signed, "_payload_cache", payload)
+        return signed
 
-    def verify(self) -> None:
-        """Raise :class:`VerificationError` on any authentication failure."""
+    def verify_address(self) -> None:
+        """The cheap half of verification: sender address binds the key.
+
+        Block-mode ledgers run this eagerly at submission and defer the
+        curve check to the block seal's batch verification.
+        """
         expected = hashlib.sha256(self.public_key).hexdigest()[:32]
         if expected != self.sender:
             raise VerificationError("sender address does not match public key")
+
+    def verify(self) -> None:
+        """Raise :class:`VerificationError` on any authentication failure."""
+        self.verify_address()
         if not verify_signature(self.public_key, self.signing_payload(), self.signature):
             raise VerificationError("invalid transaction signature")
 

@@ -439,6 +439,63 @@ def _cmd_chaos_demo(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_loadgen(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.workloads import LoadgenConfig, build_loadgen, run_loadgen
+
+    config = LoadgenConfig(
+        sessions=args.sessions,
+        executors=args.executors,
+        initiators=args.initiators,
+        ledger_mode=args.ledger,
+        block_window=args.window,
+        num_shards=args.shards,
+        seed=args.seed,
+        ramp=args.ramp,
+        verify_chain=args.verify,
+    )
+    obs = _obs_from_args(args)
+    fleet = build_loadgen(config, obs=obs)
+    report = run_loadgen(fleet)
+    det = report["deterministic"]
+    if args.json:
+        print(json.dumps(report, indent=2))
+    else:
+        print(
+            f"loadgen ({report['mode']} ledger, {det['sessions']} sessions, "
+            f"seed {report['seed']}):"
+        )
+        print(
+            f"  completed {det['completed']} "
+            f"({det['certified']} certified) in {report['wall_seconds']:.1f}s "
+            f"wall / {det['sim_seconds']:.1f}s simulated"
+        )
+        print(
+            f"  sessions/sec: {report['sessions_per_sec']:.1f}   "
+            f"peak active: {det['peak_active_sessions']}"
+        )
+        print(
+            f"  session latency: p50 {det['latency_p50_s']:.2f}s  "
+            f"p99 {det['latency_p99_s']:.2f}s (simulated)"
+        )
+        print(
+            f"  ledger: {det['ledger_txs']} txs "
+            f"({report['ledger_txs_per_sec']:.0f}/sec), "
+            f"{det['checkpoints']} checkpoints, "
+            f"{det['blocks_sealed']} blocks"
+        )
+        if "verify_chain_seconds" in report:
+            print(
+                f"  chain verification: OK "
+                f"({report['verify_chain_seconds']:.1f}s)"
+            )
+        print(f"  state digest: {det['state_digest'][:16]}…")
+    _emit_obs(args, obs)
+    failed = det["by_state"].get("failed", 0) + det["launch_failures"]
+    return 1 if failed else 0
+
+
 def _cmd_obs_report(args: argparse.Namespace) -> int:
     """Run one instrumented scenario and print its observability rollup."""
     defaults = {
@@ -516,6 +573,32 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--seed", type=int, default=1)
     _add_obs_flags(p)
     p.set_defaults(func=_cmd_chaos_demo)
+
+    p = sub.add_parser(
+        "loadgen",
+        help="fleet-scale marketplace bench: ramp thousands of sessions "
+             "through the ledger and report throughput/latency",
+    )
+    p.add_argument("--sessions", type=int, default=12_000)
+    p.add_argument("--executors", type=int, default=64,
+                   help="synthetic executors (paired into vantage pairs)")
+    p.add_argument("--initiators", type=int, default=64,
+                   help="initiator wallets launching sessions round-robin")
+    p.add_argument("--ledger", choices=("serial", "batched"), default="batched",
+                   help="per-tx checkpoints vs batched transaction blocks")
+    p.add_argument("--window", type=float, default=4.0,
+                   help="block finality window in seconds (batched mode)")
+    p.add_argument("--shards", type=int, default=16,
+                   help="object-store shard count")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--ramp", type=float, default=30.0,
+                   help="simulated seconds over which launches ramp up")
+    p.add_argument("--verify", action="store_true",
+                   help="run full chain verification after the drain")
+    p.add_argument("--json", action="store_true",
+                   help="emit the full report as JSON")
+    _add_obs_flags(p)
+    p.set_defaults(func=_cmd_loadgen)
 
     p = sub.add_parser(
         "obs-report",

@@ -56,13 +56,23 @@ class SessionStalled(DebugletError):
 
     Raised by :meth:`repro.core.marketplace.Initiator.run_until_done`
     when the simulator goes idle — or its hard timeout expires — while
-    the session is still in a non-terminal state. Carries the session so
-    callers can inspect how far it got, plus (when the simulator has
-    observability attached) the last engine events leading up to the
-    stall, so the exception message alone is enough to debug with.
+    the session is still in a non-terminal state, and by the fleet
+    scheduler (:mod:`repro.core.fleet`) when sessions are left behind at
+    drain time. Carries the session so callers can inspect how far it
+    got, plus (when the simulator has observability attached) the last
+    engine events leading up to the stall, plus optional scheduler
+    ``context`` — ready/blocked queue depths, the stalled session's
+    ledger shard, live subscription counts — so the exception message
+    alone is enough to debug with.
     """
 
-    def __init__(self, session, message: str, events: list | None = None) -> None:
+    def __init__(
+        self,
+        session,
+        message: str,
+        events: list | None = None,
+        context: dict | None = None,
+    ) -> None:
         state = getattr(session, "state", None)
         detail = f" (session state: {state.value})" if state is not None else ""
         history = getattr(session, "state_history", None)
@@ -71,6 +81,9 @@ class SessionStalled(DebugletError):
                 f"{st.value}@{t:.3f}s" for t, st in history[-8:]
             )
             detail += f"; history: {trail}"
+        if context:
+            rendered = ", ".join(f"{key}={value}" for key, value in context.items())
+            detail += f"\nscheduler state: {rendered}"
         if events:
             lines = "\n  ".join(events)
             detail += f"\nlast engine events:\n  {lines}"
@@ -78,6 +91,7 @@ class SessionStalled(DebugletError):
         self.session = session
         self.state = state
         self.events = list(events or [])
+        self.context = dict(context or {})
 
 
 class InsufficientGas(ChainError):

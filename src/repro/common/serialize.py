@@ -37,6 +37,51 @@ def canonical_encode(value: Any) -> bytes:
 
 
 def _encode_into(out: bytearray, value: Any) -> None:
+    # Exact-type dispatch first: the overwhelmingly common cases in
+    # signing payloads and object data are plain str/int/float/dict/list.
+    # Subclasses (bool deliberately, but also e.g. IntEnum) fall through
+    # to the isinstance-based slow path, which encodes them byte-for-byte
+    # the same as before.
+    kind = type(value)
+    if kind is str:
+        raw = value.encode("utf-8")
+        out += _TAG_STR
+        out += len(raw).to_bytes(4, "big")
+        out += raw
+    elif kind is int:
+        raw = value.to_bytes((value.bit_length() + 8) // 8 + 1, "big", signed=True)
+        out += _TAG_INT
+        out += len(raw).to_bytes(4, "big")
+        out += raw
+    elif kind is float:
+        out += _TAG_FLOAT
+        out += struct.pack(">d", value)
+    elif kind is dict:
+        keys = sorted(value.keys())
+        out += _TAG_DICT
+        out += len(keys).to_bytes(4, "big")
+        for key in keys:
+            if type(key) is not str and not isinstance(key, str):
+                raise TypeError("canonical_encode requires string dict keys")
+            raw = key.encode("utf-8")
+            out += _TAG_STR
+            out += len(raw).to_bytes(4, "big")
+            out += raw
+            _encode_into(out, value[key])
+    elif kind is list or kind is tuple:
+        out += _TAG_LIST
+        out += len(value).to_bytes(4, "big")
+        for item in value:
+            _encode_into(out, item)
+    elif kind is bytes:
+        out += _TAG_BYTES
+        out += len(value).to_bytes(4, "big")
+        out += value
+    else:
+        _encode_slow(out, value)
+
+
+def _encode_slow(out: bytearray, value: Any) -> None:
     if value is None:
         out += _TAG_NONE
     elif value is True:

@@ -86,6 +86,9 @@ class DebugletMarket(Contract):
 
     name = "debuglet_market"
 
+    #: Sentinel recorded in the undo log for keys that did not exist.
+    _ABSENT = object()
+
     def __init__(self) -> None:
         super().__init__()
         self.state = {
@@ -94,6 +97,40 @@ class DebugletMarket(Contract):
             "applications_map": {},  # composite key -> [app id hex, ...]
             "results_map": {},  # app id hex -> result id hex
         }
+        self._journal: list[tuple[str, str, object]] | None = None
+
+    # ------------------------------------------------- journaled mutation
+    #
+    # Every state write funnels through :meth:`_set`, which records the
+    # key's old value (or absence) in a per-call undo log. That lets the
+    # ledger roll a reverted call back by undoing the handful of touched
+    # keys instead of deep-copying all four maps around every transaction
+    # (the Contract.snapshot fallback, kept as the correctness oracle).
+    # The invariant that makes this sound: values bound into the maps are
+    # never mutated in place afterwards — rebinding via _set is the only
+    # mutation path.
+
+    def _set(self, map_name: str, key: str, value: object) -> None:
+        target = self.state[map_name]
+        if self._journal is not None:
+            self._journal.append((map_name, key, target.get(key, self._ABSENT)))
+        target[key] = value
+
+    def journal_begin(self) -> bool:
+        self._journal = []
+        return True
+
+    def journal_commit(self) -> None:
+        self._journal = None
+
+    def journal_rollback(self) -> None:
+        journal = self._journal if self._journal is not None else []
+        self._journal = None
+        for map_name, key, old in reversed(journal):
+            if old is self._ABSENT:
+                del self.state[map_name][key]
+            else:
+                self.state[map_name][key] = old
 
     # ----------------------------------------------------- bootstrapping
 
@@ -110,7 +147,7 @@ class DebugletMarket(Contract):
             existing is None or existing == ctx.sender,
             f"executor {key} already registered to another address",
         )
-        self.state["executor_address_map"][key] = ctx.sender
+        self._set("executor_address_map", key, ctx.sender)
         ctx.emit("ExecutorRegistered", asn=asn, interface=interface, address=ctx.sender)
         return key
 
@@ -140,7 +177,7 @@ class DebugletMarket(Contract):
         merged = sorted(current + new_slots, key=lambda s: (s.start, s.end))
         for a, b in zip(merged, merged[1:]):
             ctx.require(a.end <= b.start, f"slots overlap at t={b.start}")
-        self.state["execution_slots_map"][key] = [s.as_dict() for s in merged]
+        self._set("execution_slots_map", key, [s.as_dict() for s in merged])
         ctx.emit("TimeSlotsRegistered", asn=asn, interface=interface, count=len(slots))
         return len(merged)
 
@@ -157,7 +194,7 @@ class DebugletMarket(Contract):
         ctx.require(registered is not None, f"executor {key} is not registered")
         ctx.require(registered == ctx.sender, "caller does not own this executor")
         withdrawn = len(self.state["execution_slots_map"].get(key, []))
-        self.state["execution_slots_map"][key] = []
+        self._set("execution_slots_map", key, [])
         ctx.emit(
             "TimeSlotsWithdrawn", asn=asn, interface=interface, count=withdrawn
         )
@@ -184,26 +221,51 @@ class DebugletMarket(Contract):
         Returns the window ``[start, start + duration)``, per-side slot
         start times (needed by ``purchase_slot``), and the total price.
         """
-        client_slots = self._fitting_slots(
-            ctx, asn_c, intf_c, cores, memory_mb, bandwidth_mbps
-        )
-        server_slots = self._fitting_slots(
-            ctx, asn_s, intf_s, cores, memory_mb, bandwidth_mbps
-        )
+        # Slot lists are kept sorted by start, which makes the pair scan
+        # prunable: slots that end before the earliest feasible window
+        # cannot cover it, and once a best window is known, any slot
+        # starting at or after it can only yield start >= best (candidate
+        # start is the max of both slot starts), so the sorted scan can
+        # stop there. Same result as the exhaustive O(k*m) product — the
+        # pruned pairs could never strictly improve on ``best``.
+        horizon = earliest + duration
+        client_slots = [
+            s
+            for s in self._fitting_slots(
+                ctx, asn_c, intf_c, cores, memory_mb, bandwidth_mbps
+            )
+            if s["end"] >= horizon
+        ]
+        server_slots = [
+            s
+            for s in self._fitting_slots(
+                ctx, asn_s, intf_s, cores, memory_mb, bandwidth_mbps
+            )
+            if s["end"] >= horizon
+        ]
         best: dict | None = None
         for cslot in client_slots:
+            if best is not None and cslot["start"] >= best["start"]:
+                break
             for sslot in server_slots:
-                start = max(cslot.start, sslot.start, earliest)
+                if best is not None and sslot["start"] >= best["start"]:
+                    break
+                start = max(cslot["start"], sslot["start"], earliest)
                 end = start + duration
-                if cslot.covers(start, end) and sslot.covers(start, end):
+                if (
+                    cslot["start"] <= start
+                    and cslot["end"] >= end
+                    and sslot["start"] <= start
+                    and sslot["end"] >= end
+                ):
                     candidate = {
                         "start": start,
                         "end": end,
-                        "client_slot_start": cslot.start,
-                        "server_slot_start": sslot.start,
-                        "price_client": cslot.price,
-                        "price_server": sslot.price,
-                        "total_price": cslot.price + sslot.price,
+                        "client_slot_start": cslot["start"],
+                        "server_slot_start": sslot["start"],
+                        "price_client": cslot["price"],
+                        "price_server": sslot["price"],
+                        "total_price": cslot["price"] + sslot["price"],
                     }
                     if best is None or candidate["start"] < best["start"]:
                         best = candidate
@@ -218,7 +280,12 @@ class DebugletMarket(Contract):
         cores: int,
         memory_mb: int,
         bandwidth_mbps: int,
-    ) -> list[ExecutionSlot]:
+    ) -> list[dict]:
+        # Works on the raw stored slot dicts: a fleet-scale purchase storm
+        # scans thousands of slots per lookup, and materializing an
+        # ExecutionSlot per candidate dominated the whole contract-call
+        # path. Dataclass instances are built only for slots that leave
+        # this file (consumed slots, off-chain views).
         key = slot_key(asn, interface)
         ctx.require(
             key in self.state["executor_address_map"],
@@ -226,11 +293,10 @@ class DebugletMarket(Contract):
         )
         return [
             slot
-            for slot in (
-                ExecutionSlot.from_dict(s)
-                for s in self.state["execution_slots_map"].get(key, [])
-            )
-            if slot.fits(cores, memory_mb, bandwidth_mbps)
+            for slot in self.state["execution_slots_map"].get(key, [])
+            if slot["cores"] >= cores
+            and slot["memory_mb"] >= memory_mb
+            and slot["bandwidth_mbps"] >= bandwidth_mbps
         ]
 
     @entry
@@ -370,8 +436,12 @@ class DebugletMarket(Contract):
         ctx.update_object(server_id, data)
 
         key = applications_key(asn_c, intf_c, asn_s, intf_s, window_start, window_end)
-        self.state["applications_map"].setdefault(key, []).extend(
-            [client_id.hex(), server_id.hex()]
+        # Rebind rather than extend in place: the undo log records whole
+        # old values, so in-place mutation of a journaled list would leak
+        # through a rollback.
+        existing = self.state["applications_map"].get(key, [])
+        self._set(
+            "applications_map", key, existing + [client_id.hex(), server_id.hex()]
         )
         ctx.emit(
             "ApplicationSubmitted",
@@ -399,15 +469,17 @@ class DebugletMarket(Contract):
         self, ctx: ExecutionContext, asn: int, interface: int, slot_start: float
     ) -> ExecutionSlot:
         key = slot_key(asn, interface)
-        slots = [
-            ExecutionSlot.from_dict(s)
-            for s in self.state["execution_slots_map"].get(key, [])
-        ]
+        slots = self.state["execution_slots_map"].get(key, [])
         for index, slot in enumerate(slots):
-            if slot.start == slot_start:
-                del slots[index]
-                self.state["execution_slots_map"][key] = [s.as_dict() for s in slots]
-                return slot
+            if slot["start"] == slot_start:
+                # Rebind a new list sharing the surviving slot dicts: slot
+                # dicts are never mutated after being bound into the map,
+                # so sharing is safe under the journal invariant — and it
+                # skips re-encoding the whole inventory per purchase.
+                self._set(
+                    "execution_slots_map", key, slots[:index] + slots[index + 1:]
+                )
+                return ExecutionSlot.from_dict(slot)
         ctx.abort(f"no slot starting at {slot_start} on executor {key}")
         raise AssertionError("unreachable")  # pragma: no cover
 
@@ -449,7 +521,7 @@ class DebugletMarket(Contract):
             },
         )
         ctx.transfer_from_contract(ctx.sender, app.data["tokens"])
-        self.state["results_map"][application_id_hex] = result_id.hex()
+        self._set("results_map", application_id_hex, result_id.hex())
         ctx.emit(
             "ResultReady",
             application_id=application_id_hex,

@@ -676,6 +676,10 @@ class Initiator:
                 SessionState.FAILED,
                 f"purchase failed after retries: {exc}",
             )
+            # Terminal: notify like every other terminal transition, so
+            # fleet-level schedulers see the completion.
+            if session.on_complete is not None:
+                session.on_complete(session)
             return
         except ChainError as exc:
             if first:
@@ -683,6 +687,8 @@ class Initiator:
             self._record(
                 session, SessionState.FAILED, f"failover purchase failed: {exc}"
             )
+            if session.on_complete is not None:
+                session.on_complete(session)
             return
         self._activate(session, lookup, purchase)
 

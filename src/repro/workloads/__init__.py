@@ -1,5 +1,11 @@
 """Workloads: the scenarios behind every table and figure."""
 
+from repro.workloads.loadgen import (
+    LoadgenConfig,
+    LoadgenFleet,
+)
+from repro.workloads.loadgen import build as build_loadgen
+from repro.workloads.loadgen import run as run_loadgen
 from repro.workloads.scenarios import (
     ChainScenario,
     Fig6Scenario,
@@ -24,10 +30,14 @@ __all__ = [
     "Fig6Scenario",
     "INTERNAL_RTT_MS",
     "LONDON_ASN",
+    "LoadgenConfig",
+    "LoadgenFleet",
     "MarketplaceTestbed",
     "ProtoSpec",
     "WanScenario",
     "build_chain",
     "build_internet_like",
     "build_city_link",
+    "build_loadgen",
+    "run_loadgen",
 ]

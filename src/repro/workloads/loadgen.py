@@ -1,0 +1,475 @@
+"""``repro loadgen``: the fleet-scale marketplace load generator.
+
+Ramps tens of thousands of measurement sessions into one ledger-backed
+marketplace and reports sessions/sec, session-latency percentiles, and
+ledger txs/sec — the reproduction's §V-B-style control-plane scale bench
+(DESIGN.md §11). Two ledger modes are compared head-to-head:
+
+- ``serial`` — the pre-fleet baseline: per-transaction signature
+  verification and one checkpoint (with a folded shard state root) sealed
+  per transaction;
+- ``batched`` — block mode: one checkpoint per finality window, deferred
+  batch signature verification with per-signer deduplication.
+
+The data plane is *synthetic*: executors admit instantly and "run" each
+purchased application as a single timer, then certify and publish through
+the real :class:`~repro.core.marketplace.ExecutorAgent` publication path
+(gates, retries, backoff — so the chaos fault classes apply unchanged).
+No netsim network or sandbox VM is involved: the bench isolates the
+control plane — contract execution, escrow accounting, event dispatch,
+checkpointing, crypto — which is exactly the part the sharded/batched
+ledger accelerates.
+
+Everything that happens in simulated time is seeded and deterministic:
+two runs with the same config produce byte-identical observability
+exports and the same ledger state digest. Wall-clock throughput numbers
+live only in the returned report (and in ``BENCH_scale.json``).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import math
+import time
+from dataclasses import dataclass, field
+
+from repro.chain.crypto import KeyPair
+from repro.chain.events import Event
+from repro.chain.gas import sui_to_mist
+from repro.chain.ledger import Ledger, Wallet
+from repro.common.errors import ConfigurationError, DebugletError
+from repro.common.ids import ObjectId
+from repro.contracts.debuglet_market import (
+    APPLICATION_KIND,
+    DebugletMarket,
+    ExecutionSlot,
+)
+from repro.core.application import DebugletApplication
+from repro.core.executor import ExecutionRecord, ResultCertificate
+from repro.core.fleet import FleetScheduler
+from repro.core.marketplace import ExecutorAgent, Initiator, SessionState
+from repro.core.offchain import OffChainCodeStore
+from repro.netsim.engine import Simulator
+from repro.netsim.packet import Address, Protocol
+from repro.sandbox.programs import echo_client, echo_server
+
+#: Synthetic vantage ASNs start here (clear of the chain scenarios' 1..N).
+BASE_ASN = 100
+
+
+@dataclass
+class LoadgenConfig:
+    """Knobs of one load-generator run."""
+
+    sessions: int = 12_000
+    executors: int = 64  # paired into vantage pairs; must be even
+    initiators: int = 64
+    ledger_mode: str = "batched"  # "serial" | "batched"
+    block_window: float = 4.0  # finality window batched blocks seal on
+    num_shards: int = 16
+    seed: int = 0
+    ramp: float = 30.0  # seconds of simulated launch ramp
+    duration: float = 0.5  # measurement duration (= slot width)
+    exec_time: float = 0.05  # synthetic execution run time
+    finality_latency: float = 0.4
+    slot_price: int = 50_000_000
+    deadline_margin: float = 120.0
+    verify_chain: bool = False  # run full chain verification after drain
+
+    def validate(self) -> None:
+        if self.sessions < 1:
+            raise ConfigurationError("sessions must be >= 1")
+        if self.executors < 2 or self.executors % 2:
+            raise ConfigurationError("executors must be an even count >= 2")
+        if self.initiators < 1:
+            raise ConfigurationError("initiators must be >= 1")
+        if self.ledger_mode not in ("serial", "batched"):
+            raise ConfigurationError("ledger_mode must be 'serial' or 'batched'")
+        if self.duration <= 0 or self.exec_time < 0 or self.ramp < 0:
+            raise ConfigurationError("durations must be positive")
+
+    @property
+    def pairs(self) -> int:
+        return self.executors // 2
+
+    @property
+    def windows_open(self) -> float:
+        """When execution windows begin: after the ramp plus enough slack
+        for the purchase transactions' finality."""
+        return self.ramp + 4 * self.finality_latency + 1.0
+
+
+class SyntheticExecutor:
+    """A data-plane stand-in: admits instantly, 'runs' on a timer.
+
+    Duck-types the slice of :class:`~repro.core.executor.Executor` that
+    :class:`~repro.core.marketplace.ExecutorAgent` and the chaos injector
+    touch — ``admit``/``submit``, ``crash``/``restart``/``cancel_pending``
+    — and certifies results with a real Ed25519 signature, so the
+    published payloads are structurally identical to the full stack's.
+    """
+
+    def __init__(
+        self,
+        simulator: Simulator,
+        asn: int,
+        interface: int,
+        *,
+        exec_time: float = 0.05,
+        keypair: KeyPair | None = None,
+    ) -> None:
+        self.simulator = simulator
+        self.asn = asn
+        self.interface = interface
+        self.exec_time = exec_time
+        self.keypair = keypair or KeyPair.deterministic(
+            f"synthetic-executor-{asn}-{interface}"
+        )
+        self.crashed = False
+        self.crash_count = 0
+        self.executions: list[ExecutionRecord] = []
+        self._pending: list = []  # (handle, record) not yet completed
+
+    def admit(self, application: DebugletApplication) -> None:
+        """Synthetic admission: everything well-formed is admissible."""
+
+    def submit(
+        self,
+        application: DebugletApplication,
+        *,
+        start_at: float | None = None,
+        on_complete=None,
+    ) -> ExecutionRecord:
+        if self.crashed:
+            raise ConfigurationError(f"executor {self.asn}:{self.interface} is down")
+        record = ExecutionRecord(application=application)
+        self.executions.append(record)
+        start = max(self.simulator.now, start_at or 0.0)
+        handle = self.simulator.schedule_at(
+            start + self.exec_time, self._complete, record, start, on_complete
+        )
+        self._pending.append((handle, record))
+        return record
+
+    def _complete(self, record: ExecutionRecord, started_at: float, on_complete) -> None:
+        self._pending = [(h, r) for h, r in self._pending if r is not record]
+        if self.crashed:  # crashed mid-run: dies silently, never certifies
+            record.status = "failed: executor crashed"
+            return
+        record.status = "completed"
+        record.started_at = started_at
+        record.finished_at = self.simulator.now
+        record.result = record.finished_at.hex().encode("ascii")
+        record.certificate = self._certify(record)
+        if on_complete is not None:
+            on_complete(record)
+
+    def _certify(self, record: ExecutionRecord) -> ResultCertificate:
+        unsigned = ResultCertificate(
+            asn=self.asn,
+            interface=self.interface,
+            code_hash=record.application.code_hash(),
+            result_hash=hashlib.sha256(record.result).digest(),
+            started_at=record.started_at,
+            finished_at=record.finished_at,
+            executor_public_key=self.keypair.public,
+            signature=b"",
+        )
+        return dataclasses.replace(
+            unsigned, signature=self.keypair.sign(unsigned.signing_payload())
+        )
+
+    # Failure model (chaos compatibility).
+
+    def crash(self, reason: str = "executor crashed") -> None:
+        if self.crashed:
+            return
+        self.crashed = True
+        self.crash_count += 1
+        for handle, record in self._pending:
+            handle.cancel()
+            record.status = f"failed: {reason}"
+        self._pending.clear()
+
+    def restart(self) -> None:
+        self.crashed = False
+
+    def cancel_pending(self, reason: str = "slot expired") -> None:
+        for handle, record in self._pending:
+            handle.cancel()
+            record.status = f"failed: {reason}"
+        self._pending.clear()
+
+
+class SyntheticExecutorAgent(ExecutorAgent):
+    """An :class:`ExecutorAgent` that skips wire decode and VM admission.
+
+    Only ``_on_application`` is overridden: instead of fetching and
+    reassembling the purchased bytecode, the agent schedules its synthetic
+    executor with a fixed application template. Publication — gates,
+    LedgerUnavailable retries with backoff, failure accounting — is
+    inherited unchanged, which is what keeps the chaos fault classes
+    meaningful against loadgen fleets.
+    """
+
+    def __init__(self, *args, template: DebugletApplication, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        self.template = template
+
+    def _on_application(self, event: Event) -> None:
+        application_id = event.get("application_id")
+        self.handled_applications.append(application_id)
+        obj = self.ledger.objects.get(ObjectId.from_hex(application_id))
+        if obj.kind != APPLICATION_KIND:
+            return
+        window_start = obj.data["window"]["start"]
+        start_at = max(window_start, self.executor.simulator.now)
+
+        def on_complete(record: ExecutionRecord) -> None:
+            self._publish_result(application_id, record)
+
+        try:
+            self.executor.submit(
+                self.template, start_at=start_at, on_complete=on_complete
+            )
+        except DebugletError as exc:
+            self.rejected_applications.append((application_id, str(exc)))
+
+
+@dataclass
+class LoadgenFleet:
+    """A built (but not yet run) load-generator testbed."""
+
+    config: LoadgenConfig
+    simulator: Simulator
+    ledger: Ledger
+    market: DebugletMarket
+    code_store: OffChainCodeStore
+    executors: list[SyntheticExecutor]
+    agents: list[SyntheticExecutorAgent]
+    initiators: list[Initiator]
+    scheduler: FleetScheduler
+    client_app: DebugletApplication = field(repr=False, default=None)
+    server_app: DebugletApplication = field(repr=False, default=None)
+
+
+def build(config: LoadgenConfig, *, obs=None) -> LoadgenFleet:
+    """Wire the full loadgen stack: ledger, market, fleet, launches."""
+    config.validate()
+    simulator = Simulator()
+    if obs is not None:
+        simulator.attach_observability(obs)
+    ledger = Ledger(
+        clock=lambda: simulator.now,
+        scheduler=lambda delay, fn: simulator.schedule(delay, fn),
+        finality_latency=config.finality_latency,
+        num_shards=config.num_shards,
+        block_window=(
+            config.block_window if config.ledger_mode == "batched" else None
+        ),
+    )
+    if obs is not None:
+        ledger.obs = obs
+    market = DebugletMarket()
+    ledger.register_contract(market)
+    code_store = OffChainCodeStore()
+
+    # One pair of application templates shared by every session: assembly
+    # and manifest construction happen once, and the off-chain store
+    # deduplicates the wire blobs, so purchases only ship the two hashes.
+    client_stock = echo_client(
+        Protocol.UDP, Address(BASE_ASN + 1, "exec1"), count=1, interval_us=10_000
+    )
+    server_stock = echo_server(Protocol.UDP, max_echoes=1)
+    client_app = DebugletApplication.from_stock("loadgen-client", client_stock)
+    server_app = DebugletApplication.from_stock(
+        "loadgen-server", server_stock, listen_port=7
+    )
+
+    # Executors: pair 2k/2k+1 serve the client/server side of vantage
+    # pair k. Every pair gets enough back-to-back slots for its share of
+    # the session load, starting when the windows open.
+    slots_per_side = math.ceil(config.sessions / config.pairs)
+    executors: list[SyntheticExecutor] = []
+    agents: list[SyntheticExecutorAgent] = []
+    for index in range(config.executors):
+        executor = SyntheticExecutor(
+            simulator,
+            BASE_ASN + index,
+            1,
+            exec_time=config.exec_time,
+            keypair=KeyPair.deterministic(f"loadgen-executor-{config.seed}-{index}"),
+        )
+        template = client_app if index % 2 == 0 else server_app
+        agent = SyntheticExecutorAgent(
+            executor,
+            ledger,
+            code_store=code_store,
+            seed=config.seed,
+            template=template,
+        )
+        agent.register()
+        agent.offer_slots(
+            [
+                ExecutionSlot(
+                    cores=2,
+                    memory_mb=512,
+                    bandwidth_mbps=100,
+                    start=config.windows_open + slot * config.duration,
+                    end=config.windows_open + (slot + 1) * config.duration,
+                    price=config.slot_price,
+                )
+                for slot in range(slots_per_side)
+            ]
+        )
+        executors.append(executor)
+        agents.append(agent)
+
+    # Initiator wallets, funded for their share of purchases plus gas.
+    per_initiator = math.ceil(config.sessions / config.initiators)
+    funding = sui_to_mist(5) + per_initiator * (2 * config.slot_price + sui_to_mist(1))
+    initiators: list[Initiator] = []
+    for index in range(config.initiators):
+        keypair = KeyPair.deterministic(f"loadgen-initiator-{config.seed}-{index}")
+        ledger.create_account(keypair, balance=funding, label=f"initiator-{index}")
+        initiators.append(
+            Initiator(
+                ledger,
+                Wallet(ledger, keypair),
+                simulator=simulator,
+                seed=config.seed + index,
+            )
+        )
+
+    scheduler = FleetScheduler(
+        simulator,
+        ledger=ledger,
+        session_timeout=config.windows_open
+        + slots_per_side * config.duration
+        + config.deadline_margin,
+        stall_grace=30.0,
+        wheel_resolution=5.0,
+    )
+
+    fleet = LoadgenFleet(
+        config=config,
+        simulator=simulator,
+        ledger=ledger,
+        market=market,
+        code_store=code_store,
+        executors=executors,
+        agents=agents,
+        initiators=initiators,
+        scheduler=scheduler,
+        client_app=client_app,
+        server_app=server_app,
+    )
+    _schedule_launches(fleet)
+    return fleet
+
+
+def _schedule_launches(fleet: LoadgenFleet) -> None:
+    config = fleet.config
+
+    def make_start(initiator: Initiator, pair: int):
+        client_vantage = (BASE_ASN + 2 * pair, 1)
+        server_vantage = (BASE_ASN + 2 * pair + 1, 1)
+
+        def start(done):
+            return initiator.request_measurement(
+                fleet.client_app,
+                fleet.server_app,
+                client_vantage,
+                server_vantage,
+                duration=config.duration,
+                earliest=config.windows_open,
+                code_store=fleet.code_store,
+                deadline_margin=config.deadline_margin,
+                on_complete=done,
+            )
+
+        return start
+
+    for index in range(config.sessions):
+        at = config.ramp * index / config.sessions
+        initiator = fleet.initiators[index % len(fleet.initiators)]
+        pair = index % config.pairs
+        fleet.scheduler.launch(
+            at, make_start(initiator, pair), label=f"session-{index}"
+        )
+
+
+def _percentile(sorted_values: list[float], fraction: float) -> float:
+    if not sorted_values:
+        return 0.0
+    index = min(
+        int(math.ceil(fraction * len(sorted_values))) - 1, len(sorted_values) - 1
+    )
+    return sorted_values[max(index, 0)]
+
+
+def run(fleet: LoadgenFleet) -> dict:
+    """Drain the fleet; returns the bench report.
+
+    The ``deterministic`` sub-dict depends only on (config, seed) — it is
+    what the CI smoke job compares across same-seed runs. Wall-clock
+    throughput lives at the top level.
+    """
+    config = fleet.config
+    started = time.perf_counter()
+    completed = fleet.scheduler.run()
+    fleet.ledger.flush_block()  # seal the trailing partial block, if any
+    wall_seconds = time.perf_counter() - started
+
+    verify_seconds = None
+    if config.verify_chain:
+        verify_started = time.perf_counter()
+        fleet.ledger.verify_chain()
+        verify_seconds = time.perf_counter() - verify_started
+
+    by_state: dict[str, int] = {}
+    latencies: list[float] = []
+    for session in completed:
+        by_state[session.state.value] = by_state.get(session.state.value, 0) + 1
+        terminal_at = session.state_history[-1][0]
+        latencies.append(terminal_at - session.requested_at)
+    latencies.sort()
+
+    tx_count = len(fleet.ledger.transactions)
+    deterministic = {
+        "sessions": config.sessions,
+        "completed": len(completed),
+        "certified": by_state.get(SessionState.CERTIFIED.value, 0),
+        "by_state": dict(sorted(by_state.items())),
+        "launch_failures": len(fleet.scheduler.launch_failures),
+        "peak_active_sessions": fleet.scheduler.peak_active,
+        "sim_seconds": round(fleet.simulator.now, 6),
+        "latency_p50_s": round(_percentile(latencies, 0.50), 6),
+        "latency_p99_s": round(_percentile(latencies, 0.99), 6),
+        "ledger_txs": tx_count,
+        "checkpoints": len(fleet.ledger.checkpoints),
+        "blocks_sealed": fleet.ledger._block.blocks_sealed,
+        "state_digest": fleet.ledger.state_digest().hex(),
+    }
+    report = {
+        "mode": config.ledger_mode,
+        "seed": config.seed,
+        "executors": config.executors,
+        "initiators": config.initiators,
+        "block_window": (
+            config.block_window if config.ledger_mode == "batched" else None
+        ),
+        "num_shards": config.num_shards,
+        "wall_seconds": round(wall_seconds, 3),
+        "sessions_per_sec": round(len(completed) / wall_seconds, 2)
+        if wall_seconds > 0
+        else 0.0,
+        "ledger_txs_per_sec": round(tx_count / wall_seconds, 2)
+        if wall_seconds > 0
+        else 0.0,
+        "deterministic": deterministic,
+    }
+    if verify_seconds is not None:
+        report["verify_chain_seconds"] = round(verify_seconds, 3)
+    return report
