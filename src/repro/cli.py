@@ -260,11 +260,17 @@ def _cmd_vmbench(args: argparse.Namespace) -> int:
             {"rows": rows, "compile_cache": compile_cache().stats()}, indent=2
         ))
         return 0
-    print(f"{'workload':<14} {'tier':<10} {'seconds':>10} {'speedup':>8}")
+    print(f"{'workload':<14} {'tier':<10} {'seconds':>10} {'speedup':>8} "
+          f"{'elided':>14}")
     for row in rows:
         speedup = f"{row['speedup']:.2f}x" if "speedup" in row else ""
+        elided = (
+            f"{row['elided_checks']} ({row['elided_const']}c+"
+            f"{row['elided_ranged']}r)"
+            if "elided_checks" in row else ""
+        )
         print(f"{row['name']:<14} {row['tier']:<10} "
-              f"{row['seconds']:>10.4f} {speedup:>8}")
+              f"{row['seconds']:>10.4f} {speedup:>8} {elided:>14}")
     stats = compile_cache().stats()
     print(f"compile cache: {stats['hits']} hits / {stats['misses']} misses "
           f"({stats['entries']} entries)")
@@ -291,6 +297,13 @@ def _cmd_verify(args: argparse.Namespace) -> int:
         except Exception as exc:
             print(f"cannot load manifest {args.manifest}: {exc}", file=sys.stderr)
             return 2
+    if args.policy and (manifest is None or manifest.policy is None):
+        print(
+            "--policy requires a manifest with a policy block "
+            "(pass --manifest pointing at JSON with a non-null \"policy\")",
+            file=sys.stderr,
+        )
+        return 2
     try:
         module = assemble(source)
     except Exception as exc:
@@ -303,7 +316,7 @@ def _cmd_verify(args: argparse.Namespace) -> int:
     if args.json:
         print(json.dumps(report.as_dict(), indent=2))
     else:
-        print(report.render())
+        print(report.render(explain=args.explain))
     return 0 if report.ok else 1
 
 
@@ -643,6 +656,12 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--manifest", default=None,
                    help="JSON manifest to check fuel bounds and capabilities "
                         "against (Manifest.as_dict format)")
+    p.add_argument("--policy", action="store_true",
+                   help="require the manifest to carry a policy block; the "
+                        "emission/send dataflow proofs then gate the verdict")
+    p.add_argument("--explain", action="store_true",
+                   help="render the dataflow witness path under each "
+                        "path-carrying diagnostic")
     p.add_argument("--json", action="store_true",
                    help="emit the structured report as JSON")
     p.set_defaults(func=_cmd_verify)

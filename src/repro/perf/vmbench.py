@@ -183,7 +183,7 @@ def run_workload(
         done, host_calls = drive(vm, [iterations])
         best = min(best, time.perf_counter() - started)
         result, fuel = done.value, vm.fuel_used
-    return {
+    row = {
         "name": name,
         "tier": tier,
         "seconds": round(best, 6),
@@ -193,6 +193,15 @@ def run_workload(
         "host_calls": host_calls,
         "repeats": repeats,
     }
+    if tier == "compiled":
+        from repro.sandbox.compile import get_compiled
+
+        compiled = get_compiled(module)
+        if compiled is not None:
+            row["elided_checks"] = compiled.elided_checks
+            row["elided_const"] = compiled.elided_const
+            row["elided_ranged"] = compiled.elided_ranged
+    return row
 
 
 def run_suite(

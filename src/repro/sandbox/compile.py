@@ -18,8 +18,11 @@ the speed:
   boundary, completion, or trap equals the reference tier's exactly.
 - **check elision** — operand-stack under/overflow checks are dropped
   (stack discipline is proven), frame-depth checks are dropped (static
-  call depth is proven), and loads/stores whose address constant
-  propagation proved in range skip the bounds check.
+  call depth is proven), and loads/stores whose address the interval
+  analysis proved in range skip the bounds check — both constant
+  addresses (the access is rewritten to a fixed offset) and dynamic
+  ones whose whole value range fits in memory (the computed address is
+  used unchecked).
 - **equivalence by replay** — any trap (fuel, division, out-of-bounds)
   makes the compiled tier *bail*: the VM replays its interaction log
   (start arguments, resume results, embedder memory writes) on a fresh
@@ -99,7 +102,8 @@ class CompiledModule:
     """
 
     __slots__ = ("code_hash", "functions", "entry", "compile_seconds",
-                 "value_stack_peak", "call_depth", "elided_checks")
+                 "value_stack_peak", "call_depth", "elided_checks",
+                 "elided_const", "elided_ranged")
 
     def __init__(self, code_hash: bytes, functions: dict[str, CompiledFunction],
                  facts: StaticFacts) -> None:
@@ -109,9 +113,13 @@ class CompiledModule:
         self.compile_seconds = 0.0
         self.value_stack_peak = facts.value_stack_peak
         self.call_depth = facts.call_depth
-        self.elided_checks = sum(
+        self.elided_const = sum(
             len(f.safe_accesses) for f in facts.functions.values()
         )
+        self.elided_ranged = sum(
+            len(f.inbounds_accesses) for f in facts.functions.values()
+        )
+        self.elided_checks = self.elided_const + self.elided_ranged
 
 
 def run_frame(vm, cf: CompiledFunction, locals_: list):
@@ -178,12 +186,17 @@ def _make_fuel(cost: int, nxt: int):
 
 
 def _make_handler(module: Module, instruction, nxt: int, target: int | None,
-                  safe_addr: int | None, functions: dict[str, CompiledFunction]):
+                  safe_addr: int | None, ranged: bool,
+                  functions: dict[str, CompiledFunction]):
     """Build the closure for one instruction.
 
     ``nxt`` is the threaded-code index of the fallthrough successor,
     ``target`` the remapped jump target (branches only), ``safe_addr``
-    the proven-constant address for elidable memory accesses.
+    the proven-constant address for elidable memory accesses. ``ranged``
+    means the interval analysis proved the (dynamic) address lies wholly
+    inside memory: the handler keeps the computed address but skips the
+    sign fix-up and bounds check — a proven-in-range address is
+    non-negative, so its unsigned stack encoding is the address itself.
     """
     op = instruction.op
     arg = instruction.arg
@@ -339,6 +352,10 @@ def _make_handler(module: Module, instruction, nxt: int, target: int | None,
             def h(vm, stack, locals_, memory):
                 stack[-1] = memory[k]
                 return nxt
+        elif ranged:
+            def h(vm, stack, locals_, memory):
+                stack[-1] = memory[stack[-1]]
+                return nxt
         else:
             def h(vm, stack, locals_, memory):
                 a = stack[-1]
@@ -355,6 +372,11 @@ def _make_handler(module: Module, instruction, nxt: int, target: int | None,
             def h(vm, stack, locals_, memory):
                 memory[k] = stack.pop() & 0xFF
                 del stack[-1]
+                return nxt
+        elif ranged:
+            def h(vm, stack, locals_, memory):
+                value = stack.pop()
+                memory[stack.pop()] = value & 0xFF
                 return nxt
         else:
             def h(vm, stack, locals_, memory):
@@ -374,6 +396,11 @@ def _make_handler(module: Module, instruction, nxt: int, target: int | None,
             def h(vm, stack, locals_, memory):
                 stack[-1] = int.from_bytes(memory[k:k_end], "little")
                 return nxt
+        elif ranged:
+            def h(vm, stack, locals_, memory):
+                a = stack[-1]
+                stack[-1] = int.from_bytes(memory[a:a + 8], "little")
+                return nxt
         else:
             def h(vm, stack, locals_, memory):
                 a = stack[-1]
@@ -391,6 +418,12 @@ def _make_handler(module: Module, instruction, nxt: int, target: int | None,
             def h(vm, stack, locals_, memory):
                 memory[k:k_end] = stack.pop().to_bytes(8, "little")
                 del stack[-1]
+                return nxt
+        elif ranged:
+            def h(vm, stack, locals_, memory):
+                value = stack.pop()
+                a = stack.pop()
+                memory[a:a + 8] = value.to_bytes(8, "little")
                 return nxt
         else:
             def h(vm, stack, locals_, memory):
@@ -492,7 +525,8 @@ def _translate_function(module: Module, function: Function, facts: FunctionFacts
             target = entry_pos[int(instruction.arg)]
         out[instr_pos[index]] = _make_handler(
             module, instruction, arrival(index + 1), target,
-            facts.safe_accesses.get(index), functions,
+            facts.safe_accesses.get(index),
+            index in facts.inbounds_accesses, functions,
         )
     out[fall_pos] = _fall
     return out

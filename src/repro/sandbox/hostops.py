@@ -20,6 +20,8 @@ Protocols are named by their IP protocol number (17=UDP, 6=TCP, 1=ICMP,
 
 from __future__ import annotations
 
+from dataclasses import dataclass
+
 from repro.common.errors import SandboxError
 from repro.netsim.packet import Protocol
 
@@ -41,6 +43,65 @@ RECV_HEADER_SIZE = 32
 
 #: Ops that can suspend the program while simulated time passes.
 BLOCKING_OPS = frozenset({"sleep_until_us", "net_recv"})
+
+_I64_MAX = (1 << 63) - 1
+
+
+@dataclass(frozen=True)
+class HostEffect:
+    """Static semantics of one host op — the single source of truth the
+    verifier's dataflow analyses (intervals, taint, effect sequencing)
+    read, cross-checked against :data:`HOST_OPS` and the executor
+    dispatch by the drift test."""
+
+    #: semantic role of each popped argument, deepest first
+    arg_roles: tuple[str, ...]
+    #: signed interval ``[lo, hi]`` the i64 result always lies in
+    result_range: tuple[int, int]
+    #: provenance kind of the result: net | time | rand | const
+    result_taint: str
+    #: may suspend the program while simulated time passes
+    blocking: bool
+    #: writes the protocol's receive buffer (header + payload)
+    writes_recv_buffer: bool = False
+    #: reads linear memory (emits/sends bulk data out of the sandbox)
+    reads_memory: bool = False
+
+
+#: op name -> :class:`HostEffect`. ``proto`` as the first role marks the
+#: op as a network op (capability inference keys off this).
+HOST_EFFECTS: dict[str, HostEffect] = {
+    "now_us": HostEffect((), (0, _I64_MAX), "time", blocking=False),
+    "sleep_until_us": HostEffect(
+        ("wake_time_us",), (0, 0), "const", blocking=True
+    ),
+    "net_send": HostEffect(
+        ("proto", "contact_idx", "dst_port", "seq", "size"),
+        (1, 1), "const", blocking=False, reads_memory=True,
+    ),
+    "net_recv": HostEffect(
+        ("proto", "timeout_us"), (-1, _I64_MAX), "net",
+        blocking=True, writes_recv_buffer=True,
+    ),
+    "net_reply": HostEffect(
+        ("proto", "seq", "size"), (0, 1), "const", blocking=False,
+    ),
+    "result_i64": HostEffect(("value",), (0, 0), "const", blocking=False),
+    "result_bytes": HostEffect(
+        ("offset", "length"), (0, 0), "const",
+        blocking=False, reads_memory=True,
+    ),
+    "log_i64": HostEffect(("value",), (0, 0), "const", blocking=False),
+    "rand_u32": HostEffect((), (0, (1 << 32) - 1), "rand", blocking=False),
+}
+
+
+def net_ops() -> tuple[str, ...]:
+    """Host ops that take a wire protocol as their first argument."""
+    return tuple(
+        name for name, effect in HOST_EFFECTS.items()
+        if effect.arg_roles[:1] == ("proto",)
+    )
 
 
 def arity_of(name: str) -> int:

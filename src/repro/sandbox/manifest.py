@@ -14,6 +14,66 @@ from repro.common.errors import ManifestError
 from repro.netsim.packet import Address, Protocol
 from repro.sandbox.module import Module
 
+#: Provenance kinds a policy may declare as legitimate emission sources:
+#: data derived from received packets, executor timestamps, executor
+#: randomness. Constant/manifest-derived data is always allowed.
+KNOWN_EMIT_SOURCES = ("net", "time", "rand")
+
+
+@dataclass(frozen=True)
+class DebugletPolicy:
+    """Declarative output policy: what a purchased Debuglet may emit.
+
+    This is the statically *proven* half of the contract an initiator
+    buys (the manifest's resource ceilings are the enforced-at-runtime
+    half). The verifier's taint/interval analyses certify, before any
+    escrow moves, that
+
+    - every ``result_i64``/``result_bytes`` emission derives only from
+      the declared ``emit_sources`` (plus constants);
+    - every ``net_send``/``net_reply`` size is provably at most
+      ``max_send_size`` (when set);
+    - every network call's protocol is in ``allowed_protocols`` (when
+      set; None falls back to the manifest's capabilities).
+
+    A program that cannot be *proven* compliant is rejected — the policy
+    buys certainty, not best effort.
+    """
+
+    emit_sources: tuple[str, ...] = KNOWN_EMIT_SOURCES
+    max_send_size: int | None = None
+    allowed_protocols: tuple[str, ...] | None = None
+
+    def __post_init__(self) -> None:
+        unknown = set(self.emit_sources) - set(KNOWN_EMIT_SOURCES)
+        if unknown:
+            raise ManifestError(f"unknown emission sources: {sorted(unknown)}")
+        if self.max_send_size is not None and self.max_send_size < 0:
+            raise ManifestError("max_send_size must be non-negative")
+        if self.allowed_protocols is not None:
+            bad = set(self.allowed_protocols) - set(KNOWN_CAPABILITIES)
+            if bad:
+                raise ManifestError(f"unknown protocols: {sorted(bad)}")
+
+    def as_dict(self) -> dict:
+        return {
+            "emit_sources": list(self.emit_sources),
+            "max_send_size": self.max_send_size,
+            "allowed_protocols": (
+                None if self.allowed_protocols is None
+                else list(self.allowed_protocols)
+            ),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "DebugletPolicy":
+        allowed = data.get("allowed_protocols")
+        return cls(
+            emit_sources=tuple(data.get("emit_sources", KNOWN_EMIT_SOURCES)),
+            max_send_size=data.get("max_send_size"),
+            allowed_protocols=None if allowed is None else tuple(allowed),
+        )
+
 
 @dataclass(frozen=True)
 class Manifest:
@@ -32,6 +92,9 @@ class Manifest:
     contacts: tuple[Address, ...] = ()
     capabilities: tuple[str, ...] = ()
     max_result_bytes: int = 65536
+    #: optional output policy, statically proven by the verifier before
+    #: escrow; None means no emission restrictions beyond the above.
+    policy: DebugletPolicy | None = None
 
     def __post_init__(self) -> None:
         if self.max_instructions <= 0:
@@ -87,6 +150,7 @@ class Manifest:
             "contacts": [[c.asn, c.host] for c in self.contacts],
             "capabilities": list(self.capabilities),
             "max_result_bytes": self.max_result_bytes,
+            "policy": None if self.policy is None else self.policy.as_dict(),
         }
 
     @classmethod
@@ -100,6 +164,10 @@ class Manifest:
             contacts=tuple(Address(asn, host) for asn, host in data["contacts"]),
             capabilities=tuple(data["capabilities"]),
             max_result_bytes=data.get("max_result_bytes", 65536),
+            policy=(
+                None if data.get("policy") is None
+                else DebugletPolicy.from_dict(data["policy"])
+            ),
         )
 
 

@@ -20,7 +20,7 @@ from dataclasses import dataclass
 from repro.common.errors import SandboxError
 from repro.netsim.packet import Address, Protocol
 from repro.sandbox.assembler import assemble
-from repro.sandbox.manifest import Manifest
+from repro.sandbox.manifest import DebugletPolicy, Manifest
 from repro.sandbox.module import Module
 
 DEFAULT_TIMEOUT_US = 2_000_000
@@ -182,6 +182,11 @@ done:
         contacts=(server,),
         capabilities=(proto,),
         max_result_bytes=16 * count + 64,
+        policy=DebugletPolicy(
+            emit_sources=("net", "time"),
+            max_send_size=max(size, 8),
+            allowed_protocols=(proto,),
+        ),
     )
     return StockProgram(module, manifest)
 
@@ -257,6 +262,11 @@ done:
         contacts=(),
         capabilities=(proto,),
         max_result_bytes=64,
+        policy=DebugletPolicy(
+            emit_sources=(),
+            max_send_size=max(size, 8),
+            allowed_protocols=(proto,),
+        ),
     )
     return StockProgram(module, manifest)
 
@@ -337,6 +347,11 @@ done:
         contacts=(receiver,),
         capabilities=(proto,),
         max_result_bytes=16 * count + 64,
+        policy=DebugletPolicy(
+            emit_sources=("time",),
+            max_send_size=max(size, 8),
+            allowed_protocols=(proto,),
+        ),
     )
     return StockProgram(module, manifest)
 
@@ -405,5 +420,9 @@ done:
         contacts=(),
         capabilities=(proto,),
         max_result_bytes=16 * max_probes + 64,
+        policy=DebugletPolicy(
+            emit_sources=("net", "time"),
+            allowed_protocols=(proto,),
+        ),
     )
     return StockProgram(module, manifest)

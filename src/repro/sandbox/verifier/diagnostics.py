@@ -46,6 +46,22 @@ UNSUPPORTED_PROTOCOL = "V502"
 PROTOCOL_NOT_DERIVABLE = "V503"
 CAPABILITY_UNUSED = "V504"
 
+# ----------------------------------------------------- taint / emit policy
+EMIT_UNDECLARED_SOURCE = "V600"
+EMIT_NOT_DERIVABLE = "V601"
+SEND_SIZE_EXCEEDS_BUFFER = "V602"
+SEND_SIZE_EXCEEDS_POLICY = "V603"
+SEND_PORT_OUT_OF_RANGE = "V604"
+SEND_CONTACT_OUT_OF_RANGE = "V605"
+PROTOCOL_NOT_ALLOWED = "V606"
+EMIT_SOURCE_UNUSED = "V607"
+
+# ------------------------------------------------------ host-effect order
+REPLY_WITHOUT_RECV = "V700"
+RECV_TIMEOUT_NONPOSITIVE = "V701"
+RECV_TIMEOUT_UNBOUNDED = "V702"
+MISSING_BUFFER = "V703"
+
 
 class Severity(enum.Enum):
     """How a diagnostic affects the verdict: only errors fail verification."""
@@ -57,13 +73,21 @@ class Severity(enum.Enum):
 
 @dataclass(frozen=True)
 class Diagnostic:
-    """One verifier finding, locatable to an instruction when applicable."""
+    """One verifier finding, locatable to an instruction when applicable.
+
+    ``path`` carries the dataflow or control-flow witness behind the
+    finding — a sequence of ``function@index op`` steps from the source
+    of the offending value (or the entry point) to the flagged
+    instruction. Empty for findings with no interesting path; rendered
+    only by ``repro verify --explain``.
+    """
 
     code: str
     severity: Severity
     message: str
     function: str | None = None
     instruction: int | None = None
+    path: tuple[str, ...] = ()
 
     @property
     def location(self) -> str:
@@ -73,8 +97,12 @@ class Diagnostic:
             return self.function
         return f"{self.function}@{self.instruction}"
 
-    def render(self) -> str:
-        return f"[{self.code}] {self.severity.value} {self.location}: {self.message}"
+    def render(self, explain: bool = False) -> str:
+        line = f"[{self.code}] {self.severity.value} {self.location}: {self.message}"
+        if explain and self.path:
+            steps = "\n".join(f"    {i}. {step}" for i, step in enumerate(self.path, 1))
+            line = f"{line}\n  path:\n{steps}"
+        return line
 
     def as_dict(self) -> dict:
         return {
@@ -83,19 +111,23 @@ class Diagnostic:
             "message": self.message,
             "function": self.function,
             "instruction": self.instruction,
+            "path": list(self.path),
         }
 
 
 def error(code: str, message: str, function: str | None = None,
-          instruction: int | None = None) -> Diagnostic:
-    return Diagnostic(code, Severity.ERROR, message, function, instruction)
+          instruction: int | None = None,
+          path: tuple[str, ...] = ()) -> Diagnostic:
+    return Diagnostic(code, Severity.ERROR, message, function, instruction, path)
 
 
 def warning(code: str, message: str, function: str | None = None,
-            instruction: int | None = None) -> Diagnostic:
-    return Diagnostic(code, Severity.WARNING, message, function, instruction)
+            instruction: int | None = None,
+            path: tuple[str, ...] = ()) -> Diagnostic:
+    return Diagnostic(code, Severity.WARNING, message, function, instruction, path)
 
 
 def info(code: str, message: str, function: str | None = None,
-         instruction: int | None = None) -> Diagnostic:
-    return Diagnostic(code, Severity.INFO, message, function, instruction)
+         instruction: int | None = None,
+         path: tuple[str, ...] = ()) -> Diagnostic:
+    return Diagnostic(code, Severity.INFO, message, function, instruction, path)

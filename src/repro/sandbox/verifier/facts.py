@@ -57,6 +57,10 @@ class FunctionFacts:
     safe_accesses: dict[int, int]
     #: instruction index -> operand-stack depth on entry (stackcheck).
     depth_in: dict[int, int] = field(default_factory=dict)
+    #: instruction index -> proven address interval (lo, hi) for dynamic
+    #: loads/stores whose whole range fits in memory; the access keeps its
+    #: computed address but skips the bounds check.
+    inbounds_accesses: dict[int, tuple[int, int]] = field(default_factory=dict)
 
 
 @dataclass
@@ -198,6 +202,7 @@ def gather_facts(module: Module) -> StaticFacts:
             )
         abstract = analyze_function(module, function, cfg)
         safe = dict(abstract.safe_accesses) if abstract.converged else {}
+        inbounds = dict(abstract.inbounds_accesses) if abstract.converged else {}
         leaders = block_leaders(function)
         per_function[name] = FunctionFacts(
             name=name,
@@ -205,6 +210,7 @@ def gather_facts(module: Module) -> StaticFacts:
             block_fuel=block_fuel(function, leaders),
             safe_accesses=safe,
             depth_in=depth_in,
+            inbounds_accesses=inbounds,
         )
 
     call_depth = _call_graph_depth(module)

@@ -27,13 +27,17 @@ diagnostic has ERROR severity; warnings and infos never block admission.
 
 from __future__ import annotations
 
+import threading
+from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING
 
-from repro.sandbox.hostops import HOST_OPS, protocol_from_number
+from repro.sandbox.hostops import HOST_OPS, net_ops, protocol_from_number
 from repro.sandbox.isa import Op, validate_instruction
 from repro.sandbox.module import ENTRY_POINT, MAX_MEMORY_BYTES, Module
 from repro.sandbox.verifier import diagnostics as d
+from repro.sandbox.verifier import effects as fx
+from repro.sandbox.verifier import taint as tt
 from repro.sandbox.verifier.absint import HostSite, analyze_function
 from repro.sandbox.verifier.cfg import build_cfg, tarjan_sccs
 from repro.sandbox.verifier.fuel import FuelVerdict, estimate_module_fuel
@@ -43,7 +47,7 @@ from repro.sandbox.vm import VM
 if TYPE_CHECKING:  # pragma: no cover - typing only, avoids import cycles
     from repro.sandbox.manifest import ExecutorPolicy, Manifest
 
-_NET_OPS = ("net_send", "net_recv", "net_reply")
+_NET_OPS = net_ops()
 _LOCAL_OPS = (Op.LOCAL_GET, Op.LOCAL_SET, Op.LOCAL_TEE)
 
 
@@ -76,7 +80,7 @@ class VerificationReport:
     def warnings(self) -> list[d.Diagnostic]:
         return [x for x in self.diagnostics if x.severity is d.Severity.WARNING]
 
-    def render(self) -> str:
+    def render(self, explain: bool = False) -> str:
         lines = [f"verdict: {'ok' if self.ok else 'rejected'}"]
         if self.fuel is not None:
             lines.append(f"fuel: {self.fuel.render()}")
@@ -85,7 +89,7 @@ class VerificationReport:
         caps = ", ".join(sorted(self.capabilities)) or "none"
         suffix = "" if self.capabilities_derivable else " (partially derived)"
         lines.append(f"capabilities: {caps}{suffix}")
-        lines.extend(diag.render() for diag in self.diagnostics)
+        lines.extend(diag.render(explain=explain) for diag in self.diagnostics)
         return "\n".join(lines)
 
     def as_dict(self) -> dict:
@@ -106,6 +110,14 @@ class VerificationReport:
         }
 
 
+#: report cache: verification is pure in (module bytes, manifest, policy)
+#: and the marketplace re-verifies the same application wire on every
+#: purchase, so fleet-scale load is dominated by repeats.
+_REPORT_CACHE: OrderedDict[tuple, VerificationReport] = OrderedDict()
+_REPORT_CACHE_LOCK = threading.Lock()
+_REPORT_CACHE_SIZE = 256
+
+
 def verify_module(
     module: Module,
     manifest: "Manifest | None" = None,
@@ -114,10 +126,37 @@ def verify_module(
     """Statically verify ``module``; admission-grade when a manifest is given.
 
     Without a manifest the verdict covers only intrinsic properties
-    (structure, stack, memory, termination shape); with one, fuel bounds
-    and capabilities are additionally checked against its declarations,
-    and with a policy, against the executor's offer.
+    (structure, stack, memory, host-effect sequencing, termination
+    shape); with one, fuel bounds and capabilities are additionally
+    checked against its declarations — and its policy block, when
+    present, against the emission/send dataflow — and with an executor
+    policy, against the executor's offer. Reports are cached per
+    (module, manifest, policy): treat them as immutable.
     """
+    try:
+        key = (module.code_hash(), repr(manifest), repr(policy))
+    except Exception:
+        key = None
+    if key is not None:
+        with _REPORT_CACHE_LOCK:
+            cached = _REPORT_CACHE.get(key)
+            if cached is not None:
+                _REPORT_CACHE.move_to_end(key)
+                return cached
+    report = _verify_module_uncached(module, manifest, policy)
+    if key is not None:
+        with _REPORT_CACHE_LOCK:
+            _REPORT_CACHE[key] = report
+            while len(_REPORT_CACHE) > _REPORT_CACHE_SIZE:
+                _REPORT_CACHE.popitem(last=False)
+    return report
+
+
+def _verify_module_uncached(
+    module: Module,
+    manifest: "Manifest | None",
+    policy: "ExecutorPolicy | None",
+) -> VerificationReport:
     report = VerificationReport()
 
     structural_ok = _check_structure(module, report)
@@ -149,11 +188,16 @@ def verify_module(
     if not stack_ok or not report.ok:
         return report
 
+    reachable = _reachable_functions(module)
+    dataflow = tt.analyze_module(module, cfgs, reachable)
     host_sites: list[HostSite] = []
-    for name in _reachable_functions(module):
-        outcome = analyze_function(module, module.functions[name], cfgs[name])
-        report.diagnostics.extend(outcome.diagnostics)
-        host_sites.extend(outcome.host_sites)
+    for name in sorted(dataflow.outcomes):
+        report.diagnostics.extend(dataflow.outcomes[name].diagnostics)
+        host_sites.extend(dataflow.outcomes[name].host_sites)
+
+    report.diagnostics.extend(
+        fx.check_effects(module, cfgs, reachable, dataflow.outcomes)
+    )
 
     estimate = estimate_module_fuel(
         module,
@@ -168,6 +212,7 @@ def verify_module(
     report.function_fuel = dict(estimate.function_verdicts)
 
     _check_capabilities(host_sites, manifest, policy, report)
+    report.diagnostics.extend(tt.check_policy(module, dataflow, manifest))
     return report
 
 

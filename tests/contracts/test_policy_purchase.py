@@ -1,0 +1,163 @@
+"""Policy-grade static analysis gates ``purchase_slot`` before escrow.
+
+The acceptance demonstration for the dataflow layer: an exfiltrating
+Debuglet (emits received bytes against its declared ``emit_sources``)
+and a reply-without-recv Debuglet are both rejected at purchase time —
+no token escrowed, no slot consumed — with path-level diagnostics in the
+revert reason, while the stock programs purchase cleanly under their own
+policy blocks.
+"""
+
+import pytest
+
+from repro.chain import KeyPair, Ledger, Wallet, sui_to_mist
+from repro.contracts.debuglet_market import DebugletMarket, ExecutionSlot
+from repro.core.application import DebugletApplication
+from repro.netsim.packet import Address, Protocol
+from repro.sandbox.assembler import assemble
+from repro.sandbox.manifest import DebugletPolicy, Manifest
+from repro.sandbox.programs import StockProgram, echo_client, echo_server
+
+EXFIL_SOURCE = """
+.memory 4096
+.buffer udp_recv_buffer 0 96
+
+.func run_debuglet 0 1
+    push 17
+    push 1000000
+    host net_recv
+    local_set 0
+    push 0
+    push 8
+    host result_bytes
+    drop
+    push 0
+    ret
+.end
+"""
+
+REPLY_NO_RECV_SOURCE = """
+.memory 4096
+.buffer udp_recv_buffer 0 64
+
+.func run_debuglet 0 0
+    push 17
+    push 1
+    push 8
+    host net_reply
+    drop
+    push 0
+    ret
+.end
+"""
+
+
+def _manifest(policy=None) -> Manifest:
+    return Manifest(
+        max_instructions=100_000,
+        max_duration=10.0,
+        max_memory_bytes=65536,
+        max_packets_sent=100,
+        max_packets_received=100,
+        contacts=(Address(20, 2),),
+        capabilities=("udp",),
+        policy=policy,
+    )
+
+
+def _wire(source: str, policy=None) -> bytes:
+    stock = StockProgram(assemble(source), _manifest(policy))
+    return DebugletApplication.from_stock("cli", stock).to_wire()
+
+
+def _slot() -> dict:
+    return ExecutionSlot(
+        start=100.0, end=200.0, price=sui_to_mist(0.05),
+        cores=2, memory_mb=512, bandwidth_mbps=100,
+    ).as_dict()
+
+
+@pytest.fixture
+def market_setup():
+    ledger = Ledger()
+    market = ledger.register_contract(DebugletMarket())
+    wallets = {}
+    for label in ("exec-a", "exec-b", "init"):
+        keypair = KeyPair.deterministic(label)
+        ledger.create_account(keypair, balance=sui_to_mist(100), label=label)
+        wallets[label] = Wallet(ledger, keypair)
+    wallets["exec-a"].must_call("debuglet_market", "register_executor", 10, 1)
+    wallets["exec-b"].must_call("debuglet_market", "register_executor", 20, 2)
+    wallets["exec-a"].must_call(
+        "debuglet_market", "register_time_slot", 10, 1, [_slot()]
+    )
+    wallets["exec-b"].must_call(
+        "debuglet_market", "register_time_slot", 20, 2, [_slot()]
+    )
+    return ledger, market, wallets
+
+
+SERVER_WIRE = DebugletApplication.from_stock(
+    "srv", echo_server(Protocol.UDP, max_echoes=3), listen_port=7
+).to_wire()
+
+
+def _lookup(wallets):
+    return wallets["init"].must_call(
+        "debuglet_market", "lookup_slot",
+        10, 1, 20, 2, 1, 128, 10, 30.0, 0.0,
+    ).return_value
+
+
+def _purchase(wallets, client_wire, found=None):
+    if found is None:
+        found = _lookup(wallets)
+    return found, wallets["init"].call(
+        "debuglet_market", "purchase_slot", 10, 1, 20, 2,
+        found["client_slot_start"], found["server_slot_start"],
+        found["start"], found["end"],
+        client_wire, {"m": 1}, SERVER_WIRE, {"m": 2},
+        value=found["total_price"],
+    )
+
+
+class TestPolicyRejectionBeforeEscrow:
+    def test_exfiltration_rejected_before_escrow(self, market_setup):
+        ledger, market, wallets = market_setup
+        found = _lookup(wallets)
+        before = wallets["init"].balance
+        wire = _wire(EXFIL_SOURCE, DebugletPolicy(emit_sources=("time",)))
+        _, receipt = _purchase(wallets, wire, found)
+        assert not receipt.success
+        assert "V600" in receipt.status
+        # rejection is pre-escrow: no tokens held, both slots still open
+        assert ledger.contract_balances.get("debuglet_market", 0) == 0
+        assert len(market.available_slots(10, 1)) == 1
+        assert len(market.available_slots(20, 2)) == 1
+        assert wallets["init"].balance == before - receipt.gas.total
+
+    def test_reply_without_recv_rejected_before_escrow(self, market_setup):
+        ledger, market, wallets = market_setup
+        wire = _wire(REPLY_NO_RECV_SOURCE)
+        _, receipt = _purchase(wallets, wire)
+        assert not receipt.success
+        assert "V700" in receipt.status
+        assert ledger.contract_balances.get("debuglet_market", 0) == 0
+        assert len(market.available_slots(10, 1)) == 1
+
+    def test_same_exfil_program_purchases_without_policy(self, market_setup):
+        # the program is runtime-safe; only the policy block rejects it
+        _, _, wallets = market_setup
+        wire = _wire(EXFIL_SOURCE)
+        _, receipt = _purchase(wallets, wire)
+        assert receipt.success
+
+    def test_stock_client_purchases_under_its_policy(self, market_setup):
+        ledger, market, wallets = market_setup
+        stock = echo_client(Protocol.UDP, Address(20, 2), count=3, dst_port=7)
+        assert stock.manifest.policy is not None
+        wire = DebugletApplication.from_stock("cli", stock).to_wire()
+        found, receipt = _purchase(wallets, wire)
+        assert receipt.success, receipt.status
+        # escrow actually moved this time
+        assert ledger.contract_balances["debuglet_market"] == found["total_price"]

@@ -199,3 +199,56 @@ class TestHardening:
             ".func helper 0 0\npush 1\nret\n.end"
         )
         assert "helper" in module.functions
+
+
+class TestEnclosingFunctionContext:
+    """Errors inside a ``.func`` body name the enclosing function."""
+
+    def test_unknown_instruction_names_function(self):
+        with pytest.raises(AssemblyError) as info:
+            assemble(
+                ".memory 4096\n.func my_helper 0 0\nfrobnicate\n.end"
+            )
+        assert info.value.function == "my_helper"
+        assert "in function 'my_helper'" in str(info.value)
+        assert "line 3" in str(info.value)
+        assert info.value.line_no == 3
+
+    def test_bad_local_index_names_function(self):
+        with pytest.raises(AssemblyError) as info:
+            assemble(
+                ".memory 4096\n.func run_debuglet 0 1\nlocal_get 5\nret\n.end"
+            )
+        assert info.value.function == "run_debuglet"
+        assert "in function 'run_debuglet'" in str(info.value)
+
+    def test_undefined_label_names_function(self):
+        with pytest.raises(AssemblyError) as info:
+            assemble(
+                ".memory 4096\n.func looper 0 0\njmp nowhere\nret\n.end"
+            )
+        assert info.value.function == "looper"
+        assert info.value.line_no == 3
+
+    def test_bad_immediate_inside_function_names_it(self):
+        with pytest.raises(AssemblyError) as info:
+            assemble(".memory 4096\n.func f 0 0\npush lots\nret\n.end")
+        assert info.value.function == "f"
+
+    def test_errors_outside_functions_carry_no_function(self):
+        with pytest.raises(AssemblyError) as info:
+            assemble(".memory lots\n")
+        assert info.value.function is None
+        assert "in function" not in str(info.value)
+
+    def test_unknown_callee_error_names_caller(self):
+        with pytest.raises(AssemblyError) as info:
+            assemble(
+                ".memory 4096\n.func run_debuglet 0 0\ncall helper\nret\n.end"
+            )
+        assert info.value.function == "run_debuglet"
+
+    def test_detail_preserves_bare_message(self):
+        with pytest.raises(AssemblyError) as info:
+            assemble(".memory 4096\n.func f 0 0\nfrobnicate\n.end")
+        assert info.value.detail == "unknown instruction 'frobnicate'"

@@ -1,0 +1,212 @@
+"""Host-effect sequencing checks (V70x): reply-without-recv, timeout
+hygiene, missing buffers."""
+
+from repro.sandbox.assembler import assemble
+from repro.sandbox.verifier import verify_module
+
+
+def codes(report):
+    return [diag.code for diag in report.diagnostics]
+
+
+REPLY_NO_RECV = """
+; replies without ever receiving: the reply is always a no-op.
+.memory 4096
+.buffer udp_recv_buffer 0 64
+
+.func run_debuglet 0 0
+    push 17
+    push 1
+    push 8
+    host net_reply
+    drop
+    push 0
+    ret
+.end
+"""
+
+
+class TestReplyWithoutRecv:
+    def test_unconditional_reply_rejected(self):
+        report = verify_module(assemble(REPLY_NO_RECV))
+        assert not report.ok
+        assert "V700" in codes(report)
+        diag = next(d for d in report.diagnostics if d.code == "V700")
+        assert diag.path, "V700 must carry a witness path"
+        assert "net_reply" in diag.render(explain=True)
+
+    def test_guarded_reply_ok(self):
+        source = """
+.memory 4096
+.buffer udp_recv_buffer 0 64
+
+.func run_debuglet 0 1
+    push 17
+    push 1000000
+    host net_recv
+    local_set 0
+    push 17
+    push 1
+    push 8
+    host net_reply
+    drop
+    push 0
+    ret
+.end
+"""
+        report = verify_module(assemble(source))
+        assert "V700" not in codes(report)
+
+    def test_reply_on_one_unguarded_path_rejected(self):
+        # branch: one arm receives, the other skips straight to the reply
+        source = """
+.memory 4096
+.buffer udp_recv_buffer 0 64
+
+.func run_debuglet 1 1
+    local_get 0
+    jz reply
+    push 17
+    push 1000000
+    host net_recv
+    local_set 1
+reply:
+    push 17
+    push 1
+    push 8
+    host net_reply
+    drop
+    push 0
+    ret
+.end
+"""
+        report = verify_module(assemble(source))
+        assert "V700" in codes(report)
+
+    def test_recv_in_callee_guards_reply(self):
+        source = """
+.memory 4096
+.buffer udp_recv_buffer 0 64
+
+.func wait_probe 0 1
+    push 17
+    push 1000000
+    host net_recv
+    local_set 0
+    push 0
+    ret
+.end
+
+.func run_debuglet 0 0
+    call wait_probe
+    drop
+    push 17
+    push 1
+    push 8
+    host net_reply
+    drop
+    push 0
+    ret
+.end
+"""
+        report = verify_module(assemble(source))
+        assert "V700" not in codes(report)
+
+    def test_unguarded_reply_in_callee_reported_at_call(self):
+        source = """
+.memory 4096
+.buffer udp_recv_buffer 0 64
+
+.func blind_reply 0 0
+    push 17
+    push 1
+    push 8
+    host net_reply
+    drop
+    push 0
+    ret
+.end
+
+.func run_debuglet 0 0
+    call blind_reply
+    drop
+    push 0
+    ret
+.end
+"""
+        report = verify_module(assemble(source))
+        assert "V700" in codes(report)
+        diag = next(d for d in report.diagnostics if d.code == "V700")
+        assert "blind_reply" in diag.message
+
+
+class TestTimeoutHygiene:
+    def test_nonpositive_timeout_warns(self):
+        source = """
+.memory 4096
+.buffer udp_recv_buffer 0 64
+
+.func run_debuglet 0 1
+    push 17
+    push 0
+    host net_recv
+    local_set 0
+    push 0
+    ret
+.end
+"""
+        report = verify_module(assemble(source))
+        assert report.ok  # warning, not error
+        assert "V701" in codes(report)
+
+    def test_unbounded_timeout_is_info(self):
+        source = """
+.memory 4096
+.buffer udp_recv_buffer 0 64
+
+.func run_debuglet 1 1
+    push 17
+    local_get 0
+    host net_recv
+    local_set 1
+    push 0
+    ret
+.end
+"""
+        report = verify_module(assemble(source))
+        assert "V702" in codes(report)
+
+
+class TestMissingBuffer:
+    def test_recv_without_matching_buffer_warns(self):
+        source = """
+.memory 4096
+
+.func run_debuglet 0 1
+    push 17
+    push 1000000
+    host net_recv
+    local_set 0
+    push 0
+    ret
+.end
+"""
+        report = verify_module(assemble(source))
+        assert "V703" in codes(report)
+
+    def test_generic_buffer_satisfies_any_protocol(self):
+        source = """
+.memory 4096
+.buffer recv_buffer 0 64
+
+.func run_debuglet 0 1
+    push 17
+    push 1000000
+    host net_recv
+    local_set 0
+    push 0
+    ret
+.end
+"""
+        report = verify_module(assemble(source))
+        assert "V703" not in codes(report)

@@ -1,0 +1,108 @@
+"""Drift guards: the host-op tables, the verifier's effect signatures,
+and the executor dispatch must describe the same API.
+
+``HOST_OPS`` (arity), ``BLOCKING_OPS``, and ``HOST_EFFECTS`` (the
+verifier's semantic model) are maintained by hand in
+:mod:`repro.sandbox.hostops`; the executor's ``_perform`` dispatch and
+the VM both key off the same names. A new host op added to one table but
+not the others would silently weaken the static analyses, so these tests
+pin the tables together.
+"""
+
+import inspect
+
+from repro.sandbox import hostops
+from repro.sandbox.hostops import BLOCKING_OPS, HOST_EFFECTS, HOST_OPS, net_ops
+
+
+class TestTableConsistency:
+    def test_same_op_names_everywhere(self):
+        assert set(HOST_EFFECTS) == set(HOST_OPS)
+
+    def test_arity_matches_arg_roles(self):
+        for name, (n_args, n_results) in HOST_OPS.items():
+            effect = HOST_EFFECTS[name]
+            assert len(effect.arg_roles) == n_args, (
+                f"{name}: HOST_OPS says {n_args} args, HOST_EFFECTS names "
+                f"{len(effect.arg_roles)} roles"
+            )
+            assert n_results == 1, f"{name}: every host op returns one i64"
+
+    def test_blocking_flags_match_blocking_ops(self):
+        flagged = {n for n, e in HOST_EFFECTS.items() if e.blocking}
+        assert flagged == set(BLOCKING_OPS)
+
+    def test_result_ranges_well_formed(self):
+        i64_min, i64_max = -(1 << 63), (1 << 63) - 1
+        for name, effect in HOST_EFFECTS.items():
+            lo, hi = effect.result_range
+            assert i64_min <= lo <= hi <= i64_max, name
+
+    def test_result_taints_are_known_kinds(self):
+        from repro.sandbox.manifest import KNOWN_EMIT_SOURCES
+
+        for name, effect in HOST_EFFECTS.items():
+            assert effect.result_taint in KNOWN_EMIT_SOURCES + ("const",), name
+
+    def test_net_ops_lead_with_proto_role(self):
+        for name in net_ops():
+            assert HOST_EFFECTS[name].arg_roles[0] == "proto"
+        assert set(net_ops()) == {"net_send", "net_recv", "net_reply"}
+
+    def test_recv_header_covers_documented_fields(self):
+        # 4 x i64 header fields documented in the module docstring
+        assert hostops.RECV_HEADER_SIZE == 32
+
+
+class TestVerifierUsesTheTables:
+    def test_absint_net_ops_match_hostops(self):
+        from repro.sandbox.verifier import absint
+
+        assert absint._NET_OPS == net_ops()
+
+    def test_verifier_net_ops_match_hostops(self):
+        from repro.sandbox.verifier import verifier
+
+        assert verifier._NET_OPS == net_ops()
+
+    def test_capability_inference_keys_off_proto_role(self):
+        # every op capability inference would inspect is a net op
+        from repro.sandbox.assembler import assemble
+        from repro.sandbox.verifier import infer_capabilities
+
+        source = """
+.memory 4096
+.buffer udp_send_buffer 0 64
+
+.func run_debuglet 0 0
+    push 17
+    push 0
+    push 9
+    push 0
+    push 8
+    host net_send
+    drop
+    push 0
+    ret
+.end
+"""
+        capabilities, derivable = infer_capabilities(assemble(source))
+        assert derivable and capabilities == frozenset({"udp"})
+
+
+class TestExecutorDispatchMatches:
+    def test_executor_handles_every_table_op(self):
+        """Every op in HOST_OPS appears in Executor._perform's dispatch."""
+        from repro.core.executor import Executor
+
+        dispatch_source = inspect.getsource(Executor._perform)
+        for name in HOST_OPS:
+            assert f'"{name}"' in dispatch_source, (
+                f"host op {name!r} is in HOST_OPS but Executor._perform "
+                "never dispatches it"
+            )
+
+    def test_vm_charges_host_fuel_for_all_ops(self):
+        from repro.sandbox.isa import FUEL_COST, Op
+
+        assert FUEL_COST[Op.HOST] >= 1

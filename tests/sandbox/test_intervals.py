@@ -1,0 +1,122 @@
+"""The signed-64 interval domain: transfer functions, lattice ops,
+branch refinement."""
+
+import pytest
+
+from repro.sandbox.isa import Op
+from repro.sandbox.verifier import intervals as iv
+from repro.sandbox.verifier.intervals import INT_MAX, INT_MIN, TOP, Interval, const
+
+
+class TestBasics:
+    def test_singletons_are_consts(self):
+        assert const(7).is_const
+        assert const(7).const == 7
+        assert not Interval(0, 1).is_const
+        assert Interval(0, 1).const is None
+
+    def test_const_wraps_to_signed(self):
+        assert const((1 << 64) - 1).const == -1
+        assert const(1 << 63).const == INT_MIN
+
+    def test_malformed_rejected(self):
+        with pytest.raises(ValueError):
+            Interval(1, 0)
+        with pytest.raises(ValueError):
+            Interval(INT_MIN - 1, 0)
+
+    def test_queries(self):
+        assert TOP.is_top
+        assert Interval(2, 5).within(0, 10)
+        assert not Interval(2, 11).within(0, 10)
+        assert Interval(20, 30).disjoint(0, 10)
+        assert not Interval(5, 30).disjoint(0, 10)
+        assert Interval(2, 5).contains(3)
+        assert not Interval(2, 5).contains(9)
+
+    def test_render(self):
+        assert const(3).render() == "3"
+        assert TOP.render() == "[-inf, +inf]"
+        assert Interval(0, 5).render() == "[0, 5]"
+        assert Interval(INT_MIN, 5).render() == "[-inf, 5]"
+
+
+class TestLattice:
+    def test_join_is_hull(self):
+        assert Interval(0, 3).join(Interval(5, 9)) == Interval(0, 9)
+
+    def test_meet_intersects_or_empties(self):
+        assert Interval(0, 5).meet(Interval(3, 9)) == Interval(3, 5)
+        assert Interval(0, 2).meet(Interval(5, 9)) is None
+
+    def test_widen_blows_unstable_bounds(self):
+        old, new = Interval(0, 5), Interval(0, 9)
+        assert old.widen(new) == Interval(0, INT_MAX)
+        old, new = Interval(0, 5), Interval(-1, 5)
+        assert old.widen(new) == Interval(INT_MIN, 5)
+        assert Interval(0, 5).widen(Interval(0, 5)) == Interval(0, 5)
+
+
+class TestTransfer:
+    def test_add_sub_mul_exact(self):
+        assert iv.add(Interval(1, 2), Interval(10, 20)) == Interval(11, 22)
+        assert iv.sub(Interval(1, 2), Interval(10, 20)) == Interval(-19, -8)
+        assert iv.mul(Interval(0, 511), const(8)) == Interval(0, 4088)
+
+    def test_overflow_goes_top(self):
+        assert iv.add(const(INT_MAX), const(1)).is_top
+        assert iv.mul(const(INT_MAX), const(2)).is_top
+
+    def test_divs_endpoints(self):
+        assert iv.divs(Interval(10, 20), const(2)) == Interval(5, 10)
+        # a zero-spanning divisor still bounds the quotient by the ±1 cases
+        assert iv.divs(Interval(10, 20), Interval(-1, 1)) == Interval(-20, 20)
+
+    def test_rems_sign_follows_dividend(self):
+        r = iv.rems(Interval(0, 100), const(8))
+        assert r.within(0, 7)
+        r = iv.rems(Interval(-100, 100), const(8))
+        assert r.within(-7, 7)
+
+    def test_rems_passthrough_when_already_reduced(self):
+        assert iv.rems(Interval(0, 5), const(8)) == Interval(0, 5)
+
+    def test_and_mask_bounds(self):
+        assert iv.and_(TOP, const(511)) == Interval(0, 511)
+        assert iv.and_(const(511), TOP) == Interval(0, 511)
+
+    def test_shl_shru(self):
+        assert iv.shl(const(1), const(4)) == const(16)
+        assert iv.shru(const(-1), const(63)).within(0, 1)
+
+    def test_compare_decides_or_bool(self):
+        assert iv.compare(Op.LTS, const(1), const(2)) == const(1)
+        assert iv.compare(Op.LTS, const(2), const(1)) == const(0)
+        undecided = iv.compare(Op.LTS, Interval(0, 5), const(3))
+        assert undecided.within(0, 1) and not undecided.is_const
+
+    def test_binary_dispatch_matches_direct(self):
+        assert iv.binary(Op.ADD, const(2), const(3)) == const(5)
+        assert iv.binary(Op.MUL, const(2), const(3)) == const(6)
+
+
+class TestConstrain:
+    def test_lts_upper_bound(self):
+        assert iv.constrain(Op.LTS, const(10)).hi == 9
+
+    def test_ges_lower_bound(self):
+        assert iv.constrain(Op.GES, const(10)).lo == 10
+
+    def test_eq_adopts_rhs(self):
+        assert iv.constrain(Op.EQ, Interval(3, 7)) == Interval(3, 7)
+
+    def test_infeasible_edge_has_empty_meet(self):
+        implied = iv.constrain(Op.LTS, const(10))
+        assert const(20).meet(implied) is None
+
+    def test_negated_mirrored_tables_cover_comparisons(self):
+        for op in (Op.LTS, Op.GTS, Op.LES, Op.GES, Op.EQ, Op.NE):
+            assert op in iv.NEGATED
+            assert op in iv.MIRRORED
+            assert iv.NEGATED[iv.NEGATED[op]] is op
+            assert iv.MIRRORED[iv.MIRRORED[op]] is op

@@ -1,0 +1,258 @@
+"""Taint/provenance analysis and the manifest policy block (V60x)."""
+
+import pytest
+
+from repro.netsim.packet import Address, Protocol
+from repro.sandbox.assembler import assemble
+from repro.sandbox.manifest import DebugletPolicy, Manifest
+from repro.sandbox.verifier import verify_module
+
+
+def manifest(**overrides) -> Manifest:
+    defaults = dict(
+        max_instructions=100_000,
+        max_duration=10.0,
+        max_memory_bytes=65536,
+        max_packets_sent=100,
+        max_packets_received=100,
+        contacts=(Address(1, 1),),
+        capabilities=("udp",),
+    )
+    defaults.update(overrides)
+    return Manifest(**defaults)
+
+
+def codes(report):
+    return [diag.code for diag in report.diagnostics]
+
+
+EXFIL = """
+; receives a probe, then emits the received payload while the policy
+; only declares time-derived output — the worked exfiltration example.
+.memory 4096
+.buffer udp_recv_buffer 0 96
+
+.func run_debuglet 0 1
+    push 17
+    push 1000000
+    host net_recv
+    local_set 0
+    push 0
+    push 8
+    host result_bytes
+    drop
+    push 0
+    ret
+.end
+"""
+
+
+class TestEmissionSources:
+    def test_exfiltration_rejected_with_path(self):
+        module = assemble(EXFIL)
+        m = manifest(policy=DebugletPolicy(emit_sources=("time",)))
+        report = verify_module(module, m)
+        assert not report.ok
+        assert "V600" in codes(report)
+        diag = next(d for d in report.diagnostics if d.code == "V600")
+        assert "net" in diag.message
+        # the witness path names the receiving instruction and the emit
+        assert diag.path
+        rendered = diag.render(explain=True)
+        assert "net_recv" in rendered
+
+    def test_same_program_ok_when_net_declared(self):
+        module = assemble(EXFIL)
+        m = manifest(policy=DebugletPolicy(emit_sources=("net", "time")))
+        report = verify_module(module, m)
+        assert report.ok
+
+    def test_no_policy_means_no_emission_errors(self):
+        module = assemble(EXFIL)
+        report = verify_module(module, manifest())
+        assert report.ok
+
+    def test_time_emission_needs_time_source(self):
+        source = """
+.memory 4096
+.func run_debuglet 0 0
+    host now_us
+    host result_i64
+    drop
+    push 0
+    ret
+.end
+"""
+        module = assemble(source)
+        rejected = verify_module(
+            module, manifest(policy=DebugletPolicy(emit_sources=()))
+        )
+        assert not rejected.ok and "V600" in codes(rejected)
+        accepted = verify_module(
+            module, manifest(policy=DebugletPolicy(emit_sources=("time",)))
+        )
+        assert accepted.ok
+
+    def test_constant_emission_always_allowed(self):
+        source = """
+.memory 4096
+.func run_debuglet 0 0
+    push 42
+    host result_i64
+    drop
+    push 0
+    ret
+.end
+"""
+        module = assemble(source)
+        report = verify_module(
+            module, manifest(policy=DebugletPolicy(emit_sources=()))
+        )
+        assert report.ok
+
+    def test_rand_emission_tracked(self):
+        source = """
+.memory 4096
+.func run_debuglet 0 0
+    host rand_u32
+    host result_i64
+    drop
+    push 0
+    ret
+.end
+"""
+        module = assemble(source)
+        report = verify_module(
+            module, manifest(policy=DebugletPolicy(emit_sources=("net", "time")))
+        )
+        assert not report.ok and "V600" in codes(report)
+
+    def test_declared_but_unused_source_is_info(self):
+        source = """
+.memory 4096
+.func run_debuglet 0 0
+    push 1
+    host result_i64
+    drop
+    push 0
+    ret
+.end
+"""
+        module = assemble(source)
+        report = verify_module(
+            module, manifest(policy=DebugletPolicy(emit_sources=("rand",)))
+        )
+        assert report.ok
+        assert "V607" in codes(report)
+
+
+SENDER = """
+.memory 4096
+.buffer udp_send_buffer 0 256
+
+.func run_debuglet 0 0
+    push 17
+    push 0
+    push 9000
+    push 1
+    push {size}
+    host net_send
+    drop
+    push 0
+    ret
+.end
+"""
+
+
+class TestSendPolicy:
+    def test_send_size_over_policy_cap_rejected(self):
+        module = assemble(SENDER.format(size=128))
+        report = verify_module(
+            module, manifest(policy=DebugletPolicy(max_send_size=64))
+        )
+        assert not report.ok and "V603" in codes(report)
+
+    def test_send_size_under_cap_ok(self):
+        module = assemble(SENDER.format(size=64))
+        report = verify_module(
+            module, manifest(policy=DebugletPolicy(max_send_size=64))
+        )
+        assert report.ok
+
+    def test_contact_out_of_range_under_policy(self):
+        source = SENDER.replace("push 0\n    push 9000", "push 3\n    push 9000")
+        module = assemble(source.format(size=8))
+        report = verify_module(
+            module, manifest(policy=DebugletPolicy())
+        )
+        assert not report.ok and "V605" in codes(report)
+
+    def test_contact_unchecked_without_policy(self):
+        source = SENDER.replace("push 0\n    push 9000", "push 3\n    push 9000")
+        module = assemble(source.format(size=8))
+        report = verify_module(module, manifest())
+        assert report.ok
+
+    def test_protocol_not_in_policy_allowlist(self):
+        module = assemble(SENDER.format(size=8))
+        report = verify_module(
+            module,
+            manifest(
+                capabilities=("udp", "tcp"),
+                policy=DebugletPolicy(allowed_protocols=("tcp",)),
+            ),
+        )
+        assert not report.ok and "V606" in codes(report)
+
+    def test_protocol_in_allowlist_ok(self):
+        module = assemble(SENDER.format(size=8))
+        report = verify_module(
+            module, manifest(policy=DebugletPolicy(allowed_protocols=("udp",)))
+        )
+        assert report.ok
+
+
+class TestStockProgramsUnderPolicy:
+    @pytest.mark.parametrize("factory", ["echo_client", "echo_server",
+                                         "oneway_sender", "oneway_receiver"])
+    def test_stock_program_verifies_clean_under_its_policy(self, factory):
+        from repro.sandbox import programs
+
+        server = Address(2, 1)
+        stock = {
+            "echo_client": lambda: programs.echo_client(
+                Protocol.UDP, server, count=5),
+            "echo_server": lambda: programs.echo_server(
+                Protocol.UDP, max_echoes=5),
+            "oneway_sender": lambda: programs.oneway_sender(
+                Protocol.UDP, server, count=5),
+            "oneway_receiver": lambda: programs.oneway_receiver(
+                Protocol.UDP, max_probes=5),
+        }[factory]()
+        assert stock.manifest.policy is not None
+        report = verify_module(stock.module, stock.manifest)
+        assert report.ok, report.render()
+
+
+class TestPolicySerialization:
+    def test_policy_roundtrips_through_manifest_dict(self):
+        m = manifest(policy=DebugletPolicy(
+            emit_sources=("net",), max_send_size=128,
+            allowed_protocols=("udp",),
+        ))
+        again = Manifest.from_dict(m.as_dict())
+        assert again.policy == m.policy
+
+    def test_absent_policy_roundtrips_as_none(self):
+        m = manifest()
+        assert Manifest.from_dict(m.as_dict()).policy is None
+
+    def test_unknown_source_rejected(self):
+        from repro.common.errors import ManifestError
+
+        with pytest.raises(ManifestError):
+            DebugletPolicy(emit_sources=("telepathy",))
+        with pytest.raises(ManifestError):
+            DebugletPolicy(max_send_size=-1)
+        with pytest.raises(ManifestError):
+            DebugletPolicy(allowed_protocols=("smoke-signal",))

@@ -1,0 +1,76 @@
+"""Golden-file tests for ``repro verify --json``.
+
+The JSON report is a stable machine interface (CI gates and marketplace
+tooling parse it), so its full shape — field names, diagnostic codes,
+messages, witness paths, ordering — is pinned against checked-in golden
+files. A deliberate schema change means regenerating the goldens::
+
+    PYTHONPATH=src python -m repro verify tests/sandbox/fixtures/<f>.dasm \
+        --manifest tests/sandbox/fixtures/<f>_manifest.json --policy --json
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.cli import main
+
+FIXTURES = Path(__file__).parent / "fixtures"
+GOLDEN = Path(__file__).parent / "golden"
+
+
+def _run_verify(capsys, name: str, *extra: str) -> tuple[int, dict]:
+    code = main([
+        "verify", str(FIXTURES / f"{name}.dasm"),
+        "--manifest", str(FIXTURES / f"{name}_manifest.json"),
+        "--policy", "--json", *extra,
+    ])
+    return code, json.loads(capsys.readouterr().out)
+
+
+class TestGoldenReports:
+    @pytest.mark.parametrize("name,exit_code", [
+        ("exfil", 1),
+        ("clean_sender", 0),
+    ])
+    def test_report_matches_golden(self, capsys, name, exit_code):
+        code, got = _run_verify(capsys, name)
+        assert code == exit_code
+        want = json.loads((GOLDEN / f"verify_{name}.json").read_text())
+        assert got == want
+
+    def test_exfil_diagnostic_carries_dataflow_path(self, capsys):
+        _, got = _run_verify(capsys, "exfil")
+        (diag,) = [d for d in got["diagnostics"] if d["code"] == "V600"]
+        assert diag["severity"] == "error"
+        # the path walks source -> emit with concrete instructions
+        assert any("net_recv" in step for step in diag["path"])
+        assert diag["path"][-1].endswith("result_bytes")
+
+
+class TestPolicyFlagContract:
+    def test_policy_flag_requires_policy_block(self, capsys, tmp_path):
+        manifest = json.loads(
+            (FIXTURES / "clean_sender_manifest.json").read_text()
+        )
+        manifest["policy"] = None
+        stripped = tmp_path / "m.json"
+        stripped.write_text(json.dumps(manifest))
+        code = main([
+            "verify", str(FIXTURES / "clean_sender.dasm"),
+            "--manifest", str(stripped), "--policy",
+        ])
+        assert code == 2
+        assert "policy block" in capsys.readouterr().err
+
+    def test_explain_renders_paths_in_text_mode(self, capsys):
+        code = main([
+            "verify", str(FIXTURES / "exfil.dasm"),
+            "--manifest", str(FIXTURES / "exfil_manifest.json"),
+            "--policy", "--explain",
+        ])
+        assert code == 1
+        out = capsys.readouterr().out
+        assert "path:" in out
+        assert "net_recv" in out
