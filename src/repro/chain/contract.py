@@ -97,6 +97,14 @@ class ExecutionContext:
         """Pay out of the contract's escrow balance (e.g. to an executor)."""
         self.ledger.contract_pay_out(self.contract.name, to_address, amount)
 
+    def burn_from_contract(self, amount: int) -> None:
+        """Destroy tokens held by the contract (slashing, DESIGN.md §13).
+
+        Burned tokens move into the ledger's ``tokens_slashed`` sink — no
+        account is credited, so slashing cannot be farmed by a malicious
+        auditor."""
+        self.ledger.contract_burn(self.contract.name, amount)
+
     # ------------------------------------------------------------- events
 
     def emit(self, name: str, **attributes: Any) -> None:

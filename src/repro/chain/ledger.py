@@ -91,6 +91,7 @@ class _TxJournal:
     balances: dict[str, int] = field(default_factory=dict)
     escrows: dict[str, int] = field(default_factory=dict)
     storage_fund: int | None = None
+    slashed: int | None = None
 
 
 class Ledger:
@@ -145,9 +146,13 @@ class Ledger:
         self._block = BlockBuilder(self)
         self._genesis_grants: list[tuple[str, int]] = []
         # Token sinks: computation fees are burned; storage fees fund the
-        # rebates paid when objects are freed (Sui's storage-fund model).
+        # rebates paid when objects are freed (Sui's storage-fund model);
+        # slashed stakes are burned into their own sink so conservation
+        # (balances + escrow + gas + storage fund + slashed == genesis)
+        # stays checkable after convictions (DESIGN.md §13).
         self.gas_burned = 0
         self.storage_fund = 0
+        self.tokens_slashed = 0
         self._tx_journal: _TxJournal | None = None
 
     # ------------------------------------------------------------ wiring
@@ -220,6 +225,11 @@ class Ledger:
         if journal is not None and journal.storage_fund is None:
             journal.storage_fund = self.storage_fund
 
+    def _journal_slashed(self) -> None:
+        journal = self._tx_journal
+        if journal is not None and journal.slashed is None:
+            journal.slashed = self.tokens_slashed
+
     def _rollback_tx_journal(self) -> None:
         journal = self._tx_journal
         if journal is None:
@@ -233,6 +243,8 @@ class Ledger:
             self.contract_balances[name] = balance
         if journal.storage_fund is not None:
             self.storage_fund = journal.storage_fund
+        if journal.slashed is not None:
+            self.tokens_slashed = journal.slashed
 
     def credit(self, address: str, amount: int) -> None:
         """Credit tokens out of thin air (genesis-style; avoid in contracts)."""
@@ -266,6 +278,26 @@ class Ledger:
         self._journal_escrow(contract_name)
         self.contract_balances[contract_name] = balance - amount
         self._journal_balance(to_address).balance += amount
+
+    def contract_burn(self, contract_name: str, amount: int) -> None:
+        """Burn tokens out of a contract's escrow (slashing, §13).
+
+        The tokens leave circulation into the ``tokens_slashed`` sink —
+        they are destroyed, not paid to the auditor, so a conviction never
+        creates an incentive to frame honest executors. Journaled like
+        every other token move, so a reverted slash burns nothing.
+        """
+        if amount < 0:
+            raise ContractRevert("negative burn")
+        balance = self.contract_balances.get(contract_name, 0)
+        if balance < amount:
+            raise ContractRevert(
+                f"contract escrow {balance} cannot cover burn {amount}"
+            )
+        self._journal_escrow(contract_name)
+        self._journal_slashed()
+        self.contract_balances[contract_name] = balance - amount
+        self.tokens_slashed += amount
 
     # --------------------------------------------------------- execution
 
@@ -566,6 +598,7 @@ class Ledger:
             "escrow": dict(sorted(self.contract_balances.items())),
             "gas_burned": self.gas_burned,
             "storage_fund": self.storage_fund,
+            "slashed": self.tokens_slashed,
             "objects": self.objects.state_payload(),
             "contracts": {
                 name: contract.state_payload()

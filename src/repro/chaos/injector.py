@@ -43,6 +43,20 @@ class ChaosKind(enum.Enum):
     TX_FAILURE = "tx-failure"
     FINALITY_DELAY = "finality-delay"
     SLOT_EXPIRY = "slot-expiry"
+    BYZANTINE = "byzantine"
+
+
+#: Kinds :meth:`ChaosInjector.random_fault` draws from. BYZANTINE is
+#: excluded: it is an *attack* needing a strategy, not an infra fault —
+#: and keeping the draw space fixed preserves seeded chaos schedules.
+_RANDOM_KINDS = (
+    ChaosKind.EXECUTOR_CRASH,
+    ChaosKind.PUBLICATION_DROP,
+    ChaosKind.PUBLICATION_DELAY,
+    ChaosKind.TX_FAILURE,
+    ChaosKind.FINALITY_DELAY,
+    ChaosKind.SLOT_EXPIRY,
+)
 
 
 @dataclass
@@ -187,6 +201,52 @@ class ChaosInjector:
         def undo() -> None:
             if executor.crashed:
                 executor.restart()
+
+        fault._on_revoke.append(undo)
+        return self._register(fault)
+
+    def corrupt_executor(
+        self,
+        executor,
+        *,
+        strategy,
+        start: float,
+        end: float = float("inf"),
+        seed: int = 0,
+        **params,
+    ) -> ChaosFault:
+        """Turn ``executor`` Byzantine inside [start, end) (DESIGN.md §13).
+
+        ``strategy`` is a :class:`~repro.core.byzantine.ByzantineStrategy`
+        (or its string value); ``params`` are forwarded to
+        :class:`~repro.core.byzantine.ByzantineCorruptor` (e.g.
+        ``forge_log=True``). The corruptor is installed immediately but
+        self-gates on its window, so corruption composes with every other
+        fault — a Byzantine executor can also crash, lose publications,
+        or face a ledger outage. The installed corruptor (and its attack
+        ground truth) is exposed as ``fault.corruptor``; revoking the
+        fault restores honesty.
+        """
+        from repro.core.byzantine import ByzantineCorruptor, ByzantineStrategy
+
+        if isinstance(strategy, str):
+            strategy = ByzantineStrategy(strategy)
+        corruptor = ByzantineCorruptor(
+            strategy=strategy, seed=seed, start=start, end=end, **params
+        )
+        fault = ChaosFault(
+            kind=ChaosKind.BYZANTINE,
+            target=f"executor {executor.asn}:{executor.interface}",
+            start=start,
+            end=end,
+            magnitude=1.0,
+        )
+        fault.corruptor = corruptor
+        executor.corruptor = corruptor
+
+        def undo() -> None:
+            if executor.corruptor is corruptor:
+                executor.corruptor = None
 
         fault._on_revoke.append(undo)
         return self._register(fault)
@@ -351,7 +411,7 @@ class ChaosInjector:
         agent = agents[int(self.rng.integers(0, len(agents)))]
         at = float(self.rng.uniform(start, end))
         until = float(self.rng.uniform(at, end))
-        kind = list(ChaosKind)[int(self.rng.integers(0, len(ChaosKind)))]
+        kind = _RANDOM_KINDS[int(self.rng.integers(0, len(_RANDOM_KINDS)))]
         if kind is ChaosKind.EXECUTOR_CRASH:
             return self.crash_executor(agent.executor, at=at, restart_at=until)
         if kind is ChaosKind.PUBLICATION_DROP:

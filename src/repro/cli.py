@@ -452,6 +452,120 @@ def _cmd_chaos_demo(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_audit_demo(args: argparse.Namespace) -> int:
+    """Byzantine executor vs the audit pipeline, end to end (§13)."""
+    from repro.chain.gas import sui_to_mist
+    from repro.chaos import ChaosInjector
+    from repro.core import DebugletApplication
+    from repro.core.audit import AuditConfig
+    from repro.core.executor import executor_data_address
+    from repro.netsim import FaultInjector, Protocol
+    from repro.netsim.topology import InterfaceId
+    from repro.sandbox import echo_client, echo_server
+    from repro.workloads import MarketplaceTestbed
+
+    obs = _obs_from_args(args)
+    stake = sui_to_mist(5)
+    testbed = MarketplaceTestbed.build(
+        n_ases=3, seed=args.seed, executor_stake=stake, obs=obs,
+        initiator_funding=sui_to_mist(400),
+    )
+    simulator = testbed.chain.simulator
+    auditor = testbed.make_auditor(
+        config=AuditConfig(audit_rate=args.audit_rate, seed=args.seed), obs=obs
+    )
+    injector = ChaosInjector(simulator, testbed.ledger, seed=args.seed)
+
+    timeout_us = 200_000 if args.strategy == "hide_faults" else 1_000_000
+    if args.strategy == "hide_faults":
+        # Real loss on the forward path gives the liar something to hide.
+        FaultInjector(testbed.chain.topology).link_loss(
+            InterfaceId(1, 2), InterfaceId(2, 1),
+            loss=0.25, start=0.0, end=float("inf"), directions="forward",
+        )
+    corruptor = None
+    if args.strategy != "honest":
+        strategy = (
+            "forge_values" if args.strategy == "forge_consistent"
+            else args.strategy
+        )
+        fault = injector.corrupt_executor(
+            testbed.fleet.get(1, 2), strategy=strategy, start=0.0,
+            seed=args.seed,
+            **({"forge_log": True} if args.strategy == "forge_consistent" else {}),
+        )
+        corruptor = fault.corruptor
+
+    def run_session(client_v, server_v, *, count):
+        path = testbed.chain.registry.shortest(client_v[0], server_v[0])
+        server_app = DebugletApplication.from_stock(
+            "srv", echo_server(Protocol.UDP, max_echoes=count,
+                               idle_timeout_us=3_000_000),
+            listen_port=7801, path=path.reversed().as_list(),
+        )
+        client_app = DebugletApplication.from_stock(
+            "cli",
+            echo_client(Protocol.UDP, executor_data_address(*server_v),
+                        count=count, interval_us=50_000, dst_port=7801,
+                        timeout_us=timeout_us),
+            path=path.as_list(),
+        )
+        session = testbed.initiator.request_measurement(
+            client_app, server_app, client_v, server_v, duration=30.0,
+        )
+        testbed.initiator.run_until_done(session, simulator, timeout=3600.0)
+        return session
+
+    # Run every session first, audit afterwards: the first conviction
+    # bars the slashed executor from publishing (result_ready refuses),
+    # which would wedge its still-pending sessions mid-demo.
+    sessions = [
+        run_session((1, 2), (3, 1), count=args.probes)
+        for _ in range(args.sessions)
+    ]
+    if args.strategy == "forge_consistent":
+        # Independent vantages give cross-validation its quorum: the
+        # honest reverse path plus composed sub-segment votes via AS2.
+        sessions.append(run_session((3, 1), (1, 2), count=args.probes))
+        sessions.append(run_session((2, 1), (1, 2), count=args.probes))
+        sessions.append(run_session((2, 2), (3, 1), count=args.probes))
+    for session in sessions:
+        auditor.on_session_complete(session)
+    simulator.run()
+    auditor.finalize()
+
+    attacks = corruptor.attacks if corruptor is not None else []
+    print(f"strategy: {args.strategy}  sessions: {args.sessions}  "
+          f"audit rate: {args.audit_rate:.0%}")
+    print(f"attacks mounted: {len(attacks)}  "
+          f"sessions replay-audited: {auditor.sessions_audited}")
+    for conviction in auditor.convictions:
+        asn, interface = conviction["vantage"]
+        print(f"convicted {asn}:{interface} by {conviction['mechanism']}: "
+              f"burned {conviction['slashed']} MIST, evidence "
+              f"{conviction['evidence_hash'].hex()[:16]}…")
+        print(f"  {conviction['detail']}")
+    if not auditor.convictions:
+        print("no convictions" + (
+            " (honest executors keep their stake)"
+            if args.strategy == "honest" else
+            " — raise --audit-rate or --sessions to catch the liar"
+        ))
+    print(f"tokens slashed on-ledger: {testbed.ledger.tokens_slashed} MIST")
+    state = testbed.market.state
+    for key, convictions in sorted(state["conviction_map"].items()):
+        if convictions:
+            reasons = ", ".join(c["reason"] for c in convictions)
+            print(f"on-chain conviction record for {key}: {reasons}; "
+                  f"remaining stake {state['stake_map'].get(key, 0)} MIST")
+    testbed.ledger.verify_chain()
+    print("chain verification: OK")
+    _emit_obs(args, obs)
+    if args.strategy == "honest":
+        return 1 if auditor.convictions else 0
+    return 0 if auditor.convictions else 1
+
+
 def _cmd_loadgen(args: argparse.Namespace) -> int:
     import json
 
@@ -467,6 +581,7 @@ def _cmd_loadgen(args: argparse.Namespace) -> int:
         seed=args.seed,
         ramp=args.ramp,
         verify_chain=args.verify,
+        audit_rate=args.audit_rate,
     )
     obs = _obs_from_args(args)
     fleet = build_loadgen(config, obs=obs)
@@ -588,6 +703,23 @@ def build_parser() -> argparse.ArgumentParser:
     p.set_defaults(func=_cmd_chaos_demo)
 
     p = sub.add_parser(
+        "audit-demo",
+        help="a Byzantine executor detected, convicted, and slashed on-chain",
+    )
+    p.add_argument("--strategy", default="forge_values",
+                   choices=("honest", "forge_values", "forge_consistent",
+                            "hide_faults", "replay_result",
+                            "stale_certificate"))
+    p.add_argument("--audit-rate", type=float, default=0.25,
+                   help="fraction of sessions spot-checked by replay audit")
+    p.add_argument("--sessions", type=int, default=8,
+                   help="measurement sessions the corrupted executor serves")
+    p.add_argument("--probes", type=int, default=10)
+    p.add_argument("--seed", type=int, default=1)
+    _add_obs_flags(p)
+    p.set_defaults(func=_cmd_audit_demo)
+
+    p = sub.add_parser(
         "loadgen",
         help="fleet-scale marketplace bench: ramp thousands of sessions "
              "through the ledger and report throughput/latency",
@@ -608,6 +740,9 @@ def build_parser() -> argparse.ArgumentParser:
                    help="simulated seconds over which launches ramp up")
     p.add_argument("--verify", action="store_true",
                    help="run full chain verification after the drain")
+    p.add_argument("--audit-rate", type=float, default=0.0,
+                   help="sample this fraction of sessions for lightweight "
+                        "audits (window + batched signature checks)")
     p.add_argument("--json", action="store_true",
                    help="emit the full report as JSON")
     _add_obs_flags(p)

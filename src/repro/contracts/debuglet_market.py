@@ -96,6 +96,9 @@ class DebugletMarket(Contract):
             "execution_slots_map": {},  # "asn:intf" -> [slot dict, ...]
             "applications_map": {},  # composite key -> [app id hex, ...]
             "results_map": {},  # app id hex -> result id hex
+            "stake_map": {},  # "asn:intf" -> staked MIST (slashable)
+            "conviction_map": {},  # "asn:intf" -> [conviction dict, ...]
+            "auditor_map": {},  # "auditor" -> address (first-come)
         }
         self._journal: list[tuple[str, str, object]] | None = None
 
@@ -139,7 +142,9 @@ class DebugletMarket(Contract):
         """Bind ``<asn, interface>`` to the caller's address.
 
         Re-registration by a *different* address aborts: an executor
-        identity cannot be hijacked once claimed.
+        identity cannot be hijacked once claimed. Tokens attached to the
+        call are escrowed as slashable stake (DESIGN.md §13): burned on
+        conviction by the auditor, withdrawable otherwise.
         """
         key = slot_key(asn, interface)
         existing = self.state["executor_address_map"].get(key)
@@ -148,8 +153,143 @@ class DebugletMarket(Contract):
             f"executor {key} already registered to another address",
         )
         self._set("executor_address_map", key, ctx.sender)
+        if ctx.value > 0:
+            staked = self.state["stake_map"].get(key, 0) + ctx.value
+            self._set("stake_map", key, staked)
+            ctx.emit("StakeDeposited", asn=asn, interface=interface, stake=staked)
         ctx.emit("ExecutorRegistered", asn=asn, interface=interface, address=ctx.sender)
         return key
+
+    @entry
+    def deposit_stake(self, ctx: ExecutionContext, asn: int, interface: int) -> int:
+        """Top up the slashable stake for an already-registered executor."""
+        key = slot_key(asn, interface)
+        registered = self.state["executor_address_map"].get(key)
+        ctx.require(registered is not None, f"executor {key} is not registered")
+        ctx.require(registered == ctx.sender, "caller does not own this executor")
+        ctx.require(ctx.value > 0, "stake deposit requires attached tokens")
+        staked = self.state["stake_map"].get(key, 0) + ctx.value
+        self._set("stake_map", key, staked)
+        ctx.emit("StakeDeposited", asn=asn, interface=interface, stake=staked)
+        return staked
+
+    @entry
+    def withdraw_stake(self, ctx: ExecutionContext, asn: int, interface: int) -> int:
+        """Withdraw the full stake; only unconvicted executors may exit."""
+        key = slot_key(asn, interface)
+        registered = self.state["executor_address_map"].get(key)
+        ctx.require(registered is not None, f"executor {key} is not registered")
+        ctx.require(registered == ctx.sender, "caller does not own this executor")
+        ctx.require(
+            not self.state["conviction_map"].get(key),
+            "stake of a convicted executor is forfeit",
+        )
+        stake = self.state["stake_map"].get(key, 0)
+        ctx.require(stake > 0, "no stake to withdraw")
+        self._set("stake_map", key, 0)
+        ctx.transfer_from_contract(ctx.sender, stake)
+        ctx.emit("StakeWithdrawn", asn=asn, interface=interface, stake=stake)
+        return stake
+
+    @entry
+    def register_auditor(self, ctx: ExecutionContext) -> str:
+        """Claim the marketplace auditor role (first come, non-hijackable).
+
+        The reproduction models one trusted auditor per marketplace — the
+        paper's initiator-side verification collapsed into a single
+        principal. Re-registration by the same address is idempotent.
+        """
+        existing = self.state["auditor_map"].get("auditor")
+        ctx.require(
+            existing is None or existing == ctx.sender,
+            "auditor role already claimed by another address",
+        )
+        self._set("auditor_map", "auditor", ctx.sender)
+        ctx.emit("AuditorRegistered", address=ctx.sender)
+        return ctx.sender
+
+    @entry
+    def slash_executor(
+        self,
+        ctx: ExecutionContext,
+        asn: int,
+        interface: int,
+        application_id_hex: str,
+        evidence_hash: bytes,
+        reason: str,
+    ) -> int:
+        """Convict an executor of misbehavior on one application.
+
+        Auditor-only. Burns the executor's entire remaining stake into the
+        ledger's ``tokens_slashed`` sink (nobody is paid, so framing is
+        profitless), records the conviction with its 32-byte evidence hash
+        on-chain, and — pay-xor-refund-xor-slash — returns the
+        application's still-escrowed payment to the initiator when the
+        forged result was not yet paid out. A convicted executor can never
+        publish again (``result_ready`` refuses) and its stake is forfeit.
+        At most one conviction per (executor, application).
+        """
+        auditor = self.state["auditor_map"].get("auditor")
+        ctx.require(auditor is not None, "no auditor registered")
+        ctx.require(ctx.sender == auditor, "only the auditor may slash")
+        ctx.require(len(evidence_hash) == 32, "evidence hash must be 32 bytes")
+        key = slot_key(asn, interface)
+        ctx.require(
+            self.state["executor_address_map"].get(key) is not None,
+            f"executor {key} is not registered",
+        )
+        convictions = self.state["conviction_map"].get(key, [])
+        ctx.require(
+            all(c["application"] != application_id_hex for c in convictions),
+            "executor already convicted for this application",
+        )
+
+        app_id = ObjectId.from_hex(application_id_hex)
+        app = ctx.objects.get(app_id)
+        ctx.require(app.kind == APPLICATION_KIND, "object is not an application")
+        ctx.require(
+            app.data["asn"] == asn and app.data["interface"] == interface,
+            "application was not assigned to this executor",
+        )
+
+        burned = self.state["stake_map"].get(key, 0)
+        if burned > 0:
+            self._set("stake_map", key, 0)
+            ctx.burn_from_contract(burned)
+
+        # Protective refund: if the convicted application's escrow was
+        # neither paid out nor refunded, hand it back to the initiator so
+        # a conviction leaves no tokens stranded in the contract.
+        refunded = 0
+        if (
+            application_id_hex not in self.state["results_map"]
+            and not app.data.get("refunded")
+        ):
+            refunded = app.data["tokens"]
+            data = dict(app.data)
+            data["refunded"] = True
+            ctx.update_object(app_id, data)
+            ctx.transfer_from_contract(app.data["initiator"], refunded)
+
+        conviction = {
+            "application": application_id_hex,
+            "evidence": evidence_hash.hex(),
+            "reason": reason,
+            "time": ctx.time,
+            "slashed": burned,
+            "refunded": refunded,
+        }
+        self._set("conviction_map", key, convictions + [conviction])
+        ctx.emit(
+            "ExecutorSlashed",
+            asn=asn,
+            interface=interface,
+            application_id=application_id_hex,
+            slashed=burned,
+            evidence=evidence_hash.hex(),
+            reason=reason,
+        )
+        return burned
 
     @entry
     def register_time_slot(
@@ -504,6 +644,10 @@ class DebugletMarket(Contract):
             "caller is not the executor assigned to this application",
         )
         ctx.require(
+            not self.state["conviction_map"].get(key),
+            "executor was slashed for misbehavior and may not publish",
+        )
+        ctx.require(
             application_id_hex not in self.state["results_map"],
             "result already published for this application",
         )
@@ -596,6 +740,18 @@ class DebugletMarket(Contract):
             ExecutionSlot.from_dict(s)
             for s in self.state["execution_slots_map"].get(slot_key(asn, interface), [])
         ]
+
+    def stake_of(self, asn: int, interface: int) -> int:
+        """Off-chain read of the slashable stake."""
+        return self.state["stake_map"].get(slot_key(asn, interface), 0)
+
+    def convictions_of(self, asn: int, interface: int) -> list[dict]:
+        """Off-chain read of the conviction records."""
+        return list(self.state["conviction_map"].get(slot_key(asn, interface), []))
+
+    def is_convicted(self, asn: int, interface: int) -> bool:
+        """Whether the executor has at least one recorded conviction."""
+        return bool(self.state["conviction_map"].get(slot_key(asn, interface)))
 
 
 def store_bytecode(bytecode: bytes) -> bytes:

@@ -23,6 +23,20 @@ from repro.core.antigaming import (
     enable_prioritization,
 )
 from repro.core.application import DebugletApplication
+from repro.core.audit import (
+    AuditConfig,
+    AuditFinding,
+    Auditor,
+    ReplayReport,
+    SegmentCrossValidator,
+    audit_record,
+    replay_interaction_log,
+)
+from repro.core.byzantine import (
+    AttackRecord,
+    ByzantineCorruptor,
+    ByzantineStrategy,
+)
 from repro.core.deployment import (
     DeploymentReport,
     Element,
@@ -70,7 +84,13 @@ from repro.core.verification import ChainVerifier, VerifiedResult, verify_certif
 __all__ = [
     "ArchiveContract",
     "ArchivedMeasurement",
+    "AttackRecord",
+    "AuditConfig",
+    "AuditFinding",
+    "Auditor",
     "BilateralAgreement",
+    "ByzantineCorruptor",
+    "ByzantineStrategy",
     "OffChainCodeStore",
     "OnsetReport",
     "ResultArchive",
@@ -97,7 +117,9 @@ __all__ = [
     "MeasurementOutcome",
     "MeasurementSession",
     "OneWayMeasurement",
+    "ReplayReport",
     "ResultCertificate",
+    "SegmentCrossValidator",
     "SegmentMeasurement",
     "SegmentProber",
     "SegmentVerdict",
@@ -106,6 +128,7 @@ __all__ = [
     "TERMINAL_STATES",
     "VerifiedResult",
     "analyze_deployment",
+    "audit_record",
     "decode_result_payload",
     "disable_prioritization",
     "enable_prioritization",
@@ -114,6 +137,7 @@ __all__ = [
     "executor_data_address",
     "executor_host_name",
     "path_elements",
+    "replay_interaction_log",
     "sweep_deployment_fraction",
     "verify_certificate",
 ]

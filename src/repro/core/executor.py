@@ -61,7 +61,19 @@ def executor_data_address(asn: int, interface: int) -> Address:
 
 @dataclass
 class ExecutionRecord:
-    """Outcome of one Debuglet execution."""
+    """Outcome of one Debuglet execution.
+
+    ``interaction_log`` is the executor's transcript of every sandbox
+    boundary crossing — ``("begin", args)``, ``("call", op, args,
+    payload)``, ``("resume", result, received)`` and ``("trap", message)``
+    entries, in order. Replaying the begin/resume inputs against a fresh
+    reference interpreter must reproduce every call/done output and the
+    result bytes bit-for-bit (the §13 challenge–response audit,
+    :func:`repro.core.audit.replay_interaction_log`). ``tampered`` is
+    ground truth for tests: the Byzantine strategy that corrupted this
+    record, or ``""`` for honest executions — nothing in the defense
+    pipeline reads it.
+    """
 
     application: DebugletApplication
     status: str = "pending"  # pending | running | completed | failed: <reason>
@@ -73,6 +85,8 @@ class ExecutionRecord:
     packets_sent: int = 0
     packets_received: int = 0
     logs: list[int] = field(default_factory=list)
+    interaction_log: list[tuple] = field(default_factory=list)
+    tampered: str = ""
     certificate: "ResultCertificate | None" = None
 
     @property
@@ -174,6 +188,10 @@ class Executor:
         self._rng = derive_rng(seed, "executor", asn, interface)
         self._port_counter = 45000 + (asn * 131 + interface * 17) % 1000
         self.executions: list[ExecutionRecord] = []
+        # Byzantine hook (repro.core.byzantine): when set, the corruptor's
+        # before_certify/after_certify run around certification in
+        # _finish. None for honest executors.
+        self.corruptor = None
         self._running = 0
         self._waiting: list[_Execution] = []
         # Failure-model state (§IV-C robustness; see repro.chaos): a crashed
@@ -321,11 +339,59 @@ class Executor:
             deadline, self._abort, execution, "duration limit exceeded"
         )
         try:
-            step = execution.program.begin(list(execution.application.args))
+            step = self._program_begin(execution)
         except SandboxError as exc:
             self._finish_failed(execution, f"trap at start: {exc}")
             return
         self._dispatch(execution, step)
+
+    # Every begin/resume of the program funnels through the two helpers
+    # below so the interaction log is a complete transcript: the inputs
+    # the executor fed the sandbox (begin args, resume results, received
+    # data) and the outputs the sandbox produced (host calls, completion,
+    # traps). Auditors replay the inputs on a fresh reference interpreter
+    # and diff the outputs bit-for-bit (repro.core.audit).
+
+    def _program_begin(self, execution: _Execution):
+        args = list(execution.application.args)
+        execution.record.interaction_log.append(("begin", tuple(args)))
+        try:
+            step = execution.program.begin(args)
+        except SandboxError as exc:
+            execution.record.interaction_log.append(("trap", str(exc)))
+            raise
+        self._log_step(execution, step)
+        return step
+
+    def _program_resume(
+        self, execution: _Execution, result: int, data: ReceivedData | None
+    ):
+        received = None
+        if data is not None:
+            received = (
+                data.contact_index,
+                data.src_port,
+                data.seq,
+                data.recv_time_us,
+                data.payload,
+            )
+        execution.record.interaction_log.append(("resume", int(result), received))
+        try:
+            step = execution.program.resume(result, data)
+        except SandboxError as exc:
+            execution.record.interaction_log.append(("trap", str(exc)))
+            raise
+        self._log_step(execution, step)
+        return step
+
+    @staticmethod
+    def _log_step(execution: _Execution, step) -> None:
+        if isinstance(step, ProgramDone):
+            execution.record.interaction_log.append(("done", step.value))
+        else:
+            execution.record.interaction_log.append(
+                ("call", step.op, tuple(step.args), step.payload)
+            )
 
     # The dispatch loop: handle steps until the program blocks or finishes.
 
@@ -348,7 +414,7 @@ class Executor:
         if execution.done:
             return
         try:
-            step = execution.program.resume(result, data)
+            step = self._program_resume(execution, result, data)
         except SandboxError as exc:
             self._finish_failed(execution, f"trap: {exc}")
             return
@@ -367,7 +433,7 @@ class Executor:
         if delay > 0:
             self.simulator.schedule(delay, self._resume, execution, result, data)
             return None
-        return execution.program.resume(result, data)
+        return self._program_resume(execution, result, data)
 
     # ------------------------------------------------------- host ops
 
@@ -621,7 +687,11 @@ class Executor:
             execution.pending_recv = None
         for socket in execution.sockets.values():
             socket.close()
+        if self.corruptor is not None:
+            self.corruptor.before_certify(self, record)
         record.certificate = self.certify(record)
+        if self.corruptor is not None:
+            self.corruptor.after_certify(self, record)
         obs = self.obs
         if obs is not None:
             outcome = "completed" if status == "completed" else "failed"
@@ -713,6 +783,15 @@ class Executor:
 
         Work lost to the crash stays lost — the control plane's deadlines,
         refunds, and failover are what recover the *session*.
+
+        The process-wide compile cache (repro.sandbox.compile) is
+        deliberately NOT invalidated across restart: entries are keyed by
+        ``Module.code_hash()`` and translation is a pure function of the
+        bytecode, so a warm entry is exactly as trustworthy after a crash
+        as before it — re-admitting a previously-seen module after
+        restart hits the cache and re-executes bit-identically. What a
+        crash *does* lose is everything execution-scoped: run queues,
+        sockets, in-flight program state, uncertified results.
         """
         if self.crashed:
             obs = self.obs

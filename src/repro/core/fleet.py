@@ -61,6 +61,7 @@ class FleetScheduler:
         session_timeout: float = 600.0,
         stall_grace: float = 30.0,
         wheel_resolution: float = 5.0,
+        auditor=None,
     ) -> None:
         if max_in_flight is not None and max_in_flight < 1:
             raise ConfigurationError("max_in_flight must be >= 1")
@@ -72,6 +73,10 @@ class FleetScheduler:
         self.session_timeout = session_timeout
         self.stall_grace = stall_grace
         self.wheel_resolution = wheel_resolution
+        # Optional repro.core.audit.Auditor: every completed session is
+        # handed over for always-on checks plus sampled replay audits,
+        # scheduled cooperatively on the same simulator (DESIGN.md §13).
+        self.auditor = auditor
 
         self.sessions: list[MeasurementSession] = []
         self.completed: list[MeasurementSession] = []
@@ -153,6 +158,8 @@ class FleetScheduler:
             obs.metrics.counter(
                 "fleet_sessions_total", state=session.state.value
             ).inc()
+        if self.auditor is not None:
+            self.auditor.on_session_complete(session)
         self._admit()
 
     def _admit(self) -> None:

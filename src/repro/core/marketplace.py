@@ -159,9 +159,18 @@ class ExecutorAgent:
             return obs
         return getattr(self.ledger, "obs", None)
 
-    def register(self) -> None:
-        """RegisterExecutor + start watching for purchased applications."""
-        self.wallet.must_call(self.market, "register_executor", self.asn, self.interface)
+    def register(self, *, stake: int = 0) -> None:
+        """RegisterExecutor + start watching for purchased applications.
+
+        ``stake`` tokens (if any) are attached to the registration and
+        escrowed as slashable collateral: burned by ``slash_executor`` on
+        an audit conviction, withdrawable via ``withdraw_stake``
+        otherwise (DESIGN.md §13).
+        """
+        self.wallet.must_call(
+            self.market, "register_executor", self.asn, self.interface,
+            value=stake,
+        )
         self._subscription = self.ledger.events.subscribe(
             "ApplicationSubmitted",
             self._on_application,

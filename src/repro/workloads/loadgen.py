@@ -34,11 +34,12 @@ import math
 import time
 from dataclasses import dataclass, field
 
-from repro.chain.crypto import KeyPair
+from repro.chain.crypto import KeyPair, ed25519_batch_verify
 from repro.chain.events import Event
 from repro.chain.gas import sui_to_mist
 from repro.chain.ledger import Ledger, Wallet
 from repro.common.errors import ConfigurationError, DebugletError
+from repro.common.rng import derive_rng
 from repro.common.ids import ObjectId
 from repro.contracts.debuglet_market import (
     APPLICATION_KIND,
@@ -76,6 +77,10 @@ class LoadgenConfig:
     slot_price: int = 50_000_000
     deadline_margin: float = 120.0
     verify_chain: bool = False  # run full chain verification after drain
+    #: Fraction of completed sessions spot-checked by the lightweight
+    #: loadgen auditor (window containment + batched certificate
+    #: signature verification). 0 disables auditing entirely.
+    audit_rate: float = 0.0
 
     def validate(self) -> None:
         if self.sessions < 1:
@@ -88,6 +93,8 @@ class LoadgenConfig:
             raise ConfigurationError("ledger_mode must be 'serial' or 'batched'")
         if self.duration <= 0 or self.exec_time < 0 or self.ramp < 0:
             raise ConfigurationError("durations must be positive")
+        if not 0.0 <= self.audit_rate <= 1.0:
+            raise ConfigurationError("audit_rate must be in [0, 1]")
 
     @property
     def pairs(self) -> int:
@@ -237,6 +244,68 @@ class SyntheticExecutorAgent(ExecutorAgent):
             self.rejected_applications.append((application_id, str(exc)))
 
 
+class LoadgenAuditor:
+    """Lightweight audit path for synthetic fleets (DESIGN.md §13).
+
+    Synthetic executors have no interaction logs, so replay audits do
+    not apply; what *can* be checked at fleet scale, cheaply, is checked
+    on every sampled session: certificate timestamps inside the
+    purchased window, plus certificate signatures — deferred into one
+    :func:`ed25519_batch_verify` call at drain so the per-session cost
+    is a dict append, not a scalar multiplication. This is the overhead
+    the <10% sessions/sec budget in EXPERIMENTS.md is measured against.
+    """
+
+    def __init__(self, *, audit_rate: float, window_slack: float, seed: int) -> None:
+        self.audit_rate = audit_rate
+        self.window_slack = window_slack
+        self._rng = derive_rng(seed, "loadgen-auditor")
+        self.sessions_observed = 0
+        self.sessions_sampled = 0
+        self.certificates_checked = 0
+        self.window_violations: list[str] = []
+        self._batch: list[tuple[bytes, bytes, bytes]] = []
+        self.signature_failures: list[int] = []
+
+    def on_session_complete(self, session) -> None:
+        self.sessions_observed += 1
+        if float(self._rng.random()) >= self.audit_rate:
+            return
+        self.sessions_sampled += 1
+        for role in sorted(session.outcomes):
+            outcome = session.outcomes[role]
+            certificate = outcome.certificate
+            if outcome.status != "completed" or certificate is None:
+                continue
+            self.certificates_checked += 1
+            if (
+                certificate.started_at < session.window_start - self.window_slack
+                or certificate.finished_at > session.window_end + self.window_slack
+            ):
+                self.window_violations.append(outcome.application_id)
+            self._batch.append(
+                (
+                    certificate.executor_public_key,
+                    certificate.signing_payload(),
+                    certificate.signature,
+                )
+            )
+
+    def finalize(self) -> None:
+        """Verify every collected certificate signature in one batch."""
+        if self._batch:
+            self.signature_failures = ed25519_batch_verify(self._batch)
+
+    def report(self) -> dict:
+        return {
+            "sessions_observed": self.sessions_observed,
+            "sessions_sampled": self.sessions_sampled,
+            "certificates_checked": self.certificates_checked,
+            "window_violations": len(self.window_violations),
+            "signature_failures": len(self.signature_failures),
+        }
+
+
 @dataclass
 class LoadgenFleet:
     """A built (but not yet run) load-generator testbed."""
@@ -250,6 +319,7 @@ class LoadgenFleet:
     agents: list[SyntheticExecutorAgent]
     initiators: list[Initiator]
     scheduler: FleetScheduler
+    auditor: LoadgenAuditor | None = None
     client_app: DebugletApplication = field(repr=False, default=None)
     server_app: DebugletApplication = field(repr=False, default=None)
 
@@ -342,6 +412,13 @@ def build(config: LoadgenConfig, *, obs=None) -> LoadgenFleet:
             )
         )
 
+    auditor = None
+    if config.audit_rate > 0:
+        auditor = LoadgenAuditor(
+            audit_rate=config.audit_rate,
+            window_slack=config.finality_latency + 1.0,
+            seed=config.seed,
+        )
     scheduler = FleetScheduler(
         simulator,
         ledger=ledger,
@@ -350,6 +427,7 @@ def build(config: LoadgenConfig, *, obs=None) -> LoadgenFleet:
         + config.deadline_margin,
         stall_grace=30.0,
         wheel_resolution=5.0,
+        auditor=auditor,
     )
 
     fleet = LoadgenFleet(
@@ -362,6 +440,7 @@ def build(config: LoadgenConfig, *, obs=None) -> LoadgenFleet:
         agents=agents,
         initiators=initiators,
         scheduler=scheduler,
+        auditor=auditor,
         client_app=client_app,
         server_app=server_app,
     )
@@ -420,6 +499,8 @@ def run(fleet: LoadgenFleet) -> dict:
     started = time.perf_counter()
     completed = fleet.scheduler.run()
     fleet.ledger.flush_block()  # seal the trailing partial block, if any
+    if fleet.auditor is not None:
+        fleet.auditor.finalize()
     wall_seconds = time.perf_counter() - started
 
     verify_seconds = None
@@ -452,9 +533,12 @@ def run(fleet: LoadgenFleet) -> dict:
         "blocks_sealed": fleet.ledger._block.blocks_sealed,
         "state_digest": fleet.ledger.state_digest().hex(),
     }
+    if fleet.auditor is not None:
+        deterministic["audit"] = fleet.auditor.report()
     report = {
         "mode": config.ledger_mode,
         "seed": config.seed,
+        "audit_rate": config.audit_rate,
         "executors": config.executors,
         "initiators": config.initiators,
         "block_window": (

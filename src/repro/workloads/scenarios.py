@@ -128,6 +128,7 @@ class MarketplaceTestbed:
         finality_latency: float = 0.4,
         slot_price: int = 50_000_000,
         initiator_funding: int | None = None,
+        executor_stake: int = 0,
         obs=None,
     ) -> "MarketplaceTestbed":
         chain = build_chain(n_ases, link_delay=link_delay, seed=seed)
@@ -152,7 +153,9 @@ class MarketplaceTestbed:
             agent = ExecutorAgent(
                 fleet.get(*vantage), ledger, code_store=code_store, seed=seed
             )
-            agent.register()
+            if executor_stake > 0:
+                ledger.faucet(agent.wallet.address, executor_stake)
+            agent.register(stake=executor_stake)
             agent.offer_standing_slots(price=slot_price)
             agents[vantage] = agent
 
@@ -176,6 +179,35 @@ class MarketplaceTestbed:
             initiator=initiator,
             code_store=code_store,
         )
+
+    def make_auditor(self, *, config=None, funding: int | None = None, obs=None):
+        """A funded, on-chain-registered :class:`~repro.core.audit.Auditor`.
+
+        Wired to this testbed's ledger, market, simulator, and executor
+        fleet (so replay audits can fetch interaction logs). Hand it to a
+        :class:`~repro.core.fleet.FleetScheduler` or call its
+        ``on_session_complete`` after ``run_until_done``.
+        """
+        from repro.core.audit import Auditor
+
+        keypair = KeyPair.deterministic("auditor-0")
+        if self.ledger.accounts.get(keypair.address) is None:
+            self.ledger.create_account(
+                keypair,
+                balance=sui_to_mist(10) if funding is None else funding,
+                label="auditor",
+            )
+        auditor = Auditor(
+            self.ledger,
+            self.market,
+            Wallet(self.ledger, keypair),
+            executors={v: self.fleet.get(*v) for v in self.fleet.vantages()},
+            config=config,
+            simulator=self.chain.simulator,
+            obs=obs,
+        )
+        auditor.register()
+        return auditor
 
 
 def build_internet_like(

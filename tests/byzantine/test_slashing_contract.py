@@ -1,0 +1,277 @@
+"""Contract-level slashing semantics, in isolation from the simulator.
+
+``slash_executor`` is consensus-critical: these tests pin its
+authorization (auditor-only), evidence discipline (exactly 32 bytes,
+recorded verbatim), economics (stake burned once into the ledger sink,
+protective refund of unserved escrow, pay-xor-refund-xor-slash), and
+the publication ban on convicted executors.
+"""
+
+import pytest
+
+from repro.chain import KeyPair, Ledger, Wallet, sui_to_mist
+from repro.chain.crypto import sha256
+from repro.common.errors import ChainError
+from repro.contracts.debuglet_market import DebugletMarket, ExecutionSlot
+from repro.core.application import DebugletApplication
+from repro.netsim.packet import Address, Protocol
+from repro.sandbox.programs import echo_client, echo_server
+
+pytestmark = pytest.mark.byzantine
+
+STAKE = sui_to_mist(5)
+EVIDENCE = sha256(b"forged-result-evidence")
+
+
+def _client_wire() -> bytes:
+    stock = echo_client(Protocol.UDP, Address(20, 2), count=3, dst_port=7)
+    return DebugletApplication.from_stock("cli", stock).to_wire()
+
+
+def _server_wire() -> bytes:
+    stock = echo_server(Protocol.UDP, max_echoes=3)
+    return DebugletApplication.from_stock("srv", stock, listen_port=7).to_wire()
+
+
+CLIENT_WIRE = _client_wire()
+SERVER_WIRE = _server_wire()
+
+
+def _slot(start=100.0, end=200.0, **kwargs) -> dict:
+    defaults = dict(cores=2, memory_mb=512, bandwidth_mbps=100)
+    defaults.update(kwargs)
+    return ExecutionSlot(
+        start=start, end=end, price=sui_to_mist(0.05), **defaults
+    ).as_dict()
+
+
+@pytest.fixture
+def setup():
+    """Two executors (client 10:1 staked, server 20:2 unstaked), an
+    initiator, a registered auditor, and a bystander."""
+    ledger = Ledger()
+    market = ledger.register_contract(DebugletMarket())
+    wallets = {}
+    for label in ("exec", "exec-srv", "init", "auditor", "stranger"):
+        keypair = KeyPair.deterministic(label)
+        ledger.create_account(keypair, balance=sui_to_mist(100), label=label)
+        wallets[label] = Wallet(ledger, keypair)
+    wallets["exec"].must_call(
+        "debuglet_market", "register_executor", 10, 1, value=STAKE
+    )
+    wallets["exec-srv"].must_call(
+        "debuglet_market", "register_executor", 20, 2
+    )
+    wallets["auditor"].must_call("debuglet_market", "register_auditor")
+    return ledger, market, wallets
+
+
+def _purchase(wallets) -> dict:
+    """Offer one slot pair and buy it; returns the application ids."""
+    wallets["exec"].must_call(
+        "debuglet_market", "register_time_slot", 10, 1, [_slot()]
+    )
+    wallets["exec-srv"].must_call(
+        "debuglet_market", "register_time_slot", 20, 2, [_slot()]
+    )
+    found = wallets["init"].must_call(
+        "debuglet_market", "lookup_slot", 10, 1, 20, 2, 1, 128, 10, 30.0, 0.0
+    ).return_value
+    return wallets["init"].must_call(
+        "debuglet_market", "purchase_slot", 10, 1, 20, 2,
+        found["client_slot_start"], found["server_slot_start"],
+        found["start"], found["end"],
+        CLIENT_WIRE, {"m": 1}, SERVER_WIRE, {"m": 2},
+        value=found["total_price"],
+    ).return_value
+
+
+def _slash(wallets, app_hex, *, who="auditor", evidence=EVIDENCE,
+           reason="replay"):
+    return wallets[who].must_call(
+        "debuglet_market", "slash_executor", 10, 1, app_hex, evidence, reason
+    )
+
+
+def _total(ledger: Ledger) -> int:
+    return (
+        sum(account.balance for account in ledger.accounts.values())
+        + sum(ledger.contract_balances.values())
+        + ledger.gas_burned
+        + ledger.storage_fund
+        + ledger.tokens_slashed
+    )
+
+
+class TestAuthorization:
+    def test_only_the_registered_auditor_may_slash(self, setup):
+        ledger, market, wallets = setup
+        apps = _purchase(wallets)
+        for who in ("stranger", "init", "exec"):
+            with pytest.raises(ChainError, match="only the auditor"):
+                _slash(wallets, apps["client_application"], who=who)
+        assert market.state["stake_map"]["10:1"] == STAKE
+        assert ledger.tokens_slashed == 0
+
+    def test_slash_requires_a_registered_auditor(self):
+        ledger = Ledger()
+        ledger.register_contract(DebugletMarket())
+        keypair = KeyPair.deterministic("exec")
+        ledger.create_account(keypair, balance=sui_to_mist(100))
+        wallet = Wallet(ledger, keypair)
+        wallet.must_call(
+            "debuglet_market", "register_executor", 10, 1, value=STAKE
+        )
+        with pytest.raises(ChainError, match="no auditor registered"):
+            wallet.must_call(
+                "debuglet_market", "slash_executor", 10, 1, "00" * 32,
+                EVIDENCE, "replay",
+            )
+
+    def test_auditor_role_cannot_be_usurped(self, setup):
+        ledger, market, wallets = setup
+        with pytest.raises(ChainError):
+            wallets["stranger"].must_call(
+                "debuglet_market", "register_auditor"
+            )
+
+
+class TestEvidenceDiscipline:
+    def test_evidence_hash_must_be_32_bytes(self, setup):
+        ledger, market, wallets = setup
+        apps = _purchase(wallets)
+        for bad in (b"", b"short", b"\x00" * 31, b"\x00" * 33):
+            with pytest.raises(ChainError, match="32 bytes"):
+                _slash(wallets, apps["client_application"], evidence=bad)
+
+    def test_conviction_records_evidence_and_reason_verbatim(self, setup):
+        ledger, market, wallets = setup
+        apps = _purchase(wallets)
+        _slash(wallets, apps["client_application"], reason="equivocation")
+        (record,) = market.state["conviction_map"]["10:1"]
+        assert record["application"] == apps["client_application"]
+        assert record["evidence"] == EVIDENCE.hex()
+        assert record["reason"] == "equivocation"
+        assert record["slashed"] == STAKE
+
+    def test_double_conviction_for_same_application_rejected(self, setup):
+        ledger, market, wallets = setup
+        apps = _purchase(wallets)
+        _slash(wallets, apps["client_application"])
+        with pytest.raises(ChainError, match="already convicted"):
+            _slash(wallets, apps["client_application"], reason="window")
+        assert ledger.tokens_slashed == STAKE  # burned exactly once
+
+    def test_misassigned_application_cannot_convict(self, setup):
+        # The client application belongs to 10:1; convicting 20:2 with
+        # it must fail — evidence has to name the right executor.
+        ledger, market, wallets = setup
+        apps = _purchase(wallets)
+        with pytest.raises(ChainError, match="not assigned"):
+            wallets["auditor"].must_call(
+                "debuglet_market", "slash_executor", 20, 2,
+                apps["client_application"], EVIDENCE, "replay",
+            )
+
+
+class TestEconomics:
+    def test_stake_burns_into_ledger_sink_and_conserves_tokens(self, setup):
+        ledger, market, wallets = setup
+        genesis = _total(ledger)
+        apps = _purchase(wallets)
+        assert ledger.tokens_slashed == 0
+        receipt = _slash(wallets, apps["client_application"])
+        assert receipt.return_value == STAKE
+        assert ledger.tokens_slashed == STAKE
+        assert market.state["stake_map"]["10:1"] == 0
+        assert _total(ledger) == genesis
+        ledger.verify_chain()
+
+    def test_protective_refund_returns_unserved_escrow(self, setup):
+        # Neither side published: conviction refunds the client app's
+        # escrow so no tokens strand in the contract.
+        ledger, market, wallets = setup
+        apps = _purchase(wallets)
+        before = wallets["init"].balance
+        receipt = _slash(wallets, apps["client_application"])
+        refunded = wallets["init"].balance - before
+        assert refunded == sui_to_mist(0.05)
+        (record,) = market.state["conviction_map"]["10:1"]
+        assert record["refunded"] == sui_to_mist(0.05)
+
+    def test_no_refund_when_result_was_already_paid(self, setup):
+        # Pay-xor-refund-xor-slash: a paid application's escrow is gone
+        # to the executor; conviction burns stake but refunds nothing.
+        ledger, market, wallets = setup
+        apps = _purchase(wallets)
+        wallets["exec"].must_call(
+            "debuglet_market", "result_ready",
+            apps["client_application"], b"FORGED",
+        )
+        before = wallets["init"].balance
+        _slash(wallets, apps["client_application"])
+        assert wallets["init"].balance == before
+        (record,) = market.state["conviction_map"]["10:1"]
+        assert record["refunded"] == 0
+
+    def test_second_conviction_burns_nothing_more(self, setup):
+        ledger, market, wallets = setup
+        first = _purchase(wallets)
+        second = _purchase(wallets)
+        assert _slash(wallets, first["client_application"]).return_value == STAKE
+        assert _slash(
+            wallets, second["client_application"], reason="window"
+        ).return_value == 0
+        assert ledger.tokens_slashed == STAKE
+
+    def test_stake_deposit_and_withdraw_roundtrip(self, setup):
+        ledger, market, wallets = setup
+        wallets["exec"].must_call(
+            "debuglet_market", "deposit_stake", 10, 1, value=sui_to_mist(1)
+        )
+        assert market.state["stake_map"]["10:1"] == STAKE + sui_to_mist(1)
+        receipt = wallets["exec"].must_call(
+            "debuglet_market", "withdraw_stake", 10, 1
+        )
+        assert receipt.return_value == STAKE + sui_to_mist(1)
+        assert market.state["stake_map"]["10:1"] == 0
+
+    def test_withdraw_after_conviction_rejected(self, setup):
+        ledger, market, wallets = setup
+        apps = _purchase(wallets)
+        _slash(wallets, apps["client_application"])
+        with pytest.raises(ChainError, match="forfeit"):
+            wallets["exec"].must_call(
+                "debuglet_market", "withdraw_stake", 10, 1
+            )
+
+    def test_only_the_executor_touches_its_stake(self, setup):
+        ledger, market, wallets = setup
+        with pytest.raises(ChainError, match="does not own"):
+            wallets["stranger"].must_call(
+                "debuglet_market", "withdraw_stake", 10, 1
+            )
+
+
+class TestPublicationBan:
+    def test_convicted_executor_cannot_publish(self, setup):
+        ledger, market, wallets = setup
+        first = _purchase(wallets)
+        _slash(wallets, first["client_application"])
+        second = _purchase(wallets)
+        with pytest.raises(ChainError, match="slashed"):
+            wallets["exec"].must_call(
+                "debuglet_market", "result_ready",
+                second["client_application"], b"RESULT",
+            )
+
+    def test_unconvicted_server_still_publishes(self, setup):
+        # Convictions are per-executor: the honest server side of the
+        # same session keeps publishing and getting paid.
+        ledger, market, wallets = setup
+        apps = _purchase(wallets)
+        _slash(wallets, apps["client_application"])
+        wallets["exec-srv"].must_call(
+            "debuglet_market", "result_ready",
+            apps["server_application"], b"SERVER",
+        )

@@ -84,12 +84,17 @@ def escrow_outstanding(testbed: MarketplaceTestbed) -> int:
     return outstanding
 
 
+def stake_outstanding(testbed: MarketplaceTestbed) -> int:
+    """Executor stake still escrowed (deposited, not withdrawn or slashed)."""
+    return sum(testbed.market.state["stake_map"].values())
+
+
 def assert_escrow_conserved(testbed: MarketplaceTestbed) -> None:
     locked = testbed.ledger.contract_balances.get("debuglet_market", 0)
-    expected = escrow_outstanding(testbed)
+    expected = escrow_outstanding(testbed) + stake_outstanding(testbed)
     assert locked == expected, (
         f"escrow conservation violated: contract holds {locked} MIST but "
-        f"unserved applications account for {expected}"
+        f"unserved applications plus live stake account for {expected}"
     )
 
 

@@ -199,6 +199,7 @@ def test_kinds_cover_every_fault_class():
         "tx-failure",
         "finality-delay",
         "slot-expiry",
+        "byzantine",
     }
 
 

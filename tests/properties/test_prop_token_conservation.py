@@ -3,10 +3,10 @@
 Invariant: at every point,
 
     genesis grants == account balances + contract escrow
-                      + burned gas + storage fund
+                      + burned gas + storage fund + slashed stake
 
-No contract call — success, revert, escrow, payout, object creation or
-freeing — may mint or destroy tokens.
+No contract call — success, revert, escrow, payout, slash, object
+creation or freeing — may mint or destroy tokens.
 """
 
 from hypothesis import given, settings
@@ -52,6 +52,16 @@ class Vault(Contract):
         ctx.create_object("junk", {"j": 1})
         ctx.abort("boom")
 
+    @entry
+    def slash(self, ctx: ExecutionContext, amount: int) -> int:
+        ctx.burn_from_contract(amount)
+        return amount
+
+    @entry
+    def slash_then_abort(self, ctx: ExecutionContext, amount: int) -> None:
+        ctx.burn_from_contract(amount)
+        ctx.abort("slash rolled back")
+
 
 OPERATIONS = st.lists(
     st.one_of(
@@ -60,6 +70,8 @@ OPERATIONS = st.lists(
         st.tuples(st.just("store"), st.integers(min_value=0, max_value=5000)),
         st.tuples(st.just("free"), st.just(0)),
         st.tuples(st.just("blow_up"), st.just(0)),
+        st.tuples(st.just("slash"), st.integers(min_value=0, max_value=10**8)),
+        st.tuples(st.just("slash_abort"), st.integers(min_value=0, max_value=10**8)),
     ),
     max_size=12,
 )
@@ -73,6 +85,7 @@ def _total(ledger: Ledger) -> int:
         + sum(ledger.contract_balances.values())
         + ledger.gas_burned
         + ledger.storage_fund
+        + ledger.tokens_slashed
     )
 
 
@@ -98,6 +111,10 @@ class TestTokenConservation:
                     wallet.call("vault", "store", amount)
                 elif op == "free":
                     wallet.call("vault", "free_latest")
+                elif op == "slash":
+                    wallet.call("vault", "slash", amount)
+                elif op == "slash_abort":
+                    wallet.call("vault", "slash_then_abort", amount)
                 else:
                     wallet.call("vault", "blow_up")
             except (ChainError, InsufficientTokens):

@@ -130,3 +130,49 @@ def test_batched_ledger_beats_serial_on_small_fleet():
     assert batched["wall_seconds"] < serial["wall_seconds"], (
         batched["wall_seconds"], serial["wall_seconds"],
     )
+
+
+def test_loadgen_audit_mode_observes_and_samples():
+    fleet, report, _ = _run(sessions=100, audit_rate=0.25)
+    audit = report["deterministic"]["audit"]
+    assert audit["sessions_observed"] == 100
+    # Seeded sampling lands near the configured rate.
+    assert 10 <= audit["sessions_sampled"] <= 40
+    assert audit["certificates_checked"] == 2 * audit["sessions_sampled"]
+    assert audit["window_violations"] == 0
+    assert audit["signature_failures"] == 0
+    assert report["audit_rate"] == 0.25
+
+
+@pytest.mark.perf_smoke
+def test_audit_overhead_stays_under_ten_percent():
+    """Acceptance guard: fleet-scale auditing (25% sampling, window
+    checks + batch signature verification) costs <10% sessions/sec.
+    Recorded in BENCH_scale.json alongside the ledger rows. Both runs
+    certify the same session population, so the comparison is honest."""
+    scale = dict(sessions=600, executors=16, initiators=16, ramp=6.0, seed=2)
+    _, plain, _ = _run(**scale)
+    _, audited, _ = _run(audit_rate=0.25, **scale)
+    assert audited["deterministic"]["certified"] == (
+        plain["deterministic"]["certified"]
+    )
+    assert audited["deterministic"]["audit"]["window_violations"] == 0
+    _record_bench([
+        {
+            "mode": row["mode"],
+            "wall_seconds": row["wall_seconds"],
+            "sessions_per_sec": row["sessions_per_sec"],
+            "audit_rate": row.get("audit_rate", 0.0),
+            "sessions": scale["sessions"],
+            "tier": "audit_overhead",
+        }
+        for row in (plain, audited)
+    ])
+    degradation = 1.0 - (
+        audited["sessions_per_sec"] / plain["sessions_per_sec"]
+    )
+    assert degradation < 0.10, (
+        f"auditing degrades sessions/sec by {degradation:.1%} "
+        f"({plain['sessions_per_sec']:.1f} -> "
+        f"{audited['sessions_per_sec']:.1f})"
+    )
