@@ -44,11 +44,14 @@ class ChaosKind(enum.Enum):
     FINALITY_DELAY = "finality-delay"
     SLOT_EXPIRY = "slot-expiry"
     BYZANTINE = "byzantine"
+    HEARTBEAT_LOSS = "heartbeat-loss"
 
 
 #: Kinds :meth:`ChaosInjector.random_fault` draws from. BYZANTINE is
-#: excluded: it is an *attack* needing a strategy, not an infra fault —
-#: and keeping the draw space fixed preserves seeded chaos schedules.
+#: excluded: it is an *attack* needing a strategy, not an infra fault.
+#: HEARTBEAT_LOSS is excluded because it targets a fleet *member*, not a
+#: marketplace agent — and keeping the draw space fixed preserves seeded
+#: chaos schedules.
 _RANDOM_KINDS = (
     ChaosKind.EXECUTOR_CRASH,
     ChaosKind.PUBLICATION_DROP,
@@ -270,6 +273,51 @@ class ChaosInjector:
             agent.executor.cancel_pending(reason="slot expired early")
 
         self._schedule(fault, at, expire)
+        return self._register(fault)
+
+    # -------------------------------------------------------- heartbeats
+
+    def _install_heartbeat_gate(self, member) -> list[ChaosFault]:
+        """One gate per fleet member, consulting a shared fault list —
+        the publication-gate pattern applied to liveness."""
+        faults = getattr(member, "_chaos_heartbeat_faults", None)
+        if faults is not None:
+            return faults
+        faults = []
+        member._chaos_heartbeat_faults = faults
+
+        def gate(now: float) -> bool:
+            for fault in faults:
+                if fault.active(now):
+                    fault.fired = True
+                    return True  # suppress the beat
+            return False
+
+        member.heartbeat_gate = gate
+        return faults
+
+    def lose_heartbeats(
+        self, member, *, start: float, end: float = float("inf")
+    ) -> ChaosFault:
+        """Suppress a fleet member's heartbeats inside [start, end).
+
+        The executor itself stays healthy — sold sessions keep running
+        and publishing — but its control channel goes silent, so the
+        :class:`~repro.core.fleetmgr.FleetManager` suspects and (past the
+        eviction threshold) evicts it. The default open end models a
+        permanently severed channel; revoking restores the beats.
+        """
+        asn, interface = member.vantage
+        fault = ChaosFault(
+            kind=ChaosKind.HEARTBEAT_LOSS,
+            target=f"member {asn}:{interface}",
+            start=start,
+            end=end,
+            magnitude=1.0,
+        )
+        faults = self._install_heartbeat_gate(member)
+        faults.append(fault)
+        fault._on_revoke.append(lambda: faults.remove(fault))
         return self._register(fault)
 
     # ------------------------------------------------------ publications

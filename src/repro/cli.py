@@ -582,6 +582,13 @@ def _cmd_loadgen(args: argparse.Namespace) -> int:
         ramp=args.ramp,
         verify_chain=args.verify,
         audit_rate=args.audit_rate,
+        churn=args.churn,
+        heartbeat_interval=args.heartbeat,
+        late_pairs=args.late,
+        drain_pairs=args.drains,
+        crash_pairs=args.crashes,
+        lost_pairs=args.lost,
+        slot_factor=args.slot_factor,
     )
     obs = _obs_from_args(args)
     fleet = build_loadgen(config, obs=obs)
@@ -618,10 +625,181 @@ def _cmd_loadgen(args: argparse.Namespace) -> int:
                 f"  chain verification: OK "
                 f"({report['verify_chain_seconds']:.1f}s)"
             )
+        if "fleet" in det:
+            section = det["fleet"]
+            states = ", ".join(
+                f"{count} {state}" for state, count in section["states"].items()
+            )
+            print(
+                f"  fleet: {states}; {section['transitions']} transitions, "
+                f"{section['heartbeats_missed']} missed heartbeats, "
+                f"{section['assigned_while_unsellable']} bad assignments"
+            )
         print(f"  state digest: {det['state_digest'][:16]}…")
     _emit_obs(args, obs)
     failed = det["by_state"].get("failed", 0) + det["launch_failures"]
+    if "fleet" in det and det["fleet"]["assigned_while_unsellable"]:
+        failed += det["fleet"]["assigned_while_unsellable"]
     return 1 if failed else 0
+
+
+def _cmd_fleet_demo(args: argparse.Namespace) -> int:
+    """The fleet lifecycle end to end on a real 3-AS marketplace: a scoped
+    admission, a graceful drain with on-chain deregistration, a crash
+    followed by liveness eviction and re-registration, and a heartbeat-loss
+    eviction of a healthy executor (DESIGN.md §14)."""
+    from repro.chaos import ChaosInjector
+    from repro.core import DebugletApplication
+    from repro.core.executor import executor_data_address
+    from repro.core.fleetmgr import CapabilityRecord, ExecutorState
+    from repro.netsim import Protocol
+    from repro.sandbox import echo_client, echo_server
+    from repro.workloads import MarketplaceTestbed
+
+    obs = _obs_from_args(args)
+    hb = args.heartbeat
+    testbed = MarketplaceTestbed.build(n_ases=3, seed=args.seed, obs=obs)
+    simulator = testbed.chain.simulator
+    manager = testbed.make_fleet_manager(heartbeat_interval=hb)
+    injector = ChaosInjector(simulator, testbed.ledger, seed=args.seed)
+
+    count = args.probes
+    path = testbed.chain.registry.shortest(1, 3)
+    server_app = DebugletApplication.from_stock(
+        "srv", echo_server(Protocol.UDP, max_echoes=count,
+                           idle_timeout_us=3_000_000),
+        listen_port=7801, path=path.reversed().as_list(),
+    )
+    client_app = DebugletApplication.from_stock(
+        "cli",
+        echo_client(Protocol.UDP, executor_data_address(3, 1),
+                    count=count, interval_us=50_000, dst_port=7801),
+        path=path.as_list(),
+    )
+
+    # Admission scope: the verifier-backed allowlist check in both verdicts.
+    print("admission:")
+    print(f"  cli at 1:2 under the full record: "
+          f"{'admitted' if manager.preflight((1, 2), client_app) else 'denied'}")
+    member = manager.get((1, 2))
+    member.capabilities = CapabilityRecord.read_only()
+    verdict = manager.preflight((1, 2), client_app)
+    print(f"  cli at 1:2 under a read-only record: "
+          f"{'admitted' if verdict else 'denied'}")
+    denial = member.admission_log[-1]
+    print(f"    reason: {denial.reason}")
+    member.capabilities = CapabilityRecord.from_policy(member.executor.policy)
+
+    # A session through the managed fleet while everything is active.
+    session = testbed.initiator.request_measurement(
+        client_app, server_app, (1, 2), (3, 1), duration=30.0
+    )
+    testbed.initiator.run_until_done(session, simulator)
+    print(f"session: {session.state.value} "
+          f"(delay-to-measurement {session.delay_to_measurement:.2f}s)")
+
+    # Graceful drain: 2:1 stops selling, retires idle, leaves the chain.
+    manager.drain((2, 1))
+    manager.run_until(simulator.now + 3 * hb)
+    print(f"drain 2:1 -> {manager.state_of((2, 1)).value}; on-chain address: "
+          f"{testbed.market.executor_address(2, 1)}")
+
+    # Crash + eviction + re-registration: 2:2 goes down long enough to be
+    # evicted, restarts, and re-registers (its stake was never touched).
+    crash_at = simulator.now + hb
+    restart_at = crash_at + (manager.evict_beats + 1.5) * hb
+    injector.crash_executor(
+        testbed.agents[(2, 2)].executor, at=crash_at, restart_at=restart_at
+    )
+    manager.run_until(restart_at + 0.5 * hb)
+    print(f"crash 2:2 -> {manager.state_of((2, 2)).value} "
+          f"(missed heartbeats: {manager.heartbeats_missed})")
+    manager.reregister((2, 2))
+    print(f"re-register 2:2 -> {manager.state_of((2, 2)).value} "
+          f"(registrations: {manager.get((2, 2)).registrations})")
+
+    # Heartbeat loss: 3:1 stays healthy but its control channel is cut.
+    injector.lose_heartbeats(manager.get((3, 1)), start=simulator.now)
+    manager.run_until(
+        simulator.now + (manager.evict_beats + 2) * hb
+    )
+    print(f"heartbeat loss 3:1 -> {manager.state_of((3, 1)).value} "
+          f"(executor crashed: {manager.get((3, 1)).executor.crashed})")
+
+    manager.stop()
+    print("lifecycle log:")
+    for when, vantage, source, target, reason in manager.lifecycle_log:
+        print(f"  t={when:7.2f}  {vantage[0]}:{vantage[1]}  "
+              f"{source:>10} -> {target:<10} {reason}")
+    print(f"fleet states: {manager.counts()}")
+    testbed.ledger.verify_chain()
+    print("chain verification: OK")
+    _emit_obs(args, obs)
+    ok = (
+        manager.state_of((2, 1)) is ExecutorState.RETIRED
+        and manager.state_of((2, 2)) is ExecutorState.ACTIVE
+        and manager.state_of((3, 1)) is ExecutorState.EVICTED
+    )
+    return 0 if ok else 1
+
+
+def _cmd_placement(args: argparse.Namespace) -> int:
+    """Evaluate the placement strategies on one path: segment coverage
+    (exact isolation, mean suspect set) against vantage cost."""
+    import json
+
+    from repro.core.placement import (
+        STRATEGIES,
+        candidates_from_directory,
+        evaluate_strategies,
+        synthetic_candidates,
+    )
+
+    if args.live:
+        from repro.core.discovery import DecentralizedDirectory
+        from repro.core.probing import ExecutorFleet
+        from repro.workloads import build_chain
+
+        chain = build_chain(args.ases, seed=args.seed)
+        fleet = ExecutorFleet(chain.network, seed=args.seed)
+        fleet.deploy_full()
+        directory = DecentralizedDirectory(chain.registry)
+        for vantage in fleet.vantages():
+            directory.advertise(
+                fleet.get(*vantage), price=args.border_price + vantage[0]
+            )
+        segment = chain.registry.shortest(1, args.ases)
+        pool = candidates_from_directory(directory, segment)
+        n_ases = len(segment.asns())
+        print(f"live pool from {len(pool)} advertised executors on {segment}")
+    else:
+        n_ases = args.ases
+        pool = synthetic_candidates(
+            n_ases,
+            border_price=args.border_price,
+            in_as_price=args.in_as_price,
+        )
+    plans = evaluate_strategies(n_ases, pool, budget=args.budget, seed=args.seed)
+    if args.json:
+        print(json.dumps(
+            {strategy: plans[strategy].as_row() for strategy in STRATEGIES},
+            indent=2,
+        ))
+        return 0
+    print(f"placement over {n_ases} ASes, budget {args.budget}:")
+    print(f"  {'strategy':<10} {'vantages':>8} {'cost':>6} "
+          f"{'exact':>7} {'suspects':>9}  positions")
+    for strategy in STRATEGIES:
+        plan = plans[strategy]
+        print(f"  {strategy:<10} {len(plan.chosen):>8} {plan.cost:>6} "
+              f"{plan.exact_isolation_rate:>7.3f} "
+              f"{plan.mean_suspect_set:>9.3f}  {plan.positions}")
+    border, random_plan = plans["border"], plans["random"]
+    better = border.mean_suspect_set <= random_plan.mean_suspect_set
+    print("border co-location "
+          + ("matches or beats" if better else "LOSES to")
+          + " the random baseline on mean suspect-set size")
+    return 0 if better else 1
 
 
 def _cmd_obs_report(args: argparse.Namespace) -> int:
@@ -743,10 +921,59 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--audit-rate", type=float, default=0.0,
                    help="sample this fraction of sessions for lightweight "
                         "audits (window + batched signature checks)")
+    p.add_argument("--churn", action="store_true",
+                   help="fleet churn: a FleetManager owns every pair's "
+                        "lifecycle; sessions pick sellable pairs at fire time")
+    p.add_argument("--heartbeat", type=float, default=2.0,
+                   help="fleet heartbeat interval in simulated seconds")
+    p.add_argument("--late", type=int, default=0,
+                   help="vantage pairs registering mid-ramp (needs --churn)")
+    p.add_argument("--drains", type=int, default=0,
+                   help="vantage pairs gracefully drained mid-ramp")
+    p.add_argument("--crashes", type=int, default=0,
+                   help="vantage pairs that crash, get evicted, re-register")
+    p.add_argument("--lost", type=int, default=0,
+                   help="vantage pairs losing heartbeats (healthy executor)")
+    p.add_argument("--slot-factor", type=float, default=1.0,
+                   help="slot over-provisioning so survivors absorb churn")
     p.add_argument("--json", action="store_true",
                    help="emit the full report as JSON")
     _add_obs_flags(p)
     p.set_defaults(func=_cmd_loadgen)
+
+    p = sub.add_parser(
+        "fleet-demo",
+        help="executor fleet lifecycle: admission scope, drain/retire, "
+             "crash eviction + re-registration, heartbeat loss",
+    )
+    p.add_argument("--probes", type=int, default=30)
+    p.add_argument("--seed", type=int, default=1)
+    p.add_argument("--heartbeat", type=float, default=5.0,
+                   help="heartbeat interval in simulated seconds")
+    _add_obs_flags(p)
+    p.set_defaults(func=_cmd_fleet_demo)
+
+    p = sub.add_parser(
+        "placement",
+        help="vantage placement strategies: segment coverage vs cost for "
+             "border co-location, in-AS, and random baselines",
+    )
+    p.add_argument("--ases", type=int, default=8,
+                   help="path length in ASes")
+    p.add_argument("--budget", type=int, default=300,
+                   help="total vantage budget")
+    p.add_argument("--border-price", type=int, default=100,
+                   help="price of a border-router co-located vantage")
+    p.add_argument("--in-as-price", type=int, default=60,
+                   help="price of an in-AS alternative vantage")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--live", action="store_true",
+                   help="derive candidates from live directory "
+                        "advertisements on a built chain instead of the "
+                        "synthetic pool")
+    p.add_argument("--json", action="store_true",
+                   help="emit the strategy rows as JSON")
+    p.set_defaults(func=_cmd_placement)
 
     p = sub.add_parser(
         "obs-report",

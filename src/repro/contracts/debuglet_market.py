@@ -119,6 +119,18 @@ class DebugletMarket(Contract):
             self._journal.append((map_name, key, target.get(key, self._ABSENT)))
         target[key] = value
 
+    def _delete(self, map_name: str, key: str) -> None:
+        """Journaled key removal. Rollback restores the recorded old
+        value; a key that was absent rolls back via the ``_ABSENT``
+        branch, which is a no-op delete of an already-missing key guarded
+        below."""
+        target = self.state[map_name]
+        if key not in target:
+            return
+        if self._journal is not None:
+            self._journal.append((map_name, key, target[key]))
+        del target[key]
+
     def journal_begin(self) -> bool:
         self._journal = []
         return True
@@ -339,6 +351,42 @@ class DebugletMarket(Contract):
             "TimeSlotsWithdrawn", asn=asn, interface=interface, count=withdrawn
         )
         return withdrawn
+
+    @entry
+    def deregister_executor(self, ctx: ExecutionContext, asn: int, interface: int) -> int:
+        """Gracefully leave the marketplace (fleet retire path).
+
+        Owner-only. Clears the unsold slot inventory and the address
+        binding, and settles the remaining stake: returned to the owner
+        when unconvicted, burned when convicted (forfeit, matching
+        ``withdraw_stake``). Conviction records persist — a convicted
+        identity that re-registers still cannot publish. After this call
+        ``result_ready`` refuses the address (no binding), so retire must
+        come after every in-flight publication. Returns the stake settled.
+        """
+        key = slot_key(asn, interface)
+        registered = self.state["executor_address_map"].get(key)
+        ctx.require(registered is not None, f"executor {key} is not registered")
+        ctx.require(registered == ctx.sender, "caller does not own this executor")
+        stake = self.state["stake_map"].get(key, 0)
+        convicted = bool(self.state["conviction_map"].get(key))
+        if stake > 0:
+            if convicted:
+                ctx.burn_from_contract(stake)
+            else:
+                ctx.transfer_from_contract(ctx.sender, stake)
+        self._delete("stake_map", key)
+        self._delete("execution_slots_map", key)
+        self._delete("executor_address_map", key)
+        ctx.emit(
+            "ExecutorDeregistered",
+            asn=asn,
+            interface=interface,
+            address=ctx.sender,
+            stake_settled=stake,
+            stake_burned=convicted and stake > 0,
+        )
+        return stake
 
     # ----------------------------------------- initiating a measurement
 

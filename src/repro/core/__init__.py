@@ -49,6 +49,22 @@ from repro.core.discovery import (
     DecentralizedDirectory,
     ExecutorAdvertisement,
 )
+from repro.core.fleetmgr import (
+    AdmissionDecision,
+    CapabilityRecord,
+    ExecutorState,
+    FleetManager,
+    FleetMember,
+)
+from repro.core.placement import (
+    PlacementPlan,
+    VantageCandidate,
+    candidates_from_directory,
+    evaluate_strategies,
+    plan_placement,
+    score_placement,
+    synthetic_candidates,
+)
 from repro.core.executor import (
     ExecutionRecord,
     Executor,
@@ -82,6 +98,7 @@ from repro.core.results import EchoMeasurement, OneWayMeasurement, ServerReport
 from repro.core.verification import ChainVerifier, VerifiedResult, verify_certificate
 
 __all__ = [
+    "AdmissionDecision",
     "ArchiveContract",
     "ArchivedMeasurement",
     "AttackRecord",
@@ -89,6 +106,7 @@ __all__ = [
     "AuditFinding",
     "Auditor",
     "BilateralAgreement",
+    "CapabilityRecord",
     "ByzantineCorruptor",
     "ByzantineStrategy",
     "OffChainCodeStore",
@@ -110,13 +128,17 @@ __all__ = [
     "ExecutorAdvertisement",
     "ExecutorAgent",
     "ExecutorFleet",
+    "ExecutorState",
     "FaultJudge",
     "FaultLocalizer",
+    "FleetManager",
+    "FleetMember",
     "Initiator",
     "LocalizationReport",
     "MeasurementOutcome",
     "MeasurementSession",
     "OneWayMeasurement",
+    "PlacementPlan",
     "ReplayReport",
     "ResultCertificate",
     "SegmentCrossValidator",
@@ -126,18 +148,24 @@ __all__ = [
     "ServerReport",
     "SessionState",
     "TERMINAL_STATES",
+    "VantageCandidate",
     "VerifiedResult",
     "analyze_deployment",
     "audit_record",
+    "candidates_from_directory",
     "decode_result_payload",
     "disable_prioritization",
     "enable_prioritization",
     "encode_result_payload",
     "estimate_baseline_rtt",
+    "evaluate_strategies",
     "executor_data_address",
     "executor_host_name",
     "path_elements",
+    "plan_placement",
     "replay_interaction_log",
+    "score_placement",
     "sweep_deployment_fraction",
+    "synthetic_candidates",
     "verify_certificate",
 ]

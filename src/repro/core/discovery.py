@@ -87,6 +87,17 @@ class DecentralizedDirectory:
         self._executors[(executor.asn, executor.interface)] = executor
         return advertisement
 
+    def withdraw(self, advertisement: ExecutorAdvertisement) -> None:
+        """Retract an advertisement (fleet drain/evict delisting).
+
+        The routing metadata is withdrawn and the executor becomes
+        unresolvable: a stale advertisement held by an initiator now
+        fails :meth:`negotiate` with "unreachable" instead of silently
+        scheduling work on a delisted executor.
+        """
+        self.registry.withdraw(advertisement.to_metadata())
+        self._executors.pop((advertisement.asn, advertisement.interface), None)
+
     def executors_in(self, asn: int) -> list[ExecutorAdvertisement]:
         return [
             ExecutorAdvertisement.from_metadata(record)
@@ -102,6 +113,19 @@ class DecentralizedDirectory:
                 if (advertisement.asn, advertisement.interface) in wanted:
                     found.append(advertisement)
         return found
+
+    def cheapest_on_path(
+        self, segment: PathSegment
+    ) -> ExecutorAdvertisement | None:
+        """The cheapest advertised executor on ``segment``, or None.
+
+        Ties break deterministically by (price, asn, interface) so every
+        initiator picks the same winner for the same routing state.
+        """
+        candidates = self.executors_on_path(segment)
+        if not candidates:
+            return None
+        return min(candidates, key=lambda a: (a.price, a.asn, a.interface))
 
     def _resolve(self, advertisement: ExecutorAdvertisement) -> Executor:
         executor = self._executors.get(

@@ -20,10 +20,22 @@ control plane — contract execution, escrow accounting, event dispatch,
 checkpointing, crypto — which is exactly the part the sharded/batched
 ledger accelerates.
 
+With ``churn`` enabled the executor population itself becomes part of
+the workload (DESIGN.md §14): a :class:`~repro.core.fleetmgr.FleetManager`
+owns every pair's lifecycle, some pairs register late (mid-ramp), some
+are gracefully drained, some crash and re-register after liveness
+eviction, and some lose only their heartbeat channel (healthy executor,
+silent control plane). Sessions then pick their vantage pair at *fire*
+time from the manager's currently-sellable set — never from a draining
+or evicted member — and the report's ``deterministic.fleet`` section
+records the lifecycle ledger (state counts, transitions, heartbeats,
+per-pair session spread) for the same-seed CI comparison.
+
 Everything that happens in simulated time is seeded and deterministic:
 two runs with the same config produce byte-identical observability
 exports and the same ledger state digest. Wall-clock throughput numbers
-live only in the returned report (and in ``BENCH_scale.json``).
+live only in the returned report (and in ``BENCH_scale.json`` /
+``BENCH_fleet.json``).
 """
 
 from __future__ import annotations
@@ -38,6 +50,7 @@ from repro.chain.crypto import KeyPair, ed25519_batch_verify
 from repro.chain.events import Event
 from repro.chain.gas import sui_to_mist
 from repro.chain.ledger import Ledger, Wallet
+from repro.chaos.injector import ChaosInjector
 from repro.common.errors import ConfigurationError, DebugletError
 from repro.common.rng import derive_rng
 from repro.common.ids import ObjectId
@@ -49,6 +62,7 @@ from repro.contracts.debuglet_market import (
 from repro.core.application import DebugletApplication
 from repro.core.executor import ExecutionRecord, ResultCertificate
 from repro.core.fleet import FleetScheduler
+from repro.core.fleetmgr import ExecutorState, FleetManager
 from repro.core.marketplace import ExecutorAgent, Initiator, SessionState
 from repro.core.offchain import OffChainCodeStore
 from repro.netsim.engine import Simulator
@@ -57,6 +71,14 @@ from repro.sandbox.programs import echo_client, echo_server
 
 #: Synthetic vantage ASNs start here (clear of the chain scenarios' 1..N).
 BASE_ASN = 100
+
+#: Churn timetable, as fractions of the launch ramp: crashes land first
+#: (so eviction + re-registration both fit inside the ramp), heartbeat
+#: loss second, graceful drains last (so drained pairs have sold work to
+#: finish). Late registrations are spread evenly across the whole ramp.
+CRASH_AT_FRACTION = 0.15
+LOST_AT_FRACTION = 0.35
+DRAIN_AT_FRACTION = 0.55
 
 
 @dataclass
@@ -81,6 +103,25 @@ class LoadgenConfig:
     #: loadgen auditor (window containment + batched certificate
     #: signature verification). 0 disables auditing entirely.
     audit_rate: float = 0.0
+    #: Fleet churn (DESIGN.md §14): a FleetManager owns every pair's
+    #: lifecycle and sessions pick a vantage pair at fire time from the
+    #: currently-sellable set. The ``*_pairs`` knobs below say how many
+    #: vantage pairs play each churn role; at least one pair must stay
+    #: stable. Roles are assigned by a seeded permutation, so the same
+    #: config + seed always churns the same pairs.
+    churn: bool = False
+    heartbeat_interval: float = 2.0
+    suspect_beats: int = 2
+    evict_beats: int = 4
+    late_pairs: int = 0  # register mid-ramp instead of at build time
+    drain_pairs: int = 0  # gracefully drained mid-ramp, retire when idle
+    crash_pairs: int = 0  # crash, get evicted, restart, re-register
+    lost_pairs: int = 0  # healthy executor, severed heartbeat channel
+    #: Slot over-provisioning: each executor offers ``slot_factor`` times
+    #: its fair share of slots, so surviving pairs can absorb the load of
+    #: drained/evicted ones. Escrow moves only on purchase, so unsold
+    #: headroom costs nothing.
+    slot_factor: float = 1.0
 
     def validate(self) -> None:
         if self.sessions < 1:
@@ -95,10 +136,35 @@ class LoadgenConfig:
             raise ConfigurationError("durations must be positive")
         if not 0.0 <= self.audit_rate <= 1.0:
             raise ConfigurationError("audit_rate must be in [0, 1]")
+        if self.slot_factor < 1.0:
+            raise ConfigurationError("slot_factor must be >= 1")
+        role_counts = (
+            self.late_pairs,
+            self.drain_pairs,
+            self.crash_pairs,
+            self.lost_pairs,
+        )
+        if min(role_counts) < 0:
+            raise ConfigurationError("churn pair counts must be >= 0")
+        if sum(role_counts) and not self.churn:
+            raise ConfigurationError("churn pair counts require churn=True")
+        if self.churn:
+            if self.heartbeat_interval <= 0:
+                raise ConfigurationError("heartbeat_interval must be positive")
+            if sum(role_counts) > self.pairs - 1:
+                raise ConfigurationError(
+                    "churn must leave at least one stable vantage pair"
+                )
 
     @property
     def pairs(self) -> int:
         return self.executors // 2
+
+    @property
+    def slots_per_side(self) -> int:
+        """Slots each executor offers: its fair share times the churn
+        over-provisioning factor."""
+        return math.ceil(self.sessions / self.pairs * self.slot_factor)
 
     @property
     def windows_open(self) -> float:
@@ -322,6 +388,67 @@ class LoadgenFleet:
     auditor: LoadgenAuditor | None = None
     client_app: DebugletApplication = field(repr=False, default=None)
     server_app: DebugletApplication = field(repr=False, default=None)
+    #: Churn mode only: lifecycle owner, fault source, role assignment.
+    manager: FleetManager | None = None
+    chaos: ChaosInjector | None = None
+    churn_roles: dict | None = None
+    #: (session index, pair, client state, server state) at fire time.
+    assignments: list[tuple[int, int, str, str]] = field(default_factory=list)
+    #: Crash pairs whose scheduled re-registration found the member not
+    #: evicted yet (timing knobs too tight); they stay out of the fleet.
+    skipped_reregistrations: list[tuple[int, int]] = field(default_factory=list)
+
+    def pair_vantages(self, pair: int) -> tuple[tuple[int, int], tuple[int, int]]:
+        """(client, server) vantages of pair ``pair``."""
+        return (BASE_ASN + 2 * pair, 1), (BASE_ASN + 2 * pair + 1, 1)
+
+    def sellable_pairs(self) -> list[int]:
+        """Pairs whose BOTH sides the manager would sell right now."""
+        if self.manager is None:
+            return list(range(self.config.pairs))
+        return [
+            pair
+            for pair in range(self.config.pairs)
+            if all(self.manager.is_sellable(v) for v in self.pair_vantages(pair))
+        ]
+
+
+def _assign_churn_roles(config: LoadgenConfig) -> dict[str, list[int]]:
+    """Deterministically deal churn roles to vantage pairs.
+
+    One seeded permutation, sliced in role order — roles are disjoint by
+    construction and stable across runs of the same (seed, config).
+    """
+    rng = derive_rng(config.seed, "churn-roles")
+    order = [int(pair) for pair in rng.permutation(config.pairs)]
+    roles: dict[str, list[int]] = {}
+    cut = 0
+    for name, count in (
+        ("late", config.late_pairs),
+        ("drain", config.drain_pairs),
+        ("crash", config.crash_pairs),
+        ("lost", config.lost_pairs),
+    ):
+        roles[name] = sorted(order[cut : cut + count])
+        cut += count
+    roles["stable"] = sorted(order[cut:])
+    return roles
+
+
+def _slot_grid(config: LoadgenConfig, *, first: int = 0) -> list[ExecutionSlot]:
+    """One executor's back-to-back slot inventory, starting at grid
+    index ``first`` (0 = the instant the windows open)."""
+    return [
+        ExecutionSlot(
+            cores=2,
+            memory_mb=512,
+            bandwidth_mbps=100,
+            start=config.windows_open + slot * config.duration,
+            end=config.windows_open + (slot + 1) * config.duration,
+            price=config.slot_price,
+        )
+        for slot in range(first, first + config.slots_per_side)
+    ]
 
 
 def build(config: LoadgenConfig, *, obs=None) -> LoadgenFleet:
@@ -360,7 +487,6 @@ def build(config: LoadgenConfig, *, obs=None) -> LoadgenFleet:
     # Executors: pair 2k/2k+1 serve the client/server side of vantage
     # pair k. Every pair gets enough back-to-back slots for its share of
     # the session load, starting when the windows open.
-    slots_per_side = math.ceil(config.sessions / config.pairs)
     executors: list[SyntheticExecutor] = []
     agents: list[SyntheticExecutorAgent] = []
     for index in range(config.executors):
@@ -379,22 +505,35 @@ def build(config: LoadgenConfig, *, obs=None) -> LoadgenFleet:
             seed=config.seed,
             template=template,
         )
-        agent.register()
-        agent.offer_slots(
-            [
-                ExecutionSlot(
-                    cores=2,
-                    memory_mb=512,
-                    bandwidth_mbps=100,
-                    start=config.windows_open + slot * config.duration,
-                    end=config.windows_open + (slot + 1) * config.duration,
-                    price=config.slot_price,
-                )
-                for slot in range(slots_per_side)
-            ]
-        )
         executors.append(executor)
         agents.append(agent)
+
+    manager: FleetManager | None = None
+    chaos: ChaosInjector | None = None
+    roles: dict[str, list[int]] | None = None
+    if not config.churn:
+        for agent in agents:
+            agent.register()
+            agent.offer_slots(_slot_grid(config))
+    else:
+        # The fleet manager owns every pair's lifecycle; late pairs stay
+        # unregistered until their mid-ramp enrollment event fires.
+        manager = FleetManager(
+            simulator,
+            market=market,
+            heartbeat_interval=config.heartbeat_interval,
+            suspect_beats=config.suspect_beats,
+            evict_beats=config.evict_beats,
+        )
+        roles = _assign_churn_roles(config)
+        late = set(roles["late"])
+        for index, agent in enumerate(agents):
+            if index // 2 in late:
+                continue
+            manager.register(agent)
+            agent.offer_slots(_slot_grid(config))
+        if roles["crash"] or roles["lost"]:
+            chaos = ChaosInjector(simulator, ledger, seed=config.seed)
 
     # Initiator wallets, funded for their share of purchases plus gas.
     per_initiator = math.ceil(config.sessions / config.initiators)
@@ -423,7 +562,7 @@ def build(config: LoadgenConfig, *, obs=None) -> LoadgenFleet:
         simulator,
         ledger=ledger,
         session_timeout=config.windows_open
-        + slots_per_side * config.duration
+        + config.slots_per_side * config.duration
         + config.deadline_margin,
         stall_grace=30.0,
         wheel_resolution=5.0,
@@ -443,40 +582,145 @@ def build(config: LoadgenConfig, *, obs=None) -> LoadgenFleet:
         auditor=auditor,
         client_app=client_app,
         server_app=server_app,
+        manager=manager,
+        chaos=chaos,
+        churn_roles=roles,
     )
+    if config.churn:
+        _schedule_churn(fleet)
     _schedule_launches(fleet)
     return fleet
+
+
+def _schedule_churn(fleet: LoadgenFleet) -> None:
+    """Put the churn timetable on the simulator clock.
+
+    Everything is a plain scheduled event — no RNG beyond the role deal —
+    so the churn interleaving replays bit-for-bit under the same seed.
+    """
+    config = fleet.config
+    manager = fleet.manager
+    roles = fleet.churn_roles
+    hb = config.heartbeat_interval
+
+    def enroll(pair: int) -> None:
+        for index in (2 * pair, 2 * pair + 1):
+            agent = fleet.agents[index]
+            manager.register(agent)
+            agent.offer_slots(_slot_grid(config))
+
+    for i, pair in enumerate(roles["late"]):
+        at = config.ramp * (i + 1) / (len(roles["late"]) + 1)
+        fleet.simulator.schedule_at(at, enroll, pair)
+
+    for i, pair in enumerate(roles["drain"]):
+        at = DRAIN_AT_FRACTION * config.ramp + i * hb
+        for vantage in fleet.pair_vantages(pair):
+            fleet.simulator.schedule_at(at, manager.drain, vantage)
+
+    for i, pair in enumerate(roles["crash"]):
+        # Outage long enough to guarantee eviction (the sweep evicts by
+        # crash + (evict_beats+1)*hb) but short enough that the restart
+        # and re-registration land inside the ramp.
+        crash_at = CRASH_AT_FRACTION * config.ramp + i * hb
+        restart_at = crash_at + (config.evict_beats + 1.5) * hb
+        for index in (2 * pair, 2 * pair + 1):
+            fleet.chaos.crash_executor(
+                fleet.executors[index], at=crash_at, restart_at=restart_at
+            )
+        fleet.simulator.schedule_at(
+            restart_at + 0.5 * hb, _reregister_pair, fleet, pair
+        )
+
+    for i, pair in enumerate(roles["lost"]):
+        at = LOST_AT_FRACTION * config.ramp + i * hb
+        for vantage in fleet.pair_vantages(pair):
+            fleet.chaos.lose_heartbeats(manager.get(vantage), start=at)
+
+
+def _reregister_pair(fleet: LoadgenFleet, pair: int) -> None:
+    """Bring a crashed-and-restarted pair back: re-register with the
+    manager and offer a fresh slot inventory covering windows the
+    executor can still honor."""
+    config = fleet.config
+    manager = fleet.manager
+    slack = 4 * config.finality_latency + 1.0
+    first = max(
+        0,
+        math.ceil(
+            (fleet.simulator.now + slack - config.windows_open) / config.duration
+        ),
+    )
+    for index in (2 * pair, 2 * pair + 1):
+        vantage = (BASE_ASN + index, 1)
+        member = manager.members.get(vantage)
+        if (
+            member is None
+            or member.state is not ExecutorState.EVICTED
+            or getattr(member.executor, "crashed", False)
+        ):
+            fleet.skipped_reregistrations.append(vantage)
+            continue
+        manager.reregister(vantage)
+        fleet.agents[index].offer_slots(_slot_grid(config, first=first))
 
 
 def _schedule_launches(fleet: LoadgenFleet) -> None:
     config = fleet.config
 
-    def make_start(initiator: Initiator, pair: int):
-        client_vantage = (BASE_ASN + 2 * pair, 1)
-        server_vantage = (BASE_ASN + 2 * pair + 1, 1)
+    def request(initiator: Initiator, pair: int, done):
+        client_vantage, server_vantage = fleet.pair_vantages(pair)
+        return initiator.request_measurement(
+            fleet.client_app,
+            fleet.server_app,
+            client_vantage,
+            server_vantage,
+            duration=config.duration,
+            earliest=config.windows_open,
+            code_store=fleet.code_store,
+            deadline_margin=config.deadline_margin,
+            on_complete=done,
+        )
 
+    def make_static_start(initiator: Initiator, pair: int):
         def start(done):
-            return initiator.request_measurement(
-                fleet.client_app,
-                fleet.server_app,
-                client_vantage,
-                server_vantage,
-                duration=config.duration,
-                earliest=config.windows_open,
-                code_store=fleet.code_store,
-                deadline_margin=config.deadline_margin,
-                on_complete=done,
+            return request(initiator, pair, done)
+
+        return start
+
+    def make_churn_start(initiator: Initiator, index: int):
+        # Churn mode defers the vantage choice to FIRE time: the session
+        # goes to a pair whose both sides the fleet manager is currently
+        # willing to sell — never to a draining, suspected, or evicted
+        # member. The decision (and both members' states) is recorded so
+        # the report can prove the invariant held.
+        def start(done):
+            manager = fleet.manager
+            available = fleet.sellable_pairs()
+            if not available:
+                raise DebugletError("no sellable vantage pair in the fleet")
+            pair = available[index % len(available)]
+            client_vantage, server_vantage = fleet.pair_vantages(pair)
+            fleet.assignments.append(
+                (
+                    index,
+                    pair,
+                    manager.state_of(client_vantage).value,
+                    manager.state_of(server_vantage).value,
+                )
             )
+            return request(initiator, pair, done)
 
         return start
 
     for index in range(config.sessions):
         at = config.ramp * index / config.sessions
         initiator = fleet.initiators[index % len(fleet.initiators)]
-        pair = index % config.pairs
-        fleet.scheduler.launch(
-            at, make_start(initiator, pair), label=f"session-{index}"
-        )
+        if config.churn:
+            start = make_churn_start(initiator, index)
+        else:
+            start = make_static_start(initiator, index % config.pairs)
+        fleet.scheduler.launch(at, start, label=f"session-{index}")
 
 
 def _percentile(sorted_values: list[float], fraction: float) -> float:
@@ -498,6 +742,15 @@ def run(fleet: LoadgenFleet) -> dict:
     config = fleet.config
     started = time.perf_counter()
     completed = fleet.scheduler.run()
+    if fleet.manager is not None:
+        # Give the sweep a few more intervals to retire any member whose
+        # drain finished with the last session, then silence the fleet
+        # timers so the simulator can actually go idle.
+        fleet.manager.run_until(
+            fleet.simulator.now + 3 * fleet.manager.sweep_interval
+        )
+        fleet.manager.stop()
+        fleet.simulator.run_until_idle()
     fleet.ledger.flush_block()  # seal the trailing partial block, if any
     if fleet.auditor is not None:
         fleet.auditor.finalize()
@@ -535,9 +788,34 @@ def run(fleet: LoadgenFleet) -> dict:
     }
     if fleet.auditor is not None:
         deterministic["audit"] = fleet.auditor.report()
+    if fleet.manager is not None:
+        manager = fleet.manager
+        sellable = frozenset((ExecutorState.ACTIVE.value,))
+        pair_sessions: dict[int, int] = {}
+        assigned_unsellable = 0
+        for _, pair, client_state, server_state in fleet.assignments:
+            pair_sessions[pair] = pair_sessions.get(pair, 0) + 1
+            if client_state not in sellable or server_state not in sellable:
+                assigned_unsellable += 1
+        deterministic["fleet"] = {
+            "roles": fleet.churn_roles,
+            "states": manager.counts(),
+            "transitions": len(manager.lifecycle_log),
+            "registrations": sum(
+                member.registrations for member in manager.members.values()
+            ),
+            "heartbeats_seen": manager.heartbeats_seen,
+            "heartbeats_missed": manager.heartbeats_missed,
+            "assigned_while_unsellable": assigned_unsellable,
+            "skipped_reregistrations": len(fleet.skipped_reregistrations),
+            "sessions_per_pair": {
+                str(pair): count for pair, count in sorted(pair_sessions.items())
+            },
+        }
     report = {
         "mode": config.ledger_mode,
         "seed": config.seed,
+        "churn": config.churn,
         "audit_rate": config.audit_rate,
         "executors": config.executors,
         "initiators": config.initiators,

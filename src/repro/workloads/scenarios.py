@@ -180,6 +180,42 @@ class MarketplaceTestbed:
             code_store=code_store,
         )
 
+    def make_fleet_manager(
+        self,
+        *,
+        heartbeat_interval: float = 5.0,
+        suspect_beats: int = 2,
+        evict_beats: int = 4,
+        capabilities=None,
+        enroll: bool = True,
+    ):
+        """A :class:`~repro.core.fleetmgr.FleetManager` over this testbed.
+
+        With ``enroll`` (the default) every existing agent joins the
+        fleet immediately — they are already registered on-chain, so
+        enrollment only adds lifecycle tracking and the admission guard.
+        ``capabilities`` maps vantage → :class:`CapabilityRecord` for
+        per-executor overrides. Call :meth:`FleetManager.stop` before
+        draining the simulator to idle.
+        """
+        from repro.core.fleetmgr import FleetManager
+
+        manager = FleetManager(
+            self.chain.simulator,
+            market=self.market,
+            heartbeat_interval=heartbeat_interval,
+            suspect_beats=suspect_beats,
+            evict_beats=evict_beats,
+        )
+        if enroll:
+            overrides = capabilities or {}
+            for vantage in sorted(self.agents):
+                manager.register(
+                    self.agents[vantage],
+                    capabilities=overrides.get(vantage),
+                )
+        return manager
+
     def make_auditor(self, *, config=None, funding: int | None = None, obs=None):
         """A funded, on-chain-registered :class:`~repro.core.audit.Auditor`.
 

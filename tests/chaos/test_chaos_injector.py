@@ -200,6 +200,7 @@ def test_kinds_cover_every_fault_class():
         "finality-delay",
         "slot-expiry",
         "byzantine",
+        "heartbeat-loss",
     }
 
 

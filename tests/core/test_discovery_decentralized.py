@@ -49,6 +49,79 @@ class TestDiscovery:
         assert clone == advertisement
 
 
+class TestEdgeCases:
+    def test_empty_as_has_no_executors(self):
+        """A directory with no advertisements resolves nothing anywhere."""
+        scenario = build_chain(2, seed=1)
+        directory = DecentralizedDirectory(scenario.registry)
+        path = scenario.registry.shortest(1, 2)
+        assert directory.executors_in(1) == []
+        assert directory.executors_on_path(path) == []
+        assert directory.cheapest_on_path(path) is None
+
+    def test_stale_advertisement_is_unreachable(self, directory_setup):
+        """An initiator holding a withdrawn advertisement cannot silently
+        schedule work on the delisted executor."""
+        scenario, _, directory, advertisements = directory_setup
+        stale = advertisements[(2, 1)]
+        directory.withdraw(stale)
+        path = scenario.registry.shortest(1, 3)
+        assert (2, 1) not in {
+            (a.asn, a.interface) for a in directory.executors_on_path(path)
+        }
+        with pytest.raises(DebugletError, match="unreachable"):
+            directory.negotiate(
+                stale, offer=2_000_000, window_start=1.0, window_end=10.0
+            )
+
+    def test_withdraw_between_negotiate_and_execute(self, directory_setup):
+        """Resolution happens at submission, so an agreement struck before
+        the withdraw is refused rather than run on a delisted executor."""
+        scenario, _, directory, advertisements = directory_setup
+        path = scenario.registry.shortest(1, 3)
+        agreement = directory.negotiate(
+            advertisements[(1, 2)], offer=1_000_000,
+            window_start=1.0, window_end=10.0,
+        )
+        directory.withdraw(advertisements[(1, 2)])
+        app = DebugletApplication.from_stock(
+            "cli", echo_client(Protocol.UDP, executor_data_address(3, 1),
+                               count=1, interval_us=20_000, dst_port=8900),
+            path=path.as_list(),
+        )
+        with pytest.raises(DebugletError, match="unreachable"):
+            directory.execute(agreement, app)
+
+    def test_price_tiebreak_is_deterministic(self):
+        """Equal asking prices break by (asn, interface), so every
+        initiator converges on the same executor for the same routing
+        state — no thundering herd split."""
+        scenario = build_chain(3, seed=4)
+        fleet = ExecutorFleet(scenario.network, seed=5)
+        fleet.deploy_full()
+        directory = DecentralizedDirectory(scenario.registry)
+        prices = {(1, 2): 500, (2, 1): 500, (2, 2): 500, (3, 1): 700}
+        advertisements = {
+            vantage: directory.advertise(fleet.get(*vantage), price=price)
+            for vantage, price in prices.items()
+        }
+        path = scenario.registry.shortest(1, 3)
+        cheapest = directory.cheapest_on_path(path)
+        assert (cheapest.asn, cheapest.interface) == (1, 2)
+        directory.withdraw(advertisements[(1, 2)])
+        # Next tie: same AS, two interfaces — lower interface wins.
+        cheapest = directory.cheapest_on_path(path)
+        assert (cheapest.asn, cheapest.interface) == (2, 1)
+        directory.withdraw(advertisements[(2, 1)])
+        cheapest = directory.cheapest_on_path(path)
+        assert (cheapest.asn, cheapest.interface) == (2, 2)
+        # Only the expensive one left: price dominates, no tie to break.
+        directory.withdraw(advertisements[(2, 2)])
+        cheapest = directory.cheapest_on_path(path)
+        assert (cheapest.asn, cheapest.interface) == (3, 1)
+        assert cheapest.price == 700
+
+
 class TestNegotiation:
     def test_lowball_offer_rejected(self, directory_setup):
         _, _, directory, advertisements = directory_setup
@@ -65,6 +138,14 @@ class TestNegotiation:
             directory.negotiate(
                 advertisements[(1, 2)], offer=2_000_000,
                 window_start=50.0, window_end=60.0,
+            )
+
+    def test_empty_window_rejected(self, directory_setup):
+        _, _, directory, advertisements = directory_setup
+        with pytest.raises(ConfigurationError, match="empty window"):
+            directory.negotiate(
+                advertisements[(1, 2)], offer=2_000_000,
+                window_start=10.0, window_end=10.0,
             )
 
     def test_agreement_and_direct_execution(self, directory_setup):

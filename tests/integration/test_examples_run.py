@@ -49,3 +49,25 @@ class TestExamples:
         out = _run("protocol_treatment_study.py", argv=["200"], capsys=capsys)
         assert "Table I (reproduced)" in out
         assert "bangalore" in out
+
+    def test_fleet_lifecycle(self, capsys):
+        out = _run("fleet_lifecycle.py", capsys=capsys)
+        assert "drained 2:1 -> retired" in out
+        assert "re-registered 2:2 -> active" in out
+        assert "heartbeat loss 3:1 -> evicted" in out
+        assert "border co-location beats the random baseline" in out
+
+
+def test_every_example_has_a_smoke_test():
+    """Completeness guard: a new examples/*.py must land with a test here,
+    so the suite keeps running every shipped example."""
+    tested = {
+        name[len("test_"):]
+        for name in dir(TestExamples)
+        if name.startswith("test_")
+    }
+    shipped = {path.stem for path in EXAMPLES.glob("*.py")}
+    missing = shipped - tested
+    assert not missing, (
+        f"examples without a smoke test in {__file__}: {sorted(missing)}"
+    )

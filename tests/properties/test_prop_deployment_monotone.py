@@ -1,0 +1,61 @@
+"""Property test: deployment coverage is monotone in the deployed set.
+
+Adding a deployed AS adds measurable vantage pairs, which can only refine
+the indistinguishability partition over fault elements: the exact
+isolation rate never shrinks and the mean suspect-set size never grows.
+The placement scheduler's greedy loop (core/placement.py) leans on this —
+if more coverage could hurt, its marginal-gain objective would be wrong.
+"""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.deployment import analyze_deployment, path_elements
+
+pytestmark = pytest.mark.fleet
+
+
+@st.composite
+def deployment_and_addition(draw):
+    n_ases = draw(st.integers(min_value=2, max_value=12))
+    universe = list(range(n_ases))
+    deployed = set(
+        draw(st.lists(st.sampled_from(universe), max_size=n_ases, unique=True))
+    )
+    addition = draw(st.sampled_from(universe))
+    return n_ases, deployed, addition
+
+
+@given(deployment_and_addition())
+@settings(max_examples=200, deadline=None)
+def test_adding_a_deployed_as_never_hurts(case):
+    n_ases, deployed, addition = case
+    before = analyze_deployment(n_ases, deployed)
+    after = analyze_deployment(n_ases, deployed | {addition})
+    assert after.exact_isolation_rate >= before.exact_isolation_rate
+    assert after.mean_suspect_set <= before.mean_suspect_set
+    # The partition refines element-wise, not just on average.
+    for element, size in after.group_sizes.items():
+        assert size <= before.group_sizes[element]
+
+
+@given(st.integers(min_value=2, max_value=12))
+@settings(max_examples=50, deadline=None)
+def test_full_deployment_isolates_everything(n_ases):
+    report = analyze_deployment(n_ases, set(range(n_ases)))
+    assert math.isclose(report.exact_isolation_rate, 1.0)
+    assert math.isclose(report.mean_suspect_set, 1.0)
+    assert len(report.group_sizes) == len(path_elements(n_ases))
+
+
+@given(deployment_and_addition())
+@settings(max_examples=100, deadline=None)
+def test_duplicate_addition_is_idempotent(case):
+    n_ases, deployed, addition = case
+    once = analyze_deployment(n_ases, deployed | {addition})
+    twice = analyze_deployment(n_ases, deployed | {addition} | {addition})
+    assert once.group_sizes == twice.group_sizes
+    assert once.measurable == twice.measurable
