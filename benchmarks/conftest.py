@@ -10,17 +10,13 @@ scale (86 400 one-per-second probes — minutes of wall time); the default
 is scaled down while preserving the measurement window structure.
 """
 
-import json
 import os
-import subprocess
-import time
 
 import pytest
 
-FULL_SCALE = os.environ.get("DEBUGLET_FULL", "") == "1"
+from repro.perf import benchstore
 
-_REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
-_BENCH_FILE = os.path.join(_REPO_ROOT, "BENCH_table1.json")
+FULL_SCALE = os.environ.get("DEBUGLET_FULL", "") == "1"
 
 
 def run_once(benchmark, fn):
@@ -36,39 +32,12 @@ def once(benchmark):
     return runner
 
 
-def _git_sha() -> str:
-    try:
-        return subprocess.run(
-            ["git", "rev-parse", "--short", "HEAD"],
-            cwd=_REPO_ROOT,
-            capture_output=True,
-            text=True,
-            check=True,
-        ).stdout.strip()
-    except Exception:
-        return "unknown"
-
-
 def record_bench(name: str, seconds: float, **extra) -> None:
     """Append a wall-clock measurement to ``BENCH_table1.json``.
 
     The file maps git SHA -> list of entries, so numbers from successive
     commits accumulate instead of overwriting each other.
     """
-    data: dict = {}
-    if os.path.exists(_BENCH_FILE):
-        try:
-            with open(_BENCH_FILE) as fh:
-                data = json.load(fh)
-        except (json.JSONDecodeError, OSError):
-            data = {}
-    entry = {
-        "name": name,
-        "seconds": round(seconds, 4),
-        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S"),
-        **extra,
-    }
-    data.setdefault(_git_sha(), []).append(entry)
-    with open(_BENCH_FILE, "w") as fh:
-        json.dump(data, fh, indent=2)
-        fh.write("\n")
+    benchstore.append_rows(
+        "table1", [{"name": name, "seconds": round(seconds, 4), **extra}]
+    )

@@ -13,53 +13,16 @@ differ. Runs are strictly sequential: concurrent fleets would contend for
 CPU and corrupt both wall-clock numbers.
 """
 
-import json
-import os
-import subprocess
-import time
-
 from benchmarks.conftest import FULL_SCALE, run_once
 
+from repro.perf import benchstore
 from repro.workloads import LoadgenConfig, build_loadgen, run_loadgen
-
-_REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
-_BENCH_FILE = os.path.join(_REPO_ROOT, "BENCH_scale.json")
 
 SESSIONS = 12_000 if FULL_SCALE else 1_200
 EXECUTORS = 64 if FULL_SCALE else 32
 INITIATORS = 64 if FULL_SCALE else 32
 RAMP = 30.0 if FULL_SCALE else 8.0
 MIN_SPEEDUP = 5.0 if FULL_SCALE else 1.5
-
-
-def _git_sha() -> str:
-    try:
-        return subprocess.run(
-            ["git", "rev-parse", "--short", "HEAD"],
-            cwd=_REPO_ROOT,
-            capture_output=True,
-            text=True,
-            check=True,
-        ).stdout.strip()
-    except Exception:
-        return "unknown"
-
-
-def _record(rows: list[dict]) -> None:
-    data: dict = {}
-    if os.path.exists(_BENCH_FILE):
-        try:
-            with open(_BENCH_FILE) as fh:
-                data = json.load(fh)
-        except (json.JSONDecodeError, OSError):
-            data = {}
-    stamp = time.strftime("%Y-%m-%dT%H:%M:%S")
-    for row in rows:
-        row["timestamp"] = stamp
-    data.setdefault(_git_sha(), []).extend(rows)
-    with open(_BENCH_FILE, "w") as fh:
-        json.dump(data, fh, indent=2)
-        fh.write("\n")
 
 
 def _run(mode: str) -> dict:
@@ -89,7 +52,7 @@ def test_bench_scale_loadgen(benchmark):
 
     speedup = batched["sessions_per_sec"] / serial["sessions_per_sec"]
     tier = "full" if FULL_SCALE else "reduced"
-    _record([
+    benchstore.append_rows("scale", [
         {
             "mode": row["mode"],
             "wall_seconds": round(row["wall_seconds"], 2),

@@ -277,6 +277,66 @@ def _cmd_vmbench(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_wanbench(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.workloads.wanbench import (
+        MODES,
+        WanbenchConfig,
+        record_outcomes,
+        run_wanbench,
+    )
+
+    modes = tuple(name.strip() for name in args.modes.split(","))
+    unknown = set(modes) - set(MODES)
+    if unknown:
+        print(f"unknown modes: {sorted(unknown)}", file=sys.stderr)
+        return 2
+    config = WanbenchConfig(
+        n_ases=args.ases,
+        seed=args.seed,
+        episodes=args.episodes,
+        regions=args.regions,
+        strategy=args.strategy,
+        workers=args.workers,
+        traffic=not args.no_traffic,
+    )
+    summary = run_wanbench(config, modes=modes)
+    if args.record:
+        record_outcomes(summary)
+    if args.json:
+        payload = dict(summary)
+        payload["outcomes"] = {
+            mode: outcome.bench_row(config)
+            for mode, outcome in summary["outcomes"].items()
+        }
+        print(json.dumps(payload, indent=2))
+        return 0
+    print(
+        f"wanbench: {config.n_ases} ASes, {config.episodes} episodes, "
+        f"strategy {config.strategy}, seed {config.seed} "
+        f"({summary['congested_channels']} congested channels)"
+    )
+    print(f"{'mode':<9} {'seconds':>9} {'accuracy':>9} {'meas':>6} "
+          f"{'probes':>8} {'conv(s)':>9}  digest")
+    for mode, outcome in summary["outcomes"].items():
+        print(
+            f"{mode:<9} {outcome.wall_seconds:>9.3f} "
+            f"{outcome.accuracy:>9.2%} {outcome.measurements:>6} "
+            f"{outcome.probes_sent:>8} {outcome.mean_convergence:>9.2f}  "
+            f"{outcome.digest[:16]}"
+        )
+    if "speedup_fast_over_event" in summary:
+        print(f"fast-path speedup over event-driven: "
+              f"{summary['speedup_fast_over_event']:.1f}x")
+    if "digest_match" in summary:
+        verdict = "MATCH" if summary["digest_match"] else "MISMATCH"
+        print(f"serial vs sharded digest: {verdict}")
+        if not summary["digest_match"]:
+            return 1
+    return 0
+
+
 def _cmd_verify(args: argparse.Namespace) -> int:
     import json
 
@@ -1009,6 +1069,32 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--json", action="store_true",
                    help="emit rows (plus compile-cache stats) as JSON")
     p.set_defaults(func=_cmd_vmbench)
+
+    p = sub.add_parser(
+        "wanbench",
+        help="continent-scale localization campaign: event vs fast vs sharded",
+    )
+    p.add_argument("--ases", type=int, default=1000,
+                   help="topology size (power-law Gao-Rexford Internet)")
+    p.add_argument("--episodes", type=int, default=40,
+                   help="concurrent localization episodes")
+    p.add_argument("--regions", type=int, default=5,
+                   help="AS regions (the sharding domains)")
+    p.add_argument("--strategy", default="mixed",
+                   choices=["mixed", "binary", "linear", "exhaustive"])
+    p.add_argument("--modes", default="fast,sharded",
+                   help="comma-separated engines to run "
+                        "(event, fast, sharded)")
+    p.add_argument("--workers", type=int, default=0,
+                   help="sharded-mode pool size (0 = all cores)")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--no-traffic", action="store_true",
+                   help="skip the background traffic matrix")
+    p.add_argument("--record", action="store_true",
+                   help="append results to BENCH_wan.json")
+    p.add_argument("--json", action="store_true",
+                   help="emit the summary as JSON")
+    p.set_defaults(func=_cmd_wanbench)
 
     p = sub.add_parser(
         "verify",

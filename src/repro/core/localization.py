@@ -24,6 +24,7 @@ from dataclasses import dataclass, field
 from typing import Callable
 
 from repro.common.errors import ConfigurationError
+from repro.core.locplans import SuspectSpec, drive_plan, make_plan
 from repro.core.probing import SegmentMeasurement, SegmentProber, Vantage
 from repro.netsim.faults import FaultLocation
 from repro.netsim.packet import Protocol
@@ -135,7 +136,15 @@ class LocalizationReport:
 
 
 class FaultLocalizer:
-    """Runs a strategy of segment measurements to localize path faults."""
+    """Runs a strategy of segment measurements to localize path faults.
+
+    The strategy decision logic lives in :mod:`repro.core.locplans` as
+    engine-neutral measurement plans; this class drives a plan against
+    the event-driven :class:`~repro.core.probing.SegmentProber`. The
+    fast and sharded campaign engines (:mod:`repro.core.fastprobe`,
+    :mod:`repro.perf.shardloop`) drive the *same* plans, which is what
+    keeps all three engines' measurement sequences identical.
+    """
 
     STRATEGIES = ("exhaustive", "binary", "linear", "guided")
 
@@ -209,14 +218,19 @@ class FaultLocalizer:
             raise ConfigurationError("path must cross at least one link")
         started = self.prober.network.simulator.now
         verdicts: list[SegmentVerdict] = []
-        if strategy == "binary":
-            suspects = self._binary(path, verdicts)
-        elif strategy == "linear":
-            suspects = self._linear(path, verdicts)
-        elif strategy == "guided":
-            suspects = self._guided(path, verdicts, hint)
-        else:
-            suspects = self._exhaustive(path, verdicts)
+
+        def measure(i: int, j: int) -> bool:
+            verdict = self._measure(path, i, j)
+            verdicts.append(verdict)
+            return verdict.faulty
+
+        plan = make_plan(
+            strategy,
+            path.length,
+            hint=hint_spec_for(path, hint) if hint is not None else None,
+        )
+        specs = drive_plan(plan, measure)
+        suspects = [self._location_for(path, spec) for spec in specs]
         finished = self.prober.network.simulator.now
         return LocalizationReport(
             path=path,
@@ -227,6 +241,12 @@ class FaultLocalizer:
             finished_at=finished,
         )
 
+    def _location_for(self, path: PathSegment, spec: SuspectSpec) -> FaultLocation:
+        kind, index = spec
+        if kind == "link":
+            return self._link_location(path, index)
+        return self._interior_location(path, index)
+
     def _link_location(self, path: PathSegment, i: int) -> FaultLocation:
         egress, ingress = path.inter_domain_links()[i]
         return FaultLocation(link=(egress, ingress))
@@ -235,105 +255,22 @@ class FaultLocalizer:
     def _interior_location(path: PathSegment, index: int) -> FaultLocation:
         return FaultLocation(asn=path.hops[index].asn)
 
-    def _binary(self, path: PathSegment, verdicts: list[SegmentVerdict]) -> list[FaultLocation]:
-        def search(lo: int, hi: int) -> list[FaultLocation]:
-            verdict = self._measure(path, lo, hi)
-            verdicts.append(verdict)
-            if not verdict.faulty:
-                return []
-            if hi - lo == 1:
-                return [self._link_location(path, lo)]
-            mid = (lo + hi) // 2
-            left = search(lo, mid)
-            right = search(mid, hi)
-            if not left and not right:
-                # Both halves clean, whole faulty: the split AS interior,
-                # which neither half traverses, is the only remaining spot.
-                return [self._interior_location(path, mid)]
-            return left + right
 
-        return search(0, len(path.hops) - 1)
+def hint_spec_for(path: PathSegment, hint: FaultLocation) -> SuspectSpec | None:
+    """Resolve a :class:`FaultLocation` hint to on-path plan indices.
 
-    def _linear(self, path: PathSegment, verdicts: list[SegmentVerdict]) -> list[FaultLocation]:
-        n = len(path.hops) - 1
-        suspects: list[FaultLocation] = []
-        base = 0  # restarted past each located fault so it is not re-counted
-        k = 1
-        while k <= n:
-            verdict = self._measure(path, base, k)
-            verdicts.append(verdict)
-            if not verdict.faulty:
-                k += 1
-                continue
-            # Degradation appeared between (base, k-1) and (base, k):
-            # either the link entering AS k, or the interior of AS k-1.
-            if k - base == 1:
-                suspects.append(self._link_location(path, base))
-            else:
-                link_verdict = self._measure(path, k - 1, k)
-                verdicts.append(link_verdict)
-                if link_verdict.faulty:
-                    suspects.append(self._link_location(path, k - 1))
-                else:
-                    suspects.append(self._interior_location(path, k - 1))
-            base = k
-            k += 1
-        return suspects
-
-    def _guided(
-        self,
-        path: PathSegment,
-        verdicts: list[SegmentVerdict],
-        hint: FaultLocation,
-    ) -> list[FaultLocation]:
-        """Check the hinted location first; fall back to binary search."""
-        if hint.link is not None:
-            links = path.inter_domain_links()
-            for index, (a, b) in enumerate(links):
-                if {a, b} == set(hint.link):
-                    verdict = self._measure(path, index, index + 1)
-                    verdicts.append(verdict)
-                    if verdict.faulty:
-                        return [self._link_location(path, index)]
-                    break
-        elif hint.asn is not None:
-            asns = path.asns()
-            if hint.asn in asns:
-                k = asns.index(hint.asn)
-                if 0 < k < len(asns) - 1:
-                    whole = self._measure(path, k - 1, k + 1)
-                    verdicts.append(whole)
-                    if whole.faulty:
-                        left = self._measure(path, k - 1, k)
-                        right = self._measure(path, k, k + 1)
-                        verdicts.extend([left, right])
-                        if not (left.faulty or right.faulty):
-                            return [self._interior_location(path, k)]
-                        # The degradation is on an adjacent link after all.
-                        suspects = []
-                        if left.faulty:
-                            suspects.append(self._link_location(path, k - 1))
-                        if right.faulty:
-                            suspects.append(self._link_location(path, k))
-                        return suspects
-        # Hint did not pan out: run the general search.
-        return self._binary(path, verdicts)
-
-    def _exhaustive(self, path: PathSegment, verdicts: list[SegmentVerdict]) -> list[FaultLocation]:
-        n = len(path.hops) - 1
-        suspects: list[FaultLocation] = []
-        link_faulty: list[bool] = []
-        for i in range(n):
-            verdict = self._measure(path, i, i + 1)
-            verdicts.append(verdict)
-            link_faulty.append(verdict.faulty)
-            if verdict.faulty:
-                suspects.append(self._link_location(path, i))
-        # Interior checks: for each transit AS, measure across it and
-        # subtract the two adjacent links (the Fig 6 decomposition).
-        for k in range(1, n):
-            verdict = self._measure(path, k - 1, k + 1)
-            verdicts.append(verdict)
-            if verdict.faulty and not (link_faulty[k - 1] or link_faulty[k]):
-                suspects.append(self._interior_location(path, k))
-        return suspects
+    Returns ``("link", i)`` when the hint names the path's i-th crossed
+    link (either direction), ``("interior", k)`` when it names the k-th
+    on-path AS, or ``None`` when the hint is off-path (the guided plan
+    then degenerates to binary search).
+    """
+    if hint.link is not None:
+        for index, (a, b) in enumerate(path.inter_domain_links()):
+            if {a, b} == set(hint.link):
+                return ("link", index)
+        return None
+    if hint.asn is not None:
+        asns = path.asns()
+        if hint.asn in asns:
+            return ("interior", asns.index(hint.asn))
+    return None

@@ -18,9 +18,21 @@ from repro.netsim.ecmp import EcmpGroup, HashGranularity, Route, evenly_spread, 
 from repro.netsim.endhost import Host, Socket
 from repro.netsim.engine import EventHandle, Simulator
 from repro.netsim.faults import FaultInjector, FaultKind, FaultLocation, InjectedFault
+from repro.netsim.internet import (
+    GaoRexfordRouter,
+    InternetConfig,
+    InternetTopology,
+    Relation,
+    generate_internet,
+)
 from repro.netsim.network import Network, NetworkStats
 from repro.netsim.packet import Address, IcmpType, Packet, Protocol
-from repro.netsim.routechurn import RouteChurnProcess, RouteShift, no_churn
+from repro.netsim.routechurn import (
+    RouteChurnProcess,
+    RouteShift,
+    attach_churn_ensemble,
+    no_churn,
+)
 from repro.netsim.topology import (
     AutonomousSystem,
     BorderRouter,
@@ -35,6 +47,7 @@ from repro.netsim.traffic import (
     PoissonTraffic,
     ProbeTrain,
     RoundRobinProber,
+    TrafficMatrix,
 )
 from repro.netsim.treatment import ProtocolTreatment, TreatmentProfile
 
@@ -52,11 +65,14 @@ __all__ = [
     "FaultKind",
     "FaultLocation",
     "FaultOverlay",
+    "GaoRexfordRouter",
     "HashGranularity",
     "Host",
     "IcmpType",
     "InjectedFault",
     "InterfaceId",
+    "InternetConfig",
+    "InternetTopology",
     "Link",
     "MeasurementTrace",
     "MultiProtocolProber",
@@ -71,16 +87,20 @@ __all__ = [
     "RoundRobinProber",
     "Protocol",
     "ProtocolTreatment",
+    "Relation",
     "Route",
     "RouteChurnProcess",
     "RouteShift",
     "Simulator",
     "Socket",
     "Topology",
+    "TrafficMatrix",
     "TransitOutcome",
     "TreatmentProfile",
+    "attach_churn_ensemble",
     "calm_congestion",
     "evenly_spread",
+    "generate_internet",
     "no_churn",
     "single_route",
 ]

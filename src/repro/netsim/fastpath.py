@@ -38,7 +38,7 @@ from repro.common.errors import ConfigurationError, SimulationError
 from repro.common.rng import derive_seed
 from repro.netsim.conduit import DirectedChannel
 from repro.netsim.ecmp import HashGranularity
-from repro.netsim.packet import Packet, Protocol
+from repro.netsim.packet import Address, Packet, Protocol
 from repro.netsim.trace import MeasurementTrace
 
 DAY = 86400.0
@@ -72,6 +72,25 @@ class CongestionParams:
 
 
 @dataclass(frozen=True)
+class OverlayWindow:
+    """Picklable snapshot of a protocol-filtered :class:`FaultOverlay`.
+
+    Fault overlays are *time windows*: a probe is only affected when its
+    traversal instant falls inside ``[start, end)``. That makes them
+    vectorizable with boolean masks — the generalization (PR 10) that
+    lets the fast path run full localization campaigns, where injected
+    faults are the entire point of the workload.
+    """
+
+    start: float
+    end: float
+    extra_delay: float = 0.0
+    extra_loss: float = 0.0
+    blackhole: bool = False
+    extra_jitter: float = 0.0
+
+
+@dataclass(frozen=True)
 class ChannelStage:
     """One channel traversal of a probe's round trip, vectorizable."""
 
@@ -88,6 +107,7 @@ class ChannelStage:
     fixed_route: int  # used when route_weights is empty
     congestion: CongestionParams
     churn: tuple[tuple[float, float, float], ...]  # (start, end, delta)
+    overlays: tuple[OverlayWindow, ...] = ()
 
 
 @dataclass(frozen=True)
@@ -108,12 +128,32 @@ class ProbeCell:
 
 
 def _stage_from_channel(
-    channel: DirectedChannel, packet: Packet
+    channel: DirectedChannel, packet: Packet, *, allow_overlays: bool = False
 ) -> ChannelStage:
-    """Snapshot ``channel`` as seen by ``packet``'s protocol."""
+    """Snapshot ``channel`` as seen by ``packet``'s protocol.
+
+    ``allow_overlays`` opts in to vectorized fault-overlay windows (the
+    localization fast path); the default preserves PR 1's refusal
+    contract for callers that predate overlay support.
+    """
+    overlays: tuple[OverlayWindow, ...] = ()
     if channel.overlays:
-        raise FastPathUnsupported(
-            f"channel {channel.name} has fault overlays; use the event-driven path"
+        if not allow_overlays:
+            raise FastPathUnsupported(
+                f"channel {channel.name} has fault overlays; "
+                "use the event-driven path"
+            )
+        overlays = tuple(
+            OverlayWindow(
+                start=o.start,
+                end=o.end,
+                extra_delay=o.extra_delay,
+                extra_loss=o.extra_loss,
+                blackhole=o.blackhole,
+                extra_jitter=o.extra_jitter,
+            )
+            for o in channel.overlays
+            if o.protocols is None or packet.protocol in o.protocols
         )
     treatment = channel.treatment.for_protocol(packet.protocol)
     if channel.priority_addresses and (
@@ -176,6 +216,7 @@ def _stage_from_channel(
             drop_scale=config.drop_scale,
         ),
         churn=churn,
+        overlays=overlays,
     )
 
 
@@ -239,6 +280,148 @@ def extract_probe_cell(
     )
 
 
+def _segment_stages(
+    topology,
+    hops,
+    packet: Packet,
+    src_attachment: str,
+    dst_attachment: str,
+    *,
+    allow_overlays: bool,
+) -> list[ChannelStage]:
+    """Stages for one direction of a pinned segment traversal.
+
+    Mirrors ``Network._build_trail`` exactly: source attachment to egress
+    interface, the inter-domain channel per crossed link, ingress→egress
+    interior channels at transit ASes, and ingress to the destination
+    attachment at the final AS.
+    """
+    from repro.netsim.topology import InterfaceId
+
+    stages: list[ChannelStage] = []
+    if len(hops) == 1:
+        asys = topology.autonomous_system(hops[0].asn)
+        channel = asys.internal_channel(src_attachment, dst_attachment)
+        stages.append(
+            _stage_from_channel(channel, packet, allow_overlays=allow_overlays)
+        )
+        return stages
+
+    first = hops[0]
+    if first.egress is None:
+        raise FastPathUnsupported("first hop has no egress interface")
+    asys = topology.autonomous_system(first.asn)
+    stages.append(
+        _stage_from_channel(
+            asys.internal_channel(src_attachment, f"if{first.egress}"),
+            packet,
+            allow_overlays=allow_overlays,
+        )
+    )
+    for hop, nxt in zip(hops, hops[1:]):
+        if hop.egress is None or nxt.ingress is None:
+            raise FastPathUnsupported("missing interface on transit hop")
+        channel = topology.channel_between(
+            InterfaceId(hop.asn, hop.egress), InterfaceId(nxt.asn, nxt.ingress)
+        )
+        stages.append(
+            _stage_from_channel(channel, packet, allow_overlays=allow_overlays)
+        )
+        next_as = topology.autonomous_system(nxt.asn)
+        if nxt.egress is not None:
+            interior = next_as.internal_channel(f"if{nxt.ingress}", f"if{nxt.egress}")
+        else:
+            interior = next_as.internal_channel(f"if{nxt.ingress}", dst_attachment)
+        stages.append(
+            _stage_from_channel(interior, packet, allow_overlays=allow_overlays)
+        )
+    return stages
+
+
+def extract_segment_cell(
+    topology,
+    segment,
+    protocol: Protocol,
+    *,
+    client_vantage: tuple[int, int],
+    server_vantage: tuple[int, int],
+    count: int,
+    interval: float,
+    start: float,
+    size: int = 64,
+    timeout: float = 5.0,
+    dst_port: int = 7,
+    seed: int = 0,
+    label: str = "",
+    allow_overlays: bool = True,
+) -> ProbeCell:
+    """Snapshot a D2D segment measurement as a vectorizable cell.
+
+    The generalization of :func:`extract_probe_cell` to the localization
+    workloads (§IV-B, Fig 6): a probe train between two border-router
+    vantage points over a *pinned* :class:`~repro.pathaware.segments.PathSegment`,
+    echoed back over its reverse — exactly the round trip
+    :class:`~repro.core.probing.SegmentProber` runs with paired echo
+    Debuglets. Fault overlays are vectorized by default here (a
+    localization campaign is *about* injected faults); pass
+    ``allow_overlays=False`` to restore the PR 1 refusal behavior.
+    """
+    if count <= 0:
+        raise ConfigurationError("probe count must be positive")
+    if interval <= 0:
+        raise ConfigurationError("probe interval must be positive")
+    hops = segment.as_list()
+    if hops[0].asn != client_vantage[0] or hops[-1].asn != server_vantage[0]:
+        raise ConfigurationError("segment does not join the two vantage points")
+    client_attachment = f"if{client_vantage[1]}"
+    server_attachment = f"if{server_vantage[1]}"
+    probe = Packet(
+        src=_vantage_address(client_vantage),
+        dst=_vantage_address(server_vantage),
+        protocol=protocol,
+        size=size,
+        dst_port=dst_port,
+    )
+    reply = probe.reply_to()
+    stages = _segment_stages(
+        topology,
+        hops,
+        probe,
+        client_attachment,
+        server_attachment,
+        allow_overlays=allow_overlays,
+    )
+    stages += _segment_stages(
+        topology,
+        segment.reversed().as_list(),
+        reply,
+        server_attachment,
+        client_attachment,
+        allow_overlays=allow_overlays,
+    )
+    return ProbeCell(
+        label=label,
+        protocol=protocol,
+        count=count,
+        interval=interval,
+        start=start,
+        timeout=timeout,
+        seed=seed,
+        stages=tuple(stages),
+    )
+
+
+def _vantage_address(vantage: tuple[int, int]) -> "Address":
+    """The data address an executor deployed at ``vantage`` would use.
+
+    Mirrors ``repro.core.executor.executor_data_address`` (kept in sync
+    by a unit test) rather than importing it: netsim sits below core in
+    the layering.
+    """
+    asn, interface = vantage
+    return Address(asn, f"exec{interface}")
+
+
 # --------------------------------------------------------------- simulation
 
 
@@ -262,7 +445,15 @@ def simulate_cell_arrays(cell: ProbeCell) -> tuple[np.ndarray, np.ndarray]:
         congestion = stage.congestion
         u = congestion.utilization(t)
 
-        # Drop decision: protocol floor + congestion loss.
+        # Fault-overlay activity masks: which probes traverse this
+        # channel inside each overlay's [start, end) window.
+        overlay_masks: list[tuple[OverlayWindow, np.ndarray]] = []
+        if stage.overlays:
+            overlay_masks = [
+                (o, (t >= o.start) & (t < o.end)) for o in stage.overlays
+            ]
+
+        # Drop decision: protocol floor + congestion loss + overlays.
         drop_probability = np.full(n, stage.base_drop)
         excess = u - congestion.drop_threshold
         over = excess > 0.0
@@ -272,6 +463,11 @@ def simulate_cell_arrays(cell: ProbeCell) -> tuple[np.ndarray, np.ndarray]:
                 congestion.drop_scale * excess * excess * stage.drop_multiplier,
                 0.0,
             )
+        for overlay, mask in overlay_masks:
+            if overlay.blackhole:
+                delivered &= ~mask
+            if overlay.extra_loss:
+                drop_probability = drop_probability + overlay.extra_loss * mask
         if drop_probability.max() > 0.0:
             delivered &= rng.random(n) >= np.minimum(drop_probability, 1.0)
 
@@ -307,6 +503,18 @@ def simulate_cell_arrays(cell: ProbeCell) -> tuple[np.ndarray, np.ndarray]:
             for start, end, delta in stage.churn:
                 churn_offset += delta * ((t >= start) & (t < end))
 
+        # Overlay delay/jitter, masked to each overlay's active window.
+        overlay_delay = 0.0
+        if overlay_masks:
+            overlay_delay = np.zeros(n)
+            for overlay, mask in overlay_masks:
+                if overlay.extra_delay:
+                    overlay_delay += overlay.extra_delay * mask
+                if overlay.extra_jitter:
+                    overlay_delay += (
+                        np.abs(rng.standard_normal(n)) * overlay.extra_jitter * mask
+                    )
+
         t = t + (
             stage.base_delay
             + stage.transmission
@@ -314,6 +522,7 @@ def simulate_cell_arrays(cell: ProbeCell) -> tuple[np.ndarray, np.ndarray]:
             + route_offset
             + churn_offset
             + stage.extra_delay
+            + overlay_delay
             + jitter
         )
 

@@ -320,3 +320,125 @@ class RoundRobinProber:
 
     def finalize(self) -> dict[Protocol, MeasurementTrace]:
         return {proto: train.finalize() for proto, train in self.trains.items()}
+
+
+class TrafficMatrix:
+    """A gravity-model background traffic matrix over an Internet topology.
+
+    Demand endpoints are drawn with probability proportional to AS degree
+    (the gravity model: big transit providers source and sink the most
+    traffic), each demand gets an exponential intensity, and every demand
+    is routed over the topology's Gao-Rexford policy path. The per-channel
+    load accumulated that way is converted into a base utilization and
+    installed as each loaded channel's :class:`CongestionProcess` by
+    :meth:`apply` — after which probes crossing hot links really do see
+    queueing delay and, past the drop threshold, congestion loss.
+
+    Deterministic: demands, routes, and the installed congestion processes
+    are pure functions of ``(topology, seed, parameters)``.
+    """
+
+    def __init__(
+        self,
+        topology,
+        *,
+        seed: int = 0,
+        demands_per_as: float = 2.0,
+        utilization_floor: float = 0.05,
+        utilization_scale: float = 0.06,
+        utilization_cap: float = 0.92,
+        diurnal_amplitude: float = 0.04,
+        burst_rate: float = 0.0,
+        label: str = "traffic",
+    ) -> None:
+        from repro.common.rng import derive_rng
+
+        self.topology = topology
+        self.seed = seed
+        self.label = label
+        self.utilization_floor = utilization_floor
+        self.utilization_scale = utilization_scale
+        self.utilization_cap = utilization_cap
+        self.diurnal_amplitude = diurnal_amplitude
+        self.burst_rate = burst_rate
+        self.applied = 0
+
+        ases = sorted(topology.ases)
+        n = len(ases)
+        rng = derive_rng(seed, label, "demands")
+        import numpy as np
+
+        weights = np.array([topology.degree(a) for a in ases], dtype=float)
+        weights /= weights.sum()
+        k = max(1, int(demands_per_as * n))
+        src_idx = rng.choice(n, size=k, p=weights)
+        dst_idx = rng.choice(n, size=k, p=weights)
+        intensities = rng.exponential(1.0, size=k)
+
+        #: Accumulated load per directed AS-level edge ``(a, b)``.
+        self.channel_load: dict[tuple[int, int], float] = {}
+        self.demands: list[tuple[int, int, float]] = []
+        # Route demands grouped by destination so the router's
+        # per-destination tree cache is hit once per distinct sink.
+        order = sorted(range(k), key=lambda i: (int(dst_idx[i]), int(src_idx[i]), i))
+        for i in order:
+            src, dst = ases[int(src_idx[i])], ases[int(dst_idx[i])]
+            if src == dst:
+                continue
+            intensity = float(intensities[i])
+            self.demands.append((src, dst, intensity))
+            asns = topology.policy_segment_asns(src, dst)
+            for a, b in zip(asns, asns[1:]):
+                self.channel_load[(a, b)] = (
+                    self.channel_load.get((a, b), 0.0) + intensity
+                )
+
+    def utilization_of(self, a: int, b: int) -> float:
+        """The base utilization installed on the a→b channel."""
+        load = self.channel_load.get((a, b), 0.0)
+        if load <= 0.0:
+            return self.utilization_floor
+        return min(
+            self.utilization_cap,
+            self.utilization_floor + self.utilization_scale * load,
+        )
+
+    def hot_links(self, threshold: float = 0.7) -> list[tuple[int, int, float]]:
+        """Directed edges whose installed utilization exceeds ``threshold``."""
+        hot = [
+            (a, b, self.utilization_of(a, b))
+            for (a, b) in self.channel_load
+            if self.utilization_of(a, b) > threshold
+        ]
+        return sorted(hot, key=lambda row: (-row[2], row[0], row[1]))
+
+    def apply(self) -> int:
+        """Install load-derived congestion on every loaded channel.
+
+        Returns the number of directed channels reconfigured.
+        """
+        from repro.common.rng import derive_seed
+        from repro.netsim.congestion import CongestionConfig, CongestionProcess
+        from repro.netsim.topology import InterfaceId
+
+        topology = self.topology
+        count = 0
+        for (a, b) in sorted(self.channel_load):
+            if_a = topology.interface_on[(a, b)]
+            if_b = topology.interface_on[(b, a)]
+            channel = topology.channel_between(
+                InterfaceId(a, if_a), InterfaceId(b, if_b)
+            )
+            config = CongestionConfig(
+                base_utilization=self.utilization_of(a, b),
+                diurnal_amplitude=self.diurnal_amplitude,
+                burst_rate=self.burst_rate,
+            )
+            channel.congestion = CongestionProcess(
+                config,
+                seed=derive_seed(self.seed, self.label, a, b),
+                label="background",
+            )
+            count += 1
+        self.applied = count
+        return count

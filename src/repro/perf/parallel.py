@@ -11,21 +11,65 @@ any order — property-tested in ``tests/properties/test_prop_parallel.py``.
 Cells are small frozen dataclasses of floats and tuples, so pickling
 them to workers costs microseconds; the returned traces carry only the
 per-probe records.
+
+Worker counts are clamped to the machine's core count, and a pool that
+cannot be spawned (fd exhaustion, fork limits, sandboxed environments)
+degrades to the serial path instead of crashing the study — counted in
+``fallback_serial_total`` and in the obs metrics registry.
 """
 
 from __future__ import annotations
 
 import os
 from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
 from typing import Iterable, Sequence
 
 from repro.netsim.fastpath import ProbeCell, simulate_cell, simulate_cell_arrays
 from repro.netsim.trace import MeasurementTrace
 
+#: Process-pool spawn/execution failures that downgrade to serial, total
+#: since import (also mirrored to the obs counter
+#: ``parallel_fallback_serial_total`` when a bundle is attached).
+fallback_serial_total = 0
+
+_m_fallback = None
+
+
+def attach_observability(obs) -> None:
+    """Mirror fallback counts into ``obs``'s metrics registry.
+
+    Follows the engine's attachment idiom: pre-resolve the recorder once
+    so the failure path is a direct method call.
+    """
+    global _m_fallback
+    _m_fallback = obs.metrics.counter("parallel_fallback_serial_total")
+
 
 def default_workers() -> int:
     """Worker count used when callers pass ``workers=-1`` (all cores)."""
     return max(1, os.cpu_count() or 1)
+
+
+def resolve_workers(workers: int | None, n_tasks: int) -> int:
+    """Effective pool size for a request: 0 means run serially.
+
+    ``-1`` asks for every core; explicit counts are clamped to the
+    machine's core count (oversubscribing CPU-bound numpy workers only
+    adds scheduler thrash) and to the task count.
+    """
+    if workers == -1:
+        workers = default_workers()
+    if workers is None or workers <= 1 or n_tasks <= 1:
+        return 0
+    return min(workers, default_workers(), n_tasks)
+
+
+def _count_fallback(error: BaseException) -> None:
+    global fallback_serial_total
+    fallback_serial_total += 1
+    if _m_fallback is not None:
+        _m_fallback.inc()
 
 
 def map_cells(
@@ -34,20 +78,25 @@ def map_cells(
     """Simulate ``cells`` and return traces in input order.
 
     ``workers=None`` (or 0/1) runs serially in-process; ``workers=-1``
-    uses every core; any other positive count caps the pool. Because each
-    cell carries its own derived seed, the result is identical for every
-    choice of ``workers`` — parallelism is purely a wall-clock decision.
+    uses every core; any other positive count caps the pool (clamped to
+    the core count). Because each cell carries its own derived seed, the
+    result is identical for every choice of ``workers`` — parallelism is
+    purely a wall-clock decision, and a pool that fails to spawn or dies
+    mid-flight silently degrades to the serial path.
     """
     cell_list: Sequence[ProbeCell] = list(cells)
-    if workers == -1:
-        workers = default_workers()
-    if workers is None or workers <= 1 or len(cell_list) <= 1:
+    pool_size = resolve_workers(workers, len(cell_list))
+    if pool_size == 0:
         return [simulate_cell(cell) for cell in cell_list]
-    pool_size = min(workers, len(cell_list))
-    with ProcessPoolExecutor(max_workers=pool_size) as pool:
-        # Workers return bare (send_times, rtts) arrays — cheap to pickle;
-        # executor.map preserves input order, keeping parallel == serial.
-        arrays = list(pool.map(simulate_cell_arrays, cell_list))
+    try:
+        with ProcessPoolExecutor(max_workers=pool_size) as pool:
+            # Workers return bare (send_times, rtts) arrays — cheap to
+            # pickle; executor.map preserves input order, keeping
+            # parallel == serial.
+            arrays = list(pool.map(simulate_cell_arrays, cell_list))
+    except (OSError, BrokenProcessPool, PermissionError) as error:
+        _count_fallback(error)
+        return [simulate_cell(cell) for cell in cell_list]
     return [
         MeasurementTrace.from_arrays(
             cell.protocol, send_times, rtts, label=cell.label

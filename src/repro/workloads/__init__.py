@@ -22,22 +22,39 @@ from repro.workloads.wan import (
     WanScenario,
     build_city_link,
 )
+from repro.workloads.wanbench import (
+    ContinentScenario,
+    ModeOutcome,
+    WanbenchConfig,
+    build_continent,
+    run_campaign,
+    run_event_baseline,
+    run_wanbench,
+    small_config,
+)
 
 __all__ = [
     "CITY_SPECS",
     "ChainScenario",
     "CitySpec",
+    "ContinentScenario",
     "Fig6Scenario",
     "INTERNAL_RTT_MS",
     "LONDON_ASN",
     "LoadgenConfig",
     "LoadgenFleet",
     "MarketplaceTestbed",
+    "ModeOutcome",
     "ProtoSpec",
     "WanScenario",
+    "WanbenchConfig",
     "build_chain",
+    "build_continent",
     "build_internet_like",
     "build_city_link",
     "build_loadgen",
-    "run_loadgen",
+    "run_campaign",
+    "run_event_baseline",
+    "run_wanbench",
+    "small_config",
 ]

@@ -1,0 +1,99 @@
+"""Units for the vectorized segment prober and its netsim plumbing."""
+
+import numpy as np
+import pytest
+
+from repro.core.executor import executor_data_address
+from repro.core.fastprobe import SANDBOX_OVERHEAD, FastSegmentProber
+from repro.netsim.fastpath import FastPathUnsupported, _vantage_address
+from repro.netsim.packet import Protocol
+from repro.workloads.scenarios import build_chain
+
+
+class TestVantageAddress:
+    def test_matches_executor_data_address(self):
+        """netsim sits below core, so ``fastpath._vantage_address``
+        replicates ``executor_data_address`` instead of importing it;
+        this is the test that keeps the two in sync."""
+        for asn, interface in [(1, 1), (7, 2), (42, 13)]:
+            assert _vantage_address((asn, interface)) == executor_data_address(
+                asn, interface
+            )
+
+
+class TestFastSegmentProber:
+    @pytest.fixture()
+    def scenario(self):
+        return build_chain(4, seed=11)
+
+    def test_measure_sync_advances_clock_and_counts(self, scenario):
+        prober = FastSegmentProber(scenario.network, probes=8, seed=2)
+        segment = scenario.registry.shortest(1, 4)
+        before = scenario.simulator.now
+        m = prober.measure_sync((1, 2), (4, 1), segment)
+        assert prober.measurements_run == 1
+        assert m.probes == 8
+        assert m.finished_at > before
+        assert scenario.simulator.now >= m.finished_at
+
+    def test_rtts_include_sandbox_overhead(self, scenario):
+        prober = FastSegmentProber(scenario.network, probes=20, seed=2)
+        segment = scenario.registry.shortest(1, 4)
+        m = prober.measure_sync((1, 2), (4, 1), segment)
+        # 3 links * 2 * 5ms propagation + overhead is the analytic floor.
+        floor = (6 * 5e-3 + SANDBOX_OVERHEAD) * 1e3
+        assert m.mean_rtt_ms() >= floor * 0.99
+
+    def test_explicit_seed_labels_decouple_from_issue_order(self, scenario):
+        segment = scenario.registry.shortest(1, 4)
+        a = FastSegmentProber(scenario.network, probes=8, seed=2)
+        b = FastSegmentProber(scenario.network, probes=8, seed=2)
+        # Burn a measurement on ``b`` so its sequence counter differs.
+        b.measure_sync((1, 2), (4, 1), segment)
+        cell_a = a.build_cell((1, 2), (4, 1), segment, start=0.0,
+                              seed_labels=("ep", 3))
+        cell_b = b.build_cell((1, 2), (4, 1), segment, start=0.0,
+                              seed_labels=("ep", 3))
+        assert cell_a.seed == cell_b.seed
+
+    def test_all_lost_measurement_is_nan_mean_full_loss(self, scenario):
+        prober = FastSegmentProber(scenario.network, probes=5, seed=2)
+        segment = scenario.registry.shortest(1, 4)
+        cell = prober.build_cell((1, 2), (4, 1), segment, start=0.0)
+        send_times = np.arange(5, dtype=float)
+        rtts = np.full(5, np.nan)
+        m = prober.measurement_from_arrays(
+            cell, (1, 2), (4, 1), segment, send_times, rtts
+        )
+        assert np.isnan(m.mean_rtt_ms())
+        assert m.loss_rate() == 1.0
+        assert m.ok  # fast path has no VM execution to fail
+        # With nothing delivered, the measurement ends at the timeout.
+        assert m.finished_at == pytest.approx(
+            cell.start + 4 * cell.interval + cell.timeout
+        )
+
+    def test_overlay_gate_respected(self, scenario):
+        from repro.netsim import FaultInjector, InterfaceId
+
+        injector = FaultInjector(scenario.topology)
+        injector.link_delay(
+            InterfaceId(1, 2), InterfaceId(2, 1),
+            extra_delay=10e-3, start=0.0, end=1e15,
+        )
+        segment = scenario.registry.shortest(1, 4)
+        strict = FastSegmentProber(
+            scenario.network, probes=4, seed=2, allow_overlays=False
+        )
+        with pytest.raises(FastPathUnsupported):
+            strict.measure_sync((1, 2), (4, 1), segment)
+        lenient = FastSegmentProber(scenario.network, probes=4, seed=2)
+        m = lenient.measure_sync((1, 2), (4, 1), segment)
+        assert m.mean_rtt_ms() > 0
+
+    def test_protocols_share_plumbing(self, scenario):
+        prober = FastSegmentProber(scenario.network, probes=6, seed=2)
+        segment = scenario.registry.shortest(1, 4)
+        for protocol in (Protocol.UDP, Protocol.ICMP):
+            m = prober.measure_sync((1, 2), (4, 1), segment, protocol=protocol)
+            assert m.protocol is protocol

@@ -50,6 +50,11 @@ class TestExamples:
         assert "Table I (reproduced)" in out
         assert "bangalore" in out
 
+    def test_continent_campaign(self, capsys):
+        out = _run("continent_campaign.py", argv=["300", "6"], capsys=capsys)
+        assert "BIT-IDENTICAL" in out
+        assert "engines agree on every measurement: True" in out
+
     def test_fleet_lifecycle(self, capsys):
         out = _run("fleet_lifecycle.py", capsys=capsys)
         assert "drained 2:1 -> retired" in out

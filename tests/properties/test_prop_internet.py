@@ -1,0 +1,83 @@
+"""Property tests for the generated power-law Internet topologies.
+
+For random generator configs the emitted topology must be connected
+(every AS reaches every other over a Gao-Rexford policy path), all
+emitted policy paths must be valley-free and loop-free, and regeneration
+from the same config must be byte-identical (digest equality) — the
+contract ``wanbench``'s cross-process digest comparison rests on.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.common.rng import derive_rng
+from repro.netsim.internet import (
+    InternetConfig,
+    Relation,
+    generate_internet,
+)
+
+
+@st.composite
+def internet_configs(draw):
+    return InternetConfig(
+        n_ases=draw(st.integers(min_value=20, max_value=150)),
+        seed=draw(st.integers(min_value=0, max_value=1000)),
+        tier1=draw(st.integers(min_value=2, max_value=5)),
+        multihoming=draw(st.floats(min_value=0.0, max_value=0.8)),
+        peer_fraction=draw(st.floats(min_value=0.0, max_value=0.4)),
+        regions=draw(st.integers(min_value=1, max_value=6)),
+    )
+
+
+class TestInternetGeneration:
+    @given(internet_configs())
+    @settings(max_examples=20, deadline=None)
+    def test_policy_paths_connect_valley_free_and_loop_free(self, config):
+        topology = generate_internet(config)
+        ases = sorted(topology.ases)
+        assert len(ases) == config.n_ases
+        rng = derive_rng(config.seed, "prop", "pairs")
+        for _ in range(15):
+            pair = rng.choice(len(ases), size=2, replace=False)
+            src, dst = ases[int(pair[0])], ases[int(pair[1])]
+            asns = topology.policy_segment_asns(src, dst)
+            assert asns, (src, dst)
+            assert asns[0] == src and asns[-1] == dst
+            assert len(set(asns)) == len(asns), f"loop in {asns}"
+            assert topology.is_valley_free(asns), asns
+
+    @given(internet_configs())
+    @settings(max_examples=15, deadline=None)
+    def test_same_config_regenerates_byte_identically(self, config):
+        first = generate_internet(config)
+        second = generate_internet(config)
+        assert first.digest() == second.digest()
+
+    @given(internet_configs())
+    @settings(max_examples=15, deadline=None)
+    def test_relationships_are_symmetric_and_interfaces_unique(self, config):
+        topology = generate_internet(config)
+        inverse = {
+            Relation.CUSTOMER: Relation.PROVIDER,
+            Relation.PROVIDER: Relation.CUSTOMER,
+            Relation.PEER: Relation.PEER,
+        }
+        for (a, b), relation in topology.relation_of.items():
+            assert topology.relation_of[(b, a)] is inverse[relation]
+        for asn in topology.ases:
+            neighbors = (
+                topology.providers_of.get(asn, [])
+                + topology.customers_of.get(asn, [])
+                + topology.peers_of.get(asn, [])
+            )
+            interfaces = [topology.interface_on[(asn, b)] for b in neighbors]
+            assert len(set(interfaces)) == len(interfaces)
+            assert len(set(neighbors)) == len(neighbors)
+
+    @given(st.integers(min_value=0, max_value=100))
+    @settings(max_examples=10, deadline=None)
+    def test_different_seeds_differ(self, seed):
+        base = InternetConfig(n_ases=60, seed=seed)
+        other = InternetConfig(n_ases=60, seed=seed + 1)
+        assert generate_internet(base).digest() != generate_internet(other).digest()

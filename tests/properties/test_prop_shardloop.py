@@ -1,0 +1,39 @@
+"""Property test: region-sharded campaigns are bit-identical to serial.
+
+For random small campaign configs, running the same scenario serially,
+with a 2-worker pool, and with a 3-worker pool must produce the same
+canonical result digest — worker count and shard boundaries are purely
+wall-clock decisions, never observable in results. This is the stateful
+extension of ``test_prop_parallel``'s independent-cell property to the
+epoch-barrier loop (plans carry state across epochs).
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.workloads.wanbench import build_continent, run_campaign, small_config
+
+
+@st.composite
+def campaign_configs(draw):
+    return small_config(
+        n_ases=draw(st.integers(min_value=60, max_value=150)),
+        seed=draw(st.integers(min_value=0, max_value=30)),
+        episodes=draw(st.integers(min_value=2, max_value=6)),
+        regions=draw(st.integers(min_value=1, max_value=4)),
+        strategy=draw(
+            st.sampled_from(["mixed", "binary", "linear", "exhaustive"])
+        ),
+        traffic=draw(st.booleans()),
+    )
+
+
+class TestShardedDigestEquality:
+    @given(campaign_configs())
+    @settings(max_examples=5, deadline=None)
+    def test_worker_count_never_changes_results(self, config):
+        serial = run_campaign(build_continent(config), workers=0)
+        two = run_campaign(build_continent(config), workers=2)
+        three = run_campaign(build_continent(config), workers=3)
+        assert serial.digest == two.digest == three.digest, config
+        assert serial.measurements == two.measurements == three.measurements

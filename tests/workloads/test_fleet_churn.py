@@ -13,10 +13,7 @@ The perf_smoke guard appends the churn numbers — and the placement
 strategy coverage/cost rows — to ``BENCH_fleet.json``.
 """
 
-import datetime
 import json
-import pathlib
-import subprocess
 
 import pytest
 
@@ -24,6 +21,7 @@ from repro.core.fleetmgr import ExecutorState
 from repro.core.placement import STRATEGIES, evaluate_strategies, synthetic_candidates
 from repro.obs import Observability
 from repro.obs.export import to_prometheus
+from repro.perf import benchstore
 from repro.workloads import LoadgenConfig, build_loadgen, run_loadgen
 
 pytestmark = pytest.mark.fleet
@@ -167,31 +165,8 @@ class TestChurnDeterminism:
 # ----------------------------------------------------------- perf guard
 
 
-def _repo_root() -> pathlib.Path:
-    return pathlib.Path(__file__).resolve().parents[2]
-
-
-def _git_head(root: pathlib.Path) -> str:
-    try:
-        return subprocess.run(
-            ["git", "rev-parse", "--short", "HEAD"], cwd=root,
-            capture_output=True, text=True, timeout=10, check=True,
-        ).stdout.strip()
-    except Exception:
-        return "unknown"
-
-
 def _record_bench(rows: list[dict]) -> None:
-    root = _repo_root()
-    path = root / "BENCH_fleet.json"
-    document = json.loads(path.read_text()) if path.exists() else {}
-    stamp = datetime.datetime.now().strftime("%Y-%m-%dT%H:%M:%S")
-    for row in rows:
-        row["timestamp"] = stamp
-    document.setdefault(_git_head(root), []).extend(rows)
-    path.write_text(json.dumps(document, indent=2) + "\n")
-
-
+    benchstore.append_rows("fleet", rows)
 @pytest.mark.perf_smoke
 def test_churn_bench_records_fleet_json(churn_run):
     """Append the churn numbers and the placement coverage/cost rows to

@@ -8,14 +8,10 @@ baseline. The real >=5x assertion at full scale lives in
 ``BENCH_scale.json`` (see README: ``repro loadgen``).
 """
 
-import datetime
-import json
-import pathlib
-import subprocess
-
 import pytest
 
 from repro.obs import Observability
+from repro.perf import benchstore
 from repro.obs.export import to_prometheus
 from repro.workloads import LoadgenConfig, build_loadgen, run_loadgen
 
@@ -82,31 +78,8 @@ def test_loadgen_chain_verifies():
 # ----------------------------------------------------------- perf guard
 
 
-def _repo_root() -> pathlib.Path:
-    return pathlib.Path(__file__).resolve().parents[2]
-
-
-def _git_head(root: pathlib.Path) -> str:
-    try:
-        return subprocess.run(
-            ["git", "rev-parse", "--short", "HEAD"], cwd=root,
-            capture_output=True, text=True, timeout=10, check=True,
-        ).stdout.strip()
-    except Exception:
-        return "unknown"
-
-
 def _record_bench(rows: list[dict]) -> None:
-    root = _repo_root()
-    path = root / "BENCH_scale.json"
-    document = json.loads(path.read_text()) if path.exists() else {}
-    stamp = datetime.datetime.now().strftime("%Y-%m-%dT%H:%M:%S")
-    for row in rows:
-        row["timestamp"] = stamp
-    document.setdefault(_git_head(root), []).extend(rows)
-    path.write_text(json.dumps(document, indent=2) + "\n")
-
-
+    benchstore.append_rows("scale", rows)
 @pytest.mark.perf_smoke
 def test_batched_ledger_beats_serial_on_small_fleet():
     """Smoke-scale guard for the scale bench: batched must already be

@@ -5,15 +5,12 @@ for the real >=5x assertion at default scale); they are cheap guards that
 run inside the tier-1 suite and can be selected with ``-m perf_smoke``.
 """
 
-import datetime
-import json
-import pathlib
-import subprocess
 import time
 
 import pytest
 
 from repro.netsim.packet import Protocol
+from repro.perf import benchstore
 from repro.workloads.wan import WanScenario
 
 
@@ -39,31 +36,8 @@ def test_fast_path_beats_event_driven_on_small_study():
         assert event["frankfurt"][protocol].sent == probes
 
 
-def _repo_root() -> pathlib.Path:
-    return pathlib.Path(__file__).resolve().parents[2]
-
-
-def _git_head(root: pathlib.Path) -> str:
-    try:
-        return subprocess.run(
-            ["git", "rev-parse", "--short", "HEAD"], cwd=root,
-            capture_output=True, text=True, timeout=10, check=True,
-        ).stdout.strip()
-    except Exception:
-        return "unknown"
-
-
 def _record_bench(rows: list[dict]) -> None:
-    root = _repo_root()
-    path = root / "BENCH_obs.json"
-    document = json.loads(path.read_text()) if path.exists() else {}
-    stamp = datetime.datetime.now().strftime("%Y-%m-%dT%H:%M:%S")
-    for row in rows:
-        row["timestamp"] = stamp
-    document.setdefault(_git_head(root), []).extend(rows)
-    path.write_text(json.dumps(document, indent=2) + "\n")
-
-
+    benchstore.append_rows("obs", rows)
 @pytest.mark.perf_smoke
 def test_observability_disabled_overhead_under_5_percent():
     """The observability overhead guard (DESIGN.md §9).

@@ -13,43 +13,16 @@ Cheap guards that run inside the tier-1 suite (selectable with
 - measured rows are appended to ``BENCH_vm.json`` keyed by git head.
 """
 
-import datetime
-import json
-import pathlib
-import subprocess
-
 import pytest
 
+from repro.perf import benchstore
 from repro.perf.vmbench import run_suite
 
 pytestmark = pytest.mark.perf_smoke
 
 
-def _repo_root() -> pathlib.Path:
-    return pathlib.Path(__file__).resolve().parents[2]
-
-
-def _git_head(root: pathlib.Path) -> str:
-    try:
-        return subprocess.run(
-            ["git", "rev-parse", "--short", "HEAD"], cwd=root,
-            capture_output=True, text=True, timeout=10, check=True,
-        ).stdout.strip()
-    except Exception:
-        return "unknown"
-
-
 def _record_bench(rows: list[dict]) -> None:
-    root = _repo_root()
-    path = root / "BENCH_vm.json"
-    document = json.loads(path.read_text()) if path.exists() else {}
-    stamp = datetime.datetime.now().strftime("%Y-%m-%dT%H:%M:%S")
-    for row in rows:
-        row["timestamp"] = stamp
-    document.setdefault(_git_head(root), []).extend(rows)
-    path.write_text(json.dumps(document, indent=2) + "\n")
-
-
+    benchstore.append_rows("vm", rows)
 def test_compiled_tier_speedup_and_host_call_parity():
     """One measured pass over both guard workloads, recorded to
     ``BENCH_vm.json``. Small scale keeps this inside tier-1 budget;
